@@ -1,0 +1,40 @@
+# RepChain build and verification targets. Pure Go, stdlib only.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench experiments examples demo clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One testing.B benchmark per EXPERIMENTS.md table, plus micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation table (EXPERIMENTS.md source).
+experiments:
+	$(GO) run ./cmd/repchain-bench -seed 42
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/carsharing
+	$(GO) run ./examples/insurance
+	$(GO) run ./examples/adversary
+
+# Full alliance over loopback TCP.
+demo:
+	$(GO) run ./cmd/repchain-node -demo -rounds 6
+
+clean:
+	$(GO) clean ./...

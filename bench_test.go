@@ -1,0 +1,150 @@
+// Benchmarks regenerating every evaluation artifact (DESIGN.md §3,
+// EXPERIMENTS.md). One benchmark per experiment: the measured value is
+// the wall time of a full experiment run; key result numbers are
+// attached as custom metrics so `go test -bench` output doubles as a
+// compact results table.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkE1RegretSqrtT
+package repchain_test
+
+import (
+	"strconv"
+	"testing"
+
+	"repchain"
+	"repchain/internal/experiments"
+)
+
+// runExperiment executes one experiment per benchmark iteration and
+// reports a named cell from the final row as a custom metric.
+func runExperiment(b *testing.B, id string, metricCol, metricName string) {
+	b.Helper()
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(id, 42, 1)
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+		last = t
+	}
+	if metricCol == "" || len(last.Rows) == 0 {
+		return
+	}
+	for c, h := range last.Header {
+		if h != metricCol {
+			continue
+		}
+		v, err := strconv.ParseFloat(last.Rows[len(last.Rows)-1][c], 64)
+		if err == nil {
+			b.ReportMetric(v, metricName)
+		}
+		return
+	}
+}
+
+// BenchmarkE1RegretSqrtT regenerates the Theorem 1 regret table
+// (regret vs T with the O(√T) bound).
+func BenchmarkE1RegretSqrtT(b *testing.B) {
+	runExperiment(b, "E1", "regret/√T", "regret_per_sqrtT")
+}
+
+// BenchmarkE2UncheckedVsF regenerates the Lemma 2 table (unchecked
+// fraction vs f).
+func BenchmarkE2UncheckedVsF(b *testing.B) {
+	runExperiment(b, "E2", "unchecked frac", "unchecked_frac_at_f0.9")
+}
+
+// BenchmarkE3HoeffdingTail regenerates the Theorem 3 tail table.
+func BenchmarkE3HoeffdingTail(b *testing.B) {
+	runExperiment(b, "E3", "empirical tail", "tail_at_last_row")
+}
+
+// BenchmarkE4ThroughputVsF regenerates the efficiency table
+// (verification cost and throughput vs f) on the full protocol stack.
+func BenchmarkE4ThroughputVsF(b *testing.B) {
+	runExperiment(b, "E4", "checked/tx", "checked_per_tx_at_f0.9")
+}
+
+// BenchmarkE5PolicyComparison regenerates the screening-policy
+// comparison table (reputation vs baselines).
+func BenchmarkE5PolicyComparison(b *testing.B) {
+	runExperiment(b, "E5", "mistakes", "mistakes_last_row")
+}
+
+// BenchmarkE6IncentiveCurve regenerates the incentive table (revenue
+// share vs misbehaviour).
+func BenchmarkE6IncentiveCurve(b *testing.B) {
+	runExperiment(b, "E6", "share(collector 0)", "share_at_p0.5")
+}
+
+// BenchmarkE7MessageComplexity regenerates the communication-
+// complexity table (O(b_limit·m) and O(m²)).
+func BenchmarkE7MessageComplexity(b *testing.B) {
+	runExperiment(b, "E7", "stake msgs/m²", "stake_msgs_per_m2")
+}
+
+// BenchmarkE8AdversaryFraction regenerates the robustness table (loss
+// vs number of malicious collectors).
+func BenchmarkE8AdversaryFraction(b *testing.B) {
+	runExperiment(b, "E8", "regret", "regret_at_7_liars")
+}
+
+// BenchmarkE9ArgueLatency regenerates the argue-latency table (regret
+// vs reveal delay U).
+func BenchmarkE9ArgueLatency(b *testing.B) {
+	runExperiment(b, "E9", "regret", "regret_at_U256")
+}
+
+// BenchmarkE10BetaAblation regenerates the β-ablation table.
+func BenchmarkE10BetaAblation(b *testing.B) {
+	runExperiment(b, "E10", "regret/bound", "regret_over_bound_last")
+}
+
+// BenchmarkE11TurncoatAttack regenerates the whitewashing-attack
+// table (extension experiment: damage window vs banked reputation).
+func BenchmarkE11TurncoatAttack(b *testing.B) {
+	runExperiment(b, "E11", "mistakes after turn", "post_turn_mistakes")
+}
+
+// BenchmarkE12TheoremFour regenerates the combined Theorem 4 table.
+func BenchmarkE12TheoremFour(b *testing.B) {
+	runExperiment(b, "E12", "(L−S)/√((f+δ)N)", "normalized_excess_last")
+}
+
+// BenchmarkFullProtocolRound measures end-to-end round latency of the
+// complete stack — signatures, bus, screening, election, block
+// replication — at a fixed workload (not tied to a paper table; a
+// practical systems number).
+func BenchmarkFullProtocolRound(b *testing.B) {
+	validator := repchain.ValidatorFunc(func(t repchain.Transaction) bool {
+		return len(t.Payload) > 0 && t.Payload[0] == 1
+	})
+	chain, err := repchain.New(
+		repchain.WithTopology(8, 4, 2),
+		repchain.WithGovernors(3),
+		repchain.WithValidator(validator),
+		repchain.WithSeed(1),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const txPerRound = 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < txPerRound; j++ {
+			valid := j%4 != 3
+			payload := []byte{0, byte(j), byte(i), byte(i >> 8)}
+			if valid {
+				payload[0] = 1
+			}
+			if _, err := chain.Submit(j%8, "bench", payload, valid); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := chain.RunRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(txPerRound, "tx/round")
+}

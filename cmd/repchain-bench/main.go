@@ -1,0 +1,55 @@
+// Command repchain-bench regenerates the evaluation tables recorded in
+// EXPERIMENTS.md: one experiment per analytical claim of the paper
+// (DESIGN.md §3 maps each claim to an experiment ID).
+//
+// Usage:
+//
+//	repchain-bench                  # run everything
+//	repchain-bench -run E1,E5      # run selected experiments
+//	repchain-bench -seed 7 -scale 2 # bigger workloads, fixed seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repchain/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
+	seed := flag.Int64("seed", 42, "random seed for reproducible tables")
+	scale := flag.Int("scale", 1, "workload multiplier (>=1)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *runFlag != "all" {
+		ids = strings.Split(*runFlag, ",")
+	}
+
+	exitCode := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		table, err := experiments.Run(id, *seed, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repchain-bench: %s: %v\n", id, err)
+			exitCode = 1
+			continue
+		}
+		fmt.Println(table.Render())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repchain"
+)
+
+var testValidator = repchain.ValidatorFunc(func(t repchain.Transaction) bool {
+	return len(t.Payload) > 0 && t.Payload[0] == 1
+})
+
+// buildChainDir runs a chain with persistence and returns the
+// directory holding governor-*.chain files.
+func buildChainDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	chain, err := repchain.New(
+		repchain.WithTopology(2, 2, 1),
+		repchain.WithGovernors(2),
+		repchain.WithValidator(testValidator),
+		repchain.WithSeed(8),
+		repchain.WithChainDir(dir),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 4; i++ {
+			valid := i%2 == 0
+			payload := []byte{0, byte(i), byte(r)}
+			if valid {
+				payload[0] = 1
+			}
+			if _, err := chain.Submit(i%2, "inspect/demo", payload, valid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := chain.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestInspectVerifiesGoodChain(t *testing.T) {
+	dir := buildChainDir(t)
+	path := filepath.Join(dir, "governor-0.chain")
+	if err := run(path, 0, false); err != nil {
+		t.Fatalf("run() error = %v", err)
+	}
+	if err := run(path, 2, false); err != nil {
+		t.Fatalf("run(-block 2) error = %v", err)
+	}
+	if err := run(path, 0, true); err != nil {
+		t.Fatalf("run(-q) error = %v", err)
+	}
+}
+
+func TestInspectRejectsCorruptChain(t *testing.T) {
+	dir := buildChainDir(t)
+	path := filepath.Join(dir, "governor-1.chain")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 0, true); err == nil {
+		t.Fatal("corrupt chain accepted")
+	}
+}
+
+func TestInspectRequiresPath(t *testing.T) {
+	if err := run("", 0, false); err == nil {
+		t.Fatal("missing -chain accepted")
+	}
+	missing := filepath.Join(t.TempDir(), "missing.chain")
+	if err := run(missing, 0, false); err == nil {
+		t.Fatal("nonexistent file accepted")
+	}
+	if _, err := os.Stat(missing); err == nil {
+		t.Fatal("inspector created the missing file")
+	}
+}
+
+func TestInspectMissingBlock(t *testing.T) {
+	dir := buildChainDir(t)
+	path := filepath.Join(dir, "governor-0.chain")
+	if err := run(path, 99, false); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+}

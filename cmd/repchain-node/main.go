@@ -1,0 +1,175 @@
+// Command repchain-node runs one alliance node over real TCP, or a
+// whole alliance on loopback in demo mode.
+//
+// Single-node usage (one process per node, shared roster file):
+//
+//	repchain-keygen -o roster.json
+//	repchain-node -roster roster.json -id governor/0 -rounds 10 -epoch 2026-07-04T12:00:00Z
+//	repchain-node -roster roster.json -id collector/0 -rounds 10 -epoch 2026-07-04T12:00:00Z
+//	...one invocation per node in the roster...
+//
+// Demo usage (everything in one process, real sockets):
+//
+//	repchain-node -demo -rounds 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repchain/internal/crypto"
+	"repchain/internal/identity"
+	"repchain/internal/reputation"
+	"repchain/internal/transport"
+	"repchain/internal/tx"
+)
+
+var validator = tx.ValidatorFunc(func(t tx.Transaction) bool {
+	return len(t.Payload) > 0 && t.Payload[0] == 1
+})
+
+func main() {
+	var (
+		rosterPath = flag.String("roster", "roster.json", "deployment file from repchain-keygen")
+		id         = flag.String("id", "", "node ID to run, e.g. governor/0")
+		demo       = flag.Bool("demo", false, "run a full alliance on loopback in this process")
+		rounds     = flag.Int("rounds", 6, "rounds to run")
+		roundDur   = flag.Duration("round", 400*time.Millisecond, "round duration R")
+		epoch      = flag.String("epoch", "", "shared start time (RFC 3339); empty = now+1s (demo) ")
+		txPerRound = flag.Int("tx", 4, "transactions per provider per round")
+		seed       = flag.Int64("seed", 1, "seed for workload randomness")
+		stateDir   = flag.String("state", "", "directory persisting governor chain + reputation state across restarts")
+	)
+	flag.Parse()
+
+	if err := run(*rosterPath, *id, *demo, *rounds, *roundDur, *epoch, *txPerRound, *seed, *stateDir); err != nil {
+		fmt.Fprintln(os.Stderr, "repchain-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, epochStr string, txPerRound int, seed int64, stateDir string) error {
+	var deployment *transport.Deployment
+	if demo {
+		d, err := demoDeployment(seed)
+		if err != nil {
+			return err
+		}
+		deployment = d
+	} else {
+		d, err := transport.LoadDeployment(rosterPath)
+		if err != nil {
+			return err
+		}
+		deployment = d
+	}
+
+	epoch := time.Now().Add(time.Second)
+	if epochStr != "" {
+		t, err := time.Parse(time.RFC3339, epochStr)
+		if err != nil {
+			return fmt.Errorf("parse -epoch: %w", err)
+		}
+		epoch = t
+	}
+	clock := transport.Clock{Epoch: epoch, Round: roundDur}
+	base := transport.RuntimeConfig{
+		Deployment: deployment,
+		Clock:      clock,
+		Rounds:     rounds,
+		Params:     reputation.DefaultParams(),
+		Validator:  validator,
+		TxPerRound: txPerRound,
+		ValidFrac:  0.75,
+		Seed:       seed,
+		StateDir:   stateDir,
+	}
+
+	if !demo {
+		if id == "" {
+			return fmt.Errorf("-id is required without -demo")
+		}
+		cfg := base
+		cfg.ID = identity.NodeID(id)
+		report, err := transport.RunNode(cfg)
+		if err != nil {
+			return err
+		}
+		printReport(id, report)
+		return nil
+	}
+
+	// Demo: one goroutine per node, real loopback sockets.
+	fmt.Printf("demo alliance: %d nodes, %d rounds of %v starting %s\n",
+		len(deployment.Nodes), rounds, roundDur, epoch.Format(time.RFC3339))
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		reports = make(map[string]transport.Report)
+		failed  error
+	)
+	for _, spec := range deployment.Nodes {
+		cfg := base
+		cfg.ID = identity.NodeID(spec.ID)
+		wg.Add(1)
+		go func(nodeID string, cfg transport.RuntimeConfig) {
+			defer wg.Done()
+			report, err := transport.RunNode(cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && failed == nil {
+				failed = fmt.Errorf("node %s: %w", nodeID, err)
+				return
+			}
+			reports[nodeID] = report
+		}(spec.ID, cfg)
+	}
+	wg.Wait()
+	if failed != nil {
+		return failed
+	}
+	for _, spec := range deployment.Nodes {
+		printReport(spec.ID, reports[spec.ID])
+	}
+	return nil
+}
+
+func printReport(id string, r transport.Report) {
+	switch r.Role {
+	case "provider":
+		fmt.Printf("%-14s %d rounds, %d submitted, %d settled valid, %d pending\n",
+			id, r.Rounds, r.Submitted, r.SettledValid, r.PendingValid)
+	case "collector":
+		fmt.Printf("%-14s %d rounds, %d uploads\n", id, r.Rounds, r.Uploads)
+	case "governor":
+		fmt.Printf("%-14s %d rounds, height %d, %d checked, %d unchecked, %d argues accepted\n",
+			id, r.Rounds, r.Height, r.Stats.Checked, r.Stats.Unchecked, r.Stats.ArguesAccepted)
+	}
+}
+
+// demoDeployment builds a small loopback roster with OS-assigned free
+// ports.
+func demoDeployment(seed int64) (*transport.Deployment, error) {
+	topo, err := identity.NewRegularTopology(identity.TopologySpec{
+		Providers: 4, Collectors: 4, Degree: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	seedBytes := make([]byte, crypto.SeedSize)
+	for i := 0; i < 8; i++ {
+		seedBytes[i] = byte(seed >> (8 * i))
+	}
+	im, err := identity.NewManagerFromSeed(seedBytes)
+	if err != nil {
+		return nil, err
+	}
+	roster, err := identity.RegisterAll(im, topo, 3, seedBytes)
+	if err != nil {
+		return nil, err
+	}
+	return transport.NewDeployment(im, roster, "127.0.0.1", 19701)
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunAllPolicies(t *testing.T) {
+	for _, policy := range []string{"reputation-rwm", "check-all", "uniform-random", "majority-vote"} {
+		t.Run(policy, func(t *testing.T) {
+			err := run(2000, 2, 8, 8, policy, 0, 0.5, 0.6, 2, 1, 1, 0, 1)
+			if err != nil {
+				t.Fatalf("run(%s) error = %v", policy, err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsAllAdversarial(t *testing.T) {
+	// liars + concealers covering every collector must be rejected.
+	if err := run(100, 1, 4, 4, "reputation-rwm", 0, 0.5, 0.5, 3, 1, 1, 0, 1); err == nil {
+		t.Fatal("run() accepted a fully adversarial collector set")
+	}
+}
+
+func TestRunRejectsBadPolicy(t *testing.T) {
+	if err := run(100, 1, 4, 4, "nope", 0, 0.5, 0.5, 1, 0, 1, 0, 1); err == nil {
+		t.Fatal("run() accepted an unknown policy")
+	}
+}
+
+func TestRunExplicitBeta(t *testing.T) {
+	if err := run(500, 1, 4, 4, "reputation-rwm", 0.5, 0.5, 0.5, 1, 0, 1, 16, 1); err != nil {
+		t.Fatalf("run() error = %v", err)
+	}
+}

@@ -1,0 +1,82 @@
+// Command adversary stress-tests the reputation mechanism against all
+// three misbehaviour classes of the paper's §4.2 at once: a
+// misreporter, a concealer, and a forger operate alongside one honest
+// collector, and the run prints how their reputation components and
+// revenue shares evolve round by round.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repchain"
+)
+
+var validator = repchain.ValidatorFunc(func(t repchain.Transaction) bool {
+	return len(t.Payload) > 0 && t.Payload[0] == 1
+})
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adversary:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	chain, err := repchain.New(
+		repchain.WithTopology(4, 4, 4), // every collector oversees every provider
+		repchain.WithGovernors(3),
+		repchain.WithValidator(validator),
+		repchain.WithReputationParams(0.9, 0.8, 1.1, 2.0),
+		repchain.WithCollectorBehaviors(
+			repchain.CollectorBehavior{},               // 0: honest
+			repchain.CollectorBehavior{Misreport: 0.8}, // 1: misreporter (class 1)
+			repchain.CollectorBehavior{Conceal: 0.8},   // 2: concealer (class 2)
+			repchain.CollectorBehavior{Forge: 0.9},     // 3: forger (class 3)
+		),
+		repchain.WithSeed(5),
+	)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("== adversary gauntlet: honest vs misreporter vs concealer vs forger ==")
+	fmt.Println("round | share(honest) share(misrep) share(conceal) share(forger) | argues")
+	for round := 1; round <= 12; round++ {
+		for i := 0; i < 12; i++ {
+			valid := i%4 != 3
+			payload := []byte{0, byte(i), byte(round)}
+			if valid {
+				payload[0] = 1
+			}
+			if _, err := chain.Submit(i%4, "gauntlet", payload, valid); err != nil {
+				return err
+			}
+		}
+		sum, err := chain.RunRound()
+		if err != nil {
+			return err
+		}
+		shares, err := chain.RevenueShares()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%5d | %13.3f %13.3f %14.3f %13.3f | %d\n",
+			round, shares[0], shares[1], shares[2], shares[3], sum.Argues)
+	}
+
+	fmt.Println("\nfinal reputation vectors (per-provider weights..., misreport, forge):")
+	labels := []string{"honest    ", "misreporter", "concealer ", "forger    "}
+	for c := 0; c < 4; c++ {
+		vec, err := chain.CollectorReputation(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s %7.4f\n", labels[c], vec)
+	}
+	st := chain.Stats(0)
+	fmt.Printf("\ngovernor 0: %d forgeries detected, %d transactions checked, %d left unchecked, %d recovered by argue\n",
+		st.ForgeriesDetected, st.Checked, st.Unchecked, st.ArguesAccepted)
+	return chain.VerifyChain()
+}

@@ -1,0 +1,134 @@
+// Command carsharing reproduces the paper's §5.1 use case: a merged
+// car-sharing alliance. Users (providers) broadcast ride requests to
+// drivers (collectors); drivers label requests by serviceability;
+// schedulers (governors) screen with the reputation mechanism, commit
+// blocks, and assign drivers to the valid requests using driver
+// reputation.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repchain"
+	"repchain/internal/apps/carshare"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "carsharing:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rules := carshare.DefaultRules()
+	// 6 users, 4 drivers (driver 3 misreports half the time — a
+	// dishonest driver the reputation system should expose), 2
+	// scheduler companies.
+	chain, err := repchain.New(
+		repchain.WithTopology(6, 4, 2),
+		repchain.WithGovernors(2),
+		repchain.WithValidator(rules.Validator()),
+		repchain.WithCollectorBehaviors(
+			repchain.CollectorBehavior{},
+			repchain.CollectorBehavior{},
+			repchain.CollectorBehavior{},
+			repchain.CollectorBehavior{Misreport: 0.5},
+		),
+		repchain.WithSeed(7),
+	)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	riders := []string{"ana", "bo", "cam", "dee", "eli", "fay"}
+	zones := rules.Zones
+
+	fmt.Println("== car-sharing alliance on RepChain ==")
+	for round := 1; round <= 5; round++ {
+		// Users submit ride requests; some are bogus (same zone,
+		// absurd fare) and should be filtered by the chain.
+		for i, rider := range riders {
+			req := carshare.RideRequest{
+				Rider:       rider,
+				Origin:      zones[rng.Intn(len(zones))],
+				Destination: zones[rng.Intn(len(zones))],
+				PickupAt:    int64(round*100 + i),
+				FareCents:   int64(500 + rng.Intn(4000)),
+			}
+			if rng.Float64() < 0.2 { // a bogus request
+				req.Destination = req.Origin
+			}
+			valid := rules.Valid(req)
+			if _, err := chain.Submit(i, carshare.Kind, req.Encode(), valid); err != nil {
+				return err
+			}
+		}
+		sum, err := chain.RunRound()
+		if err != nil {
+			return err
+		}
+
+		// The scheduler reads the committed block and assigns drivers
+		// to the valid requests, weighting by on-chain reputation.
+		records, err := chain.Block(sum.Serial)
+		if err != nil {
+			return err
+		}
+		var requests []carshare.RideRequest
+		for _, r := range records {
+			if !r.Valid {
+				continue
+			}
+			req, err := carshare.Decode(r.Payload)
+			if err != nil {
+				continue
+			}
+			requests = append(requests, req)
+		}
+		shares, err := chain.RevenueShares()
+		if err != nil {
+			return err
+		}
+		drivers := make([]carshare.Driver, 0, 4)
+		for d := 0; d < 4; d++ {
+			drivers = append(drivers, carshare.Driver{
+				Name:       fmt.Sprintf("driver-%d", d),
+				Zone:       zones[(round+d)%len(zones)],
+				Reputation: shares[d],
+			})
+		}
+		assigned, unassigned, err := carshare.Assign(requests, drivers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nround %d (block #%d, scheduler %d): %d requests valid on-chain\n",
+			round, sum.Serial, sum.Leader, len(requests))
+		for _, a := range assigned {
+			fmt.Printf("  %s: %s -> %s for %d¢  served by %s\n",
+				a.Request.Rider, a.Request.Origin, a.Request.Destination, a.Request.FareCents, a.Driver)
+		}
+		if len(unassigned) > 0 {
+			fmt.Printf("  %d request(s) wait for the next round\n", len(unassigned))
+		}
+	}
+
+	// The dishonest driver's revenue share should now trail the honest
+	// drivers'.
+	shares, err := chain.RevenueShares()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nfinal driver revenue shares (driver-3 misreports 50% of labels):")
+	for d, s := range shares {
+		fmt.Printf("  driver-%d: %.3f\n", d, s)
+	}
+	if err := chain.VerifyChain(); err != nil {
+		return err
+	}
+	fmt.Println("ledger verified — every assignment is traceable to a signed, committed request")
+	return nil
+}

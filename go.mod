@@ -1,0 +1,3 @@
+module repchain
+
+go 1.22

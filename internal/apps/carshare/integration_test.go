@@ -1,0 +1,71 @@
+package carshare_test
+
+import (
+	"testing"
+
+	"repchain"
+	"repchain/internal/apps/carshare"
+)
+
+// TestCarshareOnChain drives the §5.1 scenario through the full
+// protocol: ride requests as transactions, driver labeling via the
+// rules validator, scheduler assignment from committed blocks.
+func TestCarshareOnChain(t *testing.T) {
+	rules := carshare.DefaultRules()
+	chain, err := repchain.New(
+		repchain.WithTopology(4, 4, 2),
+		repchain.WithGovernors(2),
+		repchain.WithValidator(rules.Validator()),
+		repchain.WithSeed(21),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := carshare.RideRequest{
+		Rider: "ana", Origin: "center", Destination: "airport",
+		PickupAt: 100, FareCents: 2000,
+	}
+	bogus := carshare.RideRequest{
+		Rider: "bo", Origin: "center", Destination: "center", // same zone
+		PickupAt: 100, FareCents: 2000,
+	}
+	if _, err := chain.Submit(0, carshare.Kind, good.Encode(), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Submit(1, carshare.Kind, bogus.Encode(), false); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := chain.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := chain.Block(sum.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var validReqs []carshare.RideRequest
+	for _, r := range records {
+		if !r.Valid {
+			continue
+		}
+		req, err := carshare.Decode(r.Payload)
+		if err != nil {
+			t.Fatalf("committed payload undecodable: %v", err)
+		}
+		validReqs = append(validReqs, req)
+	}
+	if len(validReqs) != 1 || validReqs[0].Rider != "ana" {
+		t.Fatalf("valid requests = %+v, want only ana's", validReqs)
+	}
+	// Scheduler assignment from on-chain data.
+	assigned, _, err := carshare.Assign(validReqs, []carshare.Driver{
+		{Name: "d0", Zone: "center", Reputation: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assigned) != 1 || assigned[0].Driver != "d0" {
+		t.Fatalf("assignment = %+v", assigned)
+	}
+}

@@ -1,0 +1,89 @@
+package insurance_test
+
+import (
+	"testing"
+
+	"repchain"
+	"repchain/internal/apps/insurance"
+)
+
+// TestInsuranceOnChain drives the §5.2 scenario through the full
+// protocol with a colluding agent: eligible applications commit valid,
+// ineligible ones don't, and the colluder's revenue share collapses.
+func TestInsuranceOnChain(t *testing.T) {
+	policy := insurance.DefaultPolicy()
+	chain, err := repchain.New(
+		repchain.WithTopology(4, 4, 4),
+		repchain.WithGovernors(2),
+		repchain.WithValidator(policy.Validator()),
+		repchain.WithCollectorBehaviors(
+			repchain.CollectorBehavior{Misreport: 1}, // colluding agent
+			repchain.CollectorBehavior{},
+			repchain.CollectorBehavior{},
+			repchain.CollectorBehavior{},
+		),
+		repchain.WithSeed(22),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eligible := insurance.Application{
+		Applicant: "ok", Age: 30, AnnualIncomeCents: 5_000_000, CoverageCents: 50_000_000,
+	}
+	tooOld := insurance.Application{
+		Applicant: "old", Age: 90, AnnualIncomeCents: 5_000_000, CoverageCents: 50_000_000,
+	}
+	for round := 0; round < 5; round++ {
+		if _, err := chain.Submit(0, insurance.Kind, eligible.Encode(), true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := chain.Submit(1, insurance.Kind, tooOld.Encode(), false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := chain.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain argues.
+	for i := 0; i < 4; i++ {
+		if _, err := chain.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every committed valid record must actually be eligible — the
+	// colluding agent's +1 labels on ineligible applications never
+	// survive screening.
+	for s := uint64(1); s <= chain.Height(); s++ {
+		records, err := chain.Block(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range records {
+			if !r.Valid {
+				continue
+			}
+			app, err := insurance.Decode(r.Payload)
+			if err != nil {
+				t.Fatalf("block %d: undecodable committed application: %v", s, err)
+			}
+			if !policy.Eligible(app) {
+				t.Fatalf("block %d: ineligible application %q committed valid", s, app.Applicant)
+			}
+		}
+	}
+	// The eligible applicant's transactions all settled.
+	if pending := chain.PendingValid(0); pending != 0 {
+		t.Fatalf("%d eligible applications unsettled", pending)
+	}
+	shares, err := chain.RevenueShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 1; a < 4; a++ {
+		if shares[0] >= shares[a] {
+			t.Fatalf("colluding agent share %.4f ≥ honest agent %d share %.4f", shares[0], a, shares[a])
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package baseline provides alternative transaction-screening policies
+// used as comparison points for the paper's reputation mechanism
+// (experiment E5 in DESIGN.md). The poster compares only against the
+// implicit baseline of "governors check all transactions"; we add a
+// no-reputation uniform sampler and an unweighted majority vote so the
+// benefit of the multiplicative weights is isolated.
+//
+// All policies implement the same Screen/feedback interface as the
+// paper's mechanism, so the simulation harness can drive them on
+// identical workloads.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repchain/internal/reputation"
+	"repchain/internal/tx"
+)
+
+// ErrNoReports reports a screening call with no reporting collectors.
+var ErrNoReports = errors.New("baseline: no reports for transaction")
+
+// Decision mirrors reputation.Decision for the common policy
+// interface.
+type Decision struct {
+	// Collector is the drawn reporter's index (-1 when the policy has
+	// no notion of a drawn reporter).
+	Collector int
+	// Label is the label the policy adopts when not checking.
+	Label tx.Label
+	// Check reports whether the governor must validate.
+	Check bool
+}
+
+// Policy is a screening strategy a governor could run.
+type Policy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Screen decides whether to verify a transaction from provider k
+	// given the uploaded reports.
+	Screen(rng *rand.Rand, k int, reports []reputation.Report) (Decision, error)
+	// RecordChecked feeds back the ground truth of a verified
+	// transaction.
+	RecordChecked(k int, reports []reputation.Report, status tx.Status) error
+	// RecordRevealed feeds back the later-revealed truth of an
+	// unchecked transaction.
+	RecordRevealed(k int, reports []reputation.Report, status tx.Status) error
+}
+
+// RWM wraps the paper's reputation mechanism in the Policy interface.
+type RWM struct {
+	table *reputation.Table
+}
+
+var _ Policy = (*RWM)(nil)
+
+// NewRWM builds the paper's policy over an existing table.
+func NewRWM(table *reputation.Table) *RWM { return &RWM{table: table} }
+
+// Table exposes the wrapped reputation table.
+func (p *RWM) Table() *reputation.Table { return p.table }
+
+// Name implements Policy.
+func (p *RWM) Name() string { return "reputation-rwm" }
+
+// Screen implements Policy.
+func (p *RWM) Screen(rng *rand.Rand, k int, reports []reputation.Report) (Decision, error) {
+	d, err := p.table.Screen(rng, k, reports)
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{Collector: d.Collector, Label: d.Label, Check: d.Check}, nil
+}
+
+// RecordChecked implements Policy.
+func (p *RWM) RecordChecked(k int, reports []reputation.Report, status tx.Status) error {
+	return p.table.RecordChecked(k, reports, status)
+}
+
+// RecordRevealed implements Policy.
+func (p *RWM) RecordRevealed(k int, reports []reputation.Report, status tx.Status) error {
+	_, err := p.table.RecordRevealed(k, reports, status)
+	return err
+}
+
+// CheckAll verifies every transaction — the f→0 extreme: maximal
+// validation cost, zero unchecked mistakes.
+type CheckAll struct{}
+
+var _ Policy = CheckAll{}
+
+// Name implements Policy.
+func (CheckAll) Name() string { return "check-all" }
+
+// Screen implements Policy.
+func (CheckAll) Screen(_ *rand.Rand, _ int, reports []reputation.Report) (Decision, error) {
+	if len(reports) == 0 {
+		return Decision{}, ErrNoReports
+	}
+	return Decision{Collector: reports[0].Collector, Label: reports[0].Label, Check: true}, nil
+}
+
+// RecordChecked implements Policy.
+func (CheckAll) RecordChecked(int, []reputation.Report, tx.Status) error { return nil }
+
+// RecordRevealed implements Policy.
+func (CheckAll) RecordRevealed(int, []reputation.Report, tx.Status) error { return nil }
+
+// Uniform draws a reporter uniformly (no reputation) and applies the
+// same f-coin as the paper's Algorithm 2 with Pr = 1/x. It isolates
+// the contribution of the learned weights.
+type Uniform struct {
+	// F is the efficiency parameter, as in the paper.
+	F float64
+}
+
+var _ Policy = Uniform{}
+
+// Name implements Policy.
+func (Uniform) Name() string { return "uniform-random" }
+
+// Screen implements Policy.
+func (u Uniform) Screen(rng *rand.Rand, _ int, reports []reputation.Report) (Decision, error) {
+	if len(reports) == 0 {
+		return Decision{}, ErrNoReports
+	}
+	pick := reports[rng.Intn(len(reports))]
+	d := Decision{Collector: pick.Collector, Label: pick.Label}
+	if pick.Label == tx.LabelValid {
+		d.Check = true
+		return d, nil
+	}
+	prob := 1.0 / float64(len(reports))
+	d.Check = rng.Float64() < 1-u.F*prob
+	return d, nil
+}
+
+// RecordChecked implements Policy.
+func (Uniform) RecordChecked(int, []reputation.Report, tx.Status) error { return nil }
+
+// RecordRevealed implements Policy.
+func (Uniform) RecordRevealed(int, []reputation.Report, tx.Status) error { return nil }
+
+// Majority adopts the unweighted majority label. A majority-valid
+// transaction is verified (as in Algorithm 2); a majority-invalid one
+// is verified with probability 1−F.
+type Majority struct {
+	// F is the efficiency parameter.
+	F float64
+}
+
+var _ Policy = Majority{}
+
+// Name implements Policy.
+func (Majority) Name() string { return "majority-vote" }
+
+// Screen implements Policy.
+func (m Majority) Screen(rng *rand.Rand, _ int, reports []reputation.Report) (Decision, error) {
+	if len(reports) == 0 {
+		return Decision{}, ErrNoReports
+	}
+	votes := 0
+	for _, r := range reports {
+		if r.Label == tx.LabelValid {
+			votes++
+		} else {
+			votes--
+		}
+	}
+	label := tx.LabelInvalid
+	if votes > 0 {
+		label = tx.LabelValid
+	}
+	d := Decision{Collector: -1, Label: label}
+	if label == tx.LabelValid {
+		d.Check = true
+		return d, nil
+	}
+	d.Check = rng.Float64() < 1-m.F
+	return d, nil
+}
+
+// RecordChecked implements Policy.
+func (Majority) RecordChecked(int, []reputation.Report, tx.Status) error { return nil }
+
+// RecordRevealed implements Policy.
+func (Majority) RecordRevealed(int, []reputation.Report, tx.Status) error { return nil }
+
+// ForName builds a policy by name; table is required for
+// "reputation-rwm" and f for the stochastic baselines.
+func ForName(name string, table *reputation.Table, f float64) (Policy, error) {
+	switch name {
+	case "reputation-rwm":
+		if table == nil {
+			return nil, fmt.Errorf("baseline: policy %q needs a reputation table", name)
+		}
+		return NewRWM(table), nil
+	case "check-all":
+		return CheckAll{}, nil
+	case "uniform-random":
+		return Uniform{F: f}, nil
+	case "majority-vote":
+		return Majority{F: f}, nil
+	default:
+		return nil, fmt.Errorf("baseline: unknown policy %q", name)
+	}
+}

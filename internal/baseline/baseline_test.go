@@ -1,0 +1,192 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repchain/internal/identity"
+	"repchain/internal/reputation"
+	"repchain/internal/tx"
+)
+
+func makeReports(labels ...tx.Label) []reputation.Report {
+	out := make([]reputation.Report, len(labels))
+	for i, l := range labels {
+		out[i] = reputation.Report{Collector: i, Label: l}
+	}
+	return out
+}
+
+func newTable(t *testing.T, r int) *reputation.Table {
+	t.Helper()
+	topo, err := identity.NewRegularTopology(identity.TopologySpec{
+		Providers: 1, Collectors: r, Degree: r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := reputation.NewTable(topo, reputation.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestCheckAllAlwaysChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	reports := makeReports(tx.LabelInvalid, tx.LabelInvalid)
+	for i := 0; i < 50; i++ {
+		d, err := (CheckAll{}).Screen(rng, 0, reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Check {
+			t.Fatal("CheckAll skipped a verification")
+		}
+	}
+	if _, err := (CheckAll{}).Screen(rng, 0, nil); !errors.Is(err, ErrNoReports) {
+		t.Fatalf("error = %v, want ErrNoReports", err)
+	}
+}
+
+func TestUniformCheckRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	u := Uniform{F: 0.8}
+	reports := makeReports(tx.LabelInvalid, tx.LabelInvalid, tx.LabelInvalid, tx.LabelInvalid)
+	const trials = 40000
+	unchecked := 0
+	for i := 0; i < trials; i++ {
+		d, err := u.Screen(rng, 0, reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Check {
+			unchecked++
+		}
+	}
+	// All -1 labels, uniform pick: unchecked prob = f/x = 0.2.
+	got := float64(unchecked) / trials
+	if math.Abs(got-0.2) > 0.015 {
+		t.Fatalf("unchecked rate = %.4f, want ≈ 0.2", got)
+	}
+}
+
+func TestUniformAlwaysChecksValidDraws(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := Uniform{F: 0.99}
+	reports := makeReports(tx.LabelValid)
+	for i := 0; i < 100; i++ {
+		d, err := u.Screen(rng, 0, reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Check {
+			t.Fatal("+1 draw must always check")
+		}
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := Majority{F: 0.5}
+	d, err := m.Screen(rng, 0, makeReports(tx.LabelValid, tx.LabelValid, tx.LabelInvalid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Label != tx.LabelValid || !d.Check {
+		t.Fatalf("majority-valid decision = %+v", d)
+	}
+	// Ties break to invalid.
+	d, err = m.Screen(rng, 0, makeReports(tx.LabelValid, tx.LabelInvalid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Label != tx.LabelInvalid {
+		t.Fatalf("tie decision = %+v, want invalid", d)
+	}
+}
+
+func TestMajorityUncheckedRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := Majority{F: 0.6}
+	reports := makeReports(tx.LabelInvalid, tx.LabelInvalid, tx.LabelInvalid)
+	const trials = 40000
+	unchecked := 0
+	for i := 0; i < trials; i++ {
+		d, err := m.Screen(rng, 0, reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Check {
+			unchecked++
+		}
+	}
+	got := float64(unchecked) / trials
+	if math.Abs(got-0.6) > 0.015 {
+		t.Fatalf("unchecked rate = %.4f, want ≈ 0.6", got)
+	}
+}
+
+func TestRWMWrapsTable(t *testing.T) {
+	tab := newTable(t, 3)
+	p := NewRWM(tab)
+	if p.Name() != "reputation-rwm" {
+		t.Fatal("name")
+	}
+	rng := rand.New(rand.NewSource(6))
+	reports := makeReports(tx.LabelValid, tx.LabelInvalid, tx.LabelValid)
+	d, err := p.Screen(rng, 0, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Collector < 0 || d.Collector > 2 {
+		t.Fatalf("collector = %d", d.Collector)
+	}
+	if err := p.RecordChecked(0, reports, tx.StatusValid); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RecordRevealed(0, reports, tx.StatusValid); err != nil {
+		t.Fatal(err)
+	}
+	// The reveal must have cut the wrong reporter's weight.
+	w, err := tab.Weight(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w >= 1 {
+		t.Fatalf("wrong reporter weight %v not reduced", w)
+	}
+}
+
+func TestForName(t *testing.T) {
+	tab := newTable(t, 2)
+	for _, name := range []string{"reputation-rwm", "check-all", "uniform-random", "majority-vote"} {
+		p, err := ForName(name, tab, 0.5)
+		if err != nil {
+			t.Fatalf("ForName(%q) error = %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ForName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ForName("nope", nil, 0.5); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, err := ForName("reputation-rwm", nil, 0.5); err == nil {
+		t.Fatal("rwm without table accepted")
+	}
+}
+
+func TestFeedbacksAreNoOpsForStatelessPolicies(t *testing.T) {
+	reports := makeReports(tx.LabelValid)
+	for _, p := range []Policy{CheckAll{}, Uniform{F: 0.5}, Majority{F: 0.5}} {
+		if err := p.RecordChecked(0, reports, tx.StatusValid); err != nil {
+			t.Fatalf("%s RecordChecked error = %v", p.Name(), err)
+		}
+		if err := p.RecordRevealed(0, reports, tx.StatusInvalid); err != nil {
+			t.Fatalf("%s RecordRevealed error = %v", p.Name(), err)
+		}
+	}
+}

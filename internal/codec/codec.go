@@ -1,0 +1,260 @@
+// Package codec implements a deterministic binary encoding used for
+// hashing and signing protocol messages.
+//
+// Determinism matters: two nodes must derive the identical byte string
+// for the same logical value, or signatures and block hashes diverge.
+// Go's encoding/json does not guarantee map ordering and encoding/gob
+// embeds type metadata that can vary with registration order, so the
+// protocol encodes every signed or hashed structure through this
+// package instead.
+//
+// The format is a simple length-prefixed concatenation:
+//
+//   - unsigned integers: unsigned varint (base-128, little-endian groups)
+//   - signed integers: zig-zag mapped, then varint
+//   - byte slices and strings: varint length followed by raw bytes
+//   - booleans: a single 0x00 or 0x01 byte
+//   - float64: IEEE-754 bits as a fixed 8-byte big-endian word
+//
+// Encoders never fail; decoders validate lengths and report
+// ErrCorrupt or ErrTruncated on malformed input.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sentinel decoding errors. Callers match these with errors.Is.
+var (
+	// ErrTruncated reports that the buffer ended before the value did.
+	ErrTruncated = errors.New("codec: truncated input")
+	// ErrCorrupt reports a structurally invalid encoding, for example a
+	// varint longer than ten bytes or a length prefix exceeding the
+	// remaining input.
+	ErrCorrupt = errors.New("codec: corrupt input")
+	// ErrTooLarge reports a length prefix above MaxLen.
+	ErrTooLarge = errors.New("codec: length exceeds limit")
+)
+
+// MaxLen bounds any single length-prefixed field. It protects decoders
+// from hostile length prefixes that would otherwise drive huge
+// allocations.
+const MaxLen = 1 << 26 // 64 MiB
+
+// Encoder accumulates a deterministic byte encoding. The zero value is
+// ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with capacity preallocated for sizeHint
+// bytes.
+func NewEncoder(sizeHint int) *Encoder {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded buffer. The returned slice aliases the
+// encoder's internal storage; callers that keep it past the next Put
+// call must copy it.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len reports the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the accumulated encoding but keeps the allocation.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutUvarint appends an unsigned varint.
+func (e *Encoder) PutUvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// PutVarint appends a zig-zag signed varint.
+func (e *Encoder) PutVarint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// PutUint64 appends v as an unsigned varint. Convenience alias used by
+// message encoders for readability.
+func (e *Encoder) PutUint64(v uint64) { e.PutUvarint(v) }
+
+// PutInt appends v as a signed varint.
+func (e *Encoder) PutInt(v int) { e.PutVarint(int64(v)) }
+
+// PutBool appends a single boolean byte.
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// PutFloat64 appends the IEEE-754 bit pattern of v as 8 big-endian
+// bytes. NaNs are canonicalized so equal logical values encode equally.
+func (e *Encoder) PutFloat64(v float64) {
+	bits := math.Float64bits(v)
+	if v != v { // canonical NaN
+		bits = 0x7FF8000000000000
+	}
+	e.buf = binary.BigEndian.AppendUint64(e.buf, bits)
+}
+
+// PutBytes appends a varint length prefix followed by b.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutString appends a varint length prefix followed by the bytes of s.
+func (e *Encoder) PutString(s string) {
+	e.PutUvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutRaw appends b with no length prefix. Use only for fixed-width
+// fields whose size both sides know statically.
+func (e *Encoder) PutRaw(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
+// Decoder consumes a deterministic byte encoding produced by Encoder.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder over b. The decoder does not copy b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Remaining reports how many bytes are left to decode.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Done reports whether the input has been fully consumed.
+func (d *Decoder) Done() bool { return d.off >= len(d.buf) }
+
+// Uvarint decodes an unsigned varint.
+func (d *Decoder) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	switch {
+	case n > 0:
+		d.off += n
+		return v, nil
+	case n == 0:
+		return 0, ErrTruncated
+	default:
+		return 0, fmt.Errorf("varint overflow at offset %d: %w", d.off, ErrCorrupt)
+	}
+}
+
+// Varint decodes a zig-zag signed varint.
+func (d *Decoder) Varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	switch {
+	case n > 0:
+		d.off += n
+		return v, nil
+	case n == 0:
+		return 0, ErrTruncated
+	default:
+		return 0, fmt.Errorf("varint overflow at offset %d: %w", d.off, ErrCorrupt)
+	}
+}
+
+// Uint64 decodes an unsigned varint. Convenience alias mirroring
+// Encoder.PutUint64.
+func (d *Decoder) Uint64() (uint64, error) { return d.Uvarint() }
+
+// Int decodes a signed varint into an int.
+func (d *Decoder) Int() (int, error) {
+	v, err := d.Varint()
+	if err != nil {
+		return 0, err
+	}
+	return int(v), nil
+}
+
+// Bool decodes a single boolean byte.
+func (d *Decoder) Bool() (bool, error) {
+	if d.Remaining() < 1 {
+		return false, ErrTruncated
+	}
+	b := d.buf[d.off]
+	d.off++
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("boolean byte %#x: %w", b, ErrCorrupt)
+	}
+}
+
+// Float64 decodes a fixed 8-byte IEEE-754 value.
+func (d *Decoder) Float64() (float64, error) {
+	if d.Remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	bits := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return math.Float64frombits(bits), nil
+}
+
+// Bytes decodes a length-prefixed byte slice. The result is a copy and
+// safe to retain.
+func (d *Decoder) Bytes() ([]byte, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxLen {
+		return nil, fmt.Errorf("length %d: %w", n, ErrTooLarge)
+	}
+	if uint64(d.Remaining()) < n {
+		return nil, ErrTruncated
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += int(n)
+	return out, nil
+}
+
+// String decodes a length-prefixed string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Bytes()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Raw decodes n bytes with no length prefix. The result is a copy.
+func (d *Decoder) Raw(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("negative length %d: %w", n, ErrCorrupt)
+	}
+	if d.Remaining() < n {
+		return nil, ErrTruncated
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += n
+	return out, nil
+}
+
+// Expect verifies that the input is fully consumed, returning ErrCorrupt
+// with the number of trailing bytes otherwise. Message decoders call it
+// last to reject padded or concatenated inputs.
+func (d *Decoder) Expect() error {
+	if rem := d.Remaining(); rem != 0 {
+		return fmt.Errorf("%d trailing bytes: %w", rem, ErrCorrupt)
+	}
+	return nil
+}

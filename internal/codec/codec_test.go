@@ -1,0 +1,311 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		v    uint64
+	}{
+		{"zero", 0},
+		{"one", 1},
+		{"seven bits", 127},
+		{"eight bits", 128},
+		{"large", 1<<40 + 12345},
+		{"max", math.MaxUint64},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := NewEncoder(16)
+			e.PutUvarint(tt.v)
+			d := NewDecoder(e.Bytes())
+			got, err := d.Uvarint()
+			if err != nil {
+				t.Fatalf("Uvarint() error = %v", err)
+			}
+			if got != tt.v {
+				t.Fatalf("Uvarint() = %d, want %d", got, tt.v)
+			}
+			if err := d.Expect(); err != nil {
+				t.Fatalf("Expect() error = %v", err)
+			}
+		})
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		v    int64
+	}{
+		{"zero", 0},
+		{"positive", 42},
+		{"negative", -42},
+		{"min", math.MinInt64},
+		{"max", math.MaxInt64},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := NewEncoder(16)
+			e.PutVarint(tt.v)
+			got, err := NewDecoder(e.Bytes()).Varint()
+			if err != nil {
+				t.Fatalf("Varint() error = %v", err)
+			}
+			if got != tt.v {
+				t.Fatalf("Varint() = %d, want %d", got, tt.v)
+			}
+		})
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		e := NewEncoder(1)
+		e.PutBool(v)
+		got, err := NewDecoder(e.Bytes()).Bool()
+		if err != nil {
+			t.Fatalf("Bool() error = %v", err)
+		}
+		if got != v {
+			t.Fatalf("Bool() = %v, want %v", got, v)
+		}
+	}
+}
+
+func TestBoolRejectsOtherBytes(t *testing.T) {
+	_, err := NewDecoder([]byte{7}).Bool()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Bool() error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		v    float64
+	}{
+		{"zero", 0},
+		{"negzero", math.Copysign(0, -1)},
+		{"pi", math.Pi},
+		{"inf", math.Inf(1)},
+		{"neginf", math.Inf(-1)},
+		{"tiny", math.SmallestNonzeroFloat64},
+		{"huge", math.MaxFloat64},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := NewEncoder(8)
+			e.PutFloat64(tt.v)
+			got, err := NewDecoder(e.Bytes()).Float64()
+			if err != nil {
+				t.Fatalf("Float64() error = %v", err)
+			}
+			if math.Float64bits(got) != math.Float64bits(tt.v) {
+				t.Fatalf("Float64() = %v, want %v", got, tt.v)
+			}
+		})
+	}
+}
+
+func TestFloat64NaNCanonical(t *testing.T) {
+	a, b := NewEncoder(8), NewEncoder(8)
+	a.PutFloat64(math.NaN())
+	b.PutFloat64(math.Float64frombits(0x7FF8000000000001)) // another NaN payload
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("NaN encodings differ; must be canonical")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		v    []byte
+	}{
+		{"empty", []byte{}},
+		{"short", []byte("hello")},
+		{"binary", []byte{0, 1, 2, 0xff, 0xfe}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := NewEncoder(0)
+			e.PutBytes(tt.v)
+			got, err := NewDecoder(e.Bytes()).Bytes()
+			if err != nil {
+				t.Fatalf("Bytes() error = %v", err)
+			}
+			if !bytes.Equal(got, tt.v) {
+				t.Fatalf("Bytes() = %x, want %x", got, tt.v)
+			}
+		})
+	}
+}
+
+func TestBytesIsACopy(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutBytes([]byte("abc"))
+	buf := e.Bytes()
+	got, err := NewDecoder(buf).Bytes()
+	if err != nil {
+		t.Fatalf("Bytes() error = %v", err)
+	}
+	buf[len(buf)-1] = 'z'
+	if string(got) != "abc" {
+		t.Fatalf("decoded slice aliases input: %q", got)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutString("héllo, 世界")
+	got, err := NewDecoder(e.Bytes()).String()
+	if err != nil {
+		t.Fatalf("String() error = %v", err)
+	}
+	if got != "héllo, 世界" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutString("some payload")
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		if _, err := d.String(); err == nil {
+			t.Fatalf("String() on %d-byte prefix succeeded, want error", cut)
+		}
+	}
+}
+
+func TestLengthLimit(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUvarint(MaxLen + 1)
+	_, err := NewDecoder(e.Bytes()).Bytes()
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Bytes() error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestLengthPrefixBeyondInput(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUvarint(1000) // claims 1000 bytes follow; none do
+	_, err := NewDecoder(e.Bytes()).Bytes()
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Bytes() error = %v, want ErrTruncated", err)
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutRaw([]byte{9, 8, 7})
+	got, err := NewDecoder(e.Bytes()).Raw(3)
+	if err != nil {
+		t.Fatalf("Raw() error = %v", err)
+	}
+	if !bytes.Equal(got, []byte{9, 8, 7}) {
+		t.Fatalf("Raw() = %v", got)
+	}
+}
+
+func TestRawNegative(t *testing.T) {
+	_, err := NewDecoder([]byte{1}).Raw(-1)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Raw(-1) error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestExpectTrailing(t *testing.T) {
+	d := NewDecoder([]byte{0, 1, 2})
+	if _, err := d.Bool(); err != nil {
+		t.Fatalf("Bool() error = %v", err)
+	}
+	if err := d.Expect(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Expect() error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutString("first")
+	e.Reset()
+	e.PutString("x")
+	got, err := NewDecoder(e.Bytes()).String()
+	if err != nil || got != "x" {
+		t.Fatalf("after Reset: got %q, %v", got, err)
+	}
+}
+
+// TestQuickMixedRoundTrip drives a property: any sequence of fields
+// encodes and decodes to identical values.
+func TestQuickMixedRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, b bool, fl float64, bs []byte, s string) bool {
+		e := NewEncoder(0)
+		e.PutUvarint(u)
+		e.PutVarint(i)
+		e.PutBool(b)
+		e.PutFloat64(fl)
+		e.PutBytes(bs)
+		e.PutString(s)
+
+		d := NewDecoder(e.Bytes())
+		gu, err := d.Uvarint()
+		if err != nil || gu != u {
+			return false
+		}
+		gi, err := d.Varint()
+		if err != nil || gi != i {
+			return false
+		}
+		gb, err := d.Bool()
+		if err != nil || gb != b {
+			return false
+		}
+		gf, err := d.Float64()
+		if err != nil {
+			return false
+		}
+		if fl == fl && math.Float64bits(gf) != math.Float64bits(fl) {
+			return false
+		}
+		gbs, err := d.Bytes()
+		if err != nil || !bytes.Equal(gbs, bs) {
+			return false
+		}
+		gs, err := d.String()
+		if err != nil || gs != s {
+			return false
+		}
+		return d.Expect() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterminism drives the core property the package exists for:
+// encoding the same values twice yields identical bytes.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(u uint64, s string, bs []byte) bool {
+		enc := func() []byte {
+			e := NewEncoder(0)
+			e.PutUvarint(u)
+			e.PutString(s)
+			e.PutBytes(bs)
+			out := make([]byte, e.Len())
+			copy(out, e.Bytes())
+			return out
+		}
+		return bytes.Equal(enc(), enc())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+package consensus
+
+import (
+	"fmt"
+
+	"repchain/internal/codec"
+	"repchain/internal/crypto"
+)
+
+// Ticket is one VRF evaluation for one stake unit (§3.4.3):
+//
+//	⟨hash_{j,u}, π_{j,u}⟩ ← VRF_{g_j}(r, j, u)
+//
+// The governor owning the stake unit with the globally smallest hash
+// leads the round.
+type Ticket struct {
+	// Governor is j, the evaluating governor's index.
+	Governor int
+	// Unit is u, the stake-unit index, 0 ≤ u < y_j.
+	Unit int
+	// Output is hash_{j,u}.
+	Output crypto.Hash
+	// Proof is π_{j,u}.
+	Proof []byte
+}
+
+// MakeTickets evaluates the VRF for each of governor j's stake units
+// in round `round` on top of prevHash.
+func MakeTickets(key crypto.PrivateKey, prevHash crypto.Hash, round uint64, governor int, units uint64) []Ticket {
+	out := make([]Ticket, 0, units)
+	for u := uint64(0); u < units; u++ {
+		alpha := crypto.VRFAlpha(prevHash, round, governor, int(u))
+		ev := crypto.VRFEval(key, alpha)
+		out = append(out, Ticket{
+			Governor: governor,
+			Unit:     int(u),
+			Output:   ev.Output,
+			Proof:    ev.Proof,
+		})
+	}
+	return out
+}
+
+// VerifyTicket checks a ticket's VRF proof against the governor's
+// public key and the round context.
+func VerifyTicket(pub crypto.PublicKey, prevHash crypto.Hash, round uint64, t Ticket) error {
+	if t.Unit < 0 {
+		return fmt.Errorf("ticket unit %d: %w", t.Unit, ErrBadTicket)
+	}
+	alpha := crypto.VRFAlpha(prevHash, round, t.Governor, t.Unit)
+	err := crypto.VRFVerify(pub, alpha, crypto.VRFOutput{Output: t.Output, Proof: t.Proof})
+	if err != nil {
+		return fmt.Errorf("ticket g%d/u%d: %w", t.Governor, t.Unit, ErrBadTicket)
+	}
+	return nil
+}
+
+// Encode appends the wire encoding of t to e.
+func (t Ticket) Encode(e *codec.Encoder) {
+	e.PutInt(t.Governor)
+	e.PutInt(t.Unit)
+	e.PutRaw(t.Output[:])
+	e.PutBytes(t.Proof)
+}
+
+// DecodeTicket reads one Ticket from d.
+func DecodeTicket(d *codec.Decoder) (Ticket, error) {
+	var t Ticket
+	var err error
+	if t.Governor, err = d.Int(); err != nil {
+		return t, fmt.Errorf("ticket governor: %w", err)
+	}
+	if t.Unit, err = d.Int(); err != nil {
+		return t, fmt.Errorf("ticket unit: %w", err)
+	}
+	raw, err := d.Raw(crypto.HashSize)
+	if err != nil {
+		return t, fmt.Errorf("ticket output: %w", err)
+	}
+	if t.Output, err = crypto.HashFromBytes(raw); err != nil {
+		return t, err
+	}
+	if t.Proof, err = d.Bytes(); err != nil {
+		return t, fmt.Errorf("ticket proof: %w", err)
+	}
+	return t, nil
+}
+
+// EncodeTickets encodes a ticket batch as one payload.
+func EncodeTickets(ts []Ticket) []byte {
+	e := codec.NewEncoder(96 * (len(ts) + 1))
+	e.PutInt(len(ts))
+	for _, t := range ts {
+		t.Encode(e)
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// DecodeTickets decodes a ticket batch, requiring full consumption.
+func DecodeTickets(b []byte) ([]Ticket, error) {
+	d := codec.NewDecoder(b)
+	n, err := d.Int()
+	if err != nil {
+		return nil, fmt.Errorf("ticket count: %w", err)
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("ticket count %d: %w", n, ErrDecode)
+	}
+	out := make([]Ticket, 0, n)
+	for i := 0; i < n; i++ {
+		t, err := DecodeTicket(d)
+		if err != nil {
+			return nil, fmt.Errorf("ticket %d: %w", i, err)
+		}
+		out = append(out, t)
+	}
+	if err := d.Expect(); err != nil {
+		return nil, fmt.Errorf("tickets: %w", err)
+	}
+	return out, nil
+}
+
+// Election collects ticket submissions for one round and determines
+// the leader once every governor has reported. "When a governor
+// receives all the hash value from other governors, he first validates
+// the proof... the owner of the stake unit with the least hash value
+// becomes the leading governor of this round."
+type Election struct {
+	round    uint64
+	prevHash crypto.Hash
+	pubs     []crypto.PublicKey
+	stakes   []uint64
+
+	submitted []bool
+	remaining int
+	best      Ticket
+	haveBest  bool
+}
+
+// NewElection starts an election for the given round over the given
+// governor keys and stake snapshot.
+func NewElection(round uint64, prevHash crypto.Hash, pubs []crypto.PublicKey, stakes []uint64) (*Election, error) {
+	if len(pubs) != len(stakes) {
+		return nil, fmt.Errorf("%d keys for %d stakes: %w", len(pubs), len(stakes), ErrBadStake)
+	}
+	if len(pubs) == 0 {
+		return nil, fmt.Errorf("no governors: %w", ErrBadStake)
+	}
+	return &Election{
+		round:     round,
+		prevHash:  prevHash,
+		pubs:      pubs,
+		stakes:    stakes,
+		submitted: make([]bool, len(pubs)),
+		remaining: len(pubs),
+	}, nil
+}
+
+// Submit records governor j's ticket batch, verifying every proof and
+// that exactly one ticket per stake unit was produced. A governor with
+// zero stake submits an empty batch.
+func (e *Election) Submit(j int, tickets []Ticket) error {
+	if j < 0 || j >= len(e.pubs) {
+		return fmt.Errorf("governor %d: %w", j, ErrBadTicket)
+	}
+	if e.submitted[j] {
+		return fmt.Errorf("governor %d double submission: %w", j, ErrBadTicket)
+	}
+	if uint64(len(tickets)) != e.stakes[j] {
+		return fmt.Errorf("governor %d submitted %d tickets for %d stake units: %w",
+			j, len(tickets), e.stakes[j], ErrBadTicket)
+	}
+	seen := make(map[int]bool, len(tickets))
+	for _, t := range tickets {
+		if t.Governor != j {
+			return fmt.Errorf("governor %d submitted ticket of governor %d: %w", j, t.Governor, ErrBadTicket)
+		}
+		if uint64(t.Unit) >= e.stakes[j] {
+			return fmt.Errorf("governor %d ticket unit %d of %d: %w", j, t.Unit, e.stakes[j], ErrBadTicket)
+		}
+		if seen[t.Unit] {
+			return fmt.Errorf("governor %d duplicate ticket for unit %d: %w", j, t.Unit, ErrBadTicket)
+		}
+		seen[t.Unit] = true
+		if err := VerifyTicket(e.pubs[j], e.prevHash, e.round, t); err != nil {
+			return err
+		}
+		if !e.haveBest || t.Output.Less(e.best.Output) {
+			e.best = t
+			e.haveBest = true
+		}
+	}
+	e.submitted[j] = true
+	e.remaining--
+	return nil
+}
+
+// Complete reports whether every governor has submitted.
+func (e *Election) Complete() bool { return e.remaining == 0 }
+
+// Leader returns the winning governor and ticket once the election is
+// complete.
+func (e *Election) Leader() (int, Ticket, error) {
+	if !e.Complete() {
+		return 0, Ticket{}, fmt.Errorf("%d governors outstanding: %w", e.remaining, ErrIncompleteElection)
+	}
+	if !e.haveBest {
+		return 0, Ticket{}, ErrNoStake
+	}
+	return e.best.Governor, e.best, nil
+}

@@ -1,0 +1,63 @@
+package consensus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repchain/internal/codec"
+)
+
+// TestQuickDecodersNeverPanic feeds random bytes to every consensus
+// decoder.
+func TestQuickDecodersNeverPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		if _, err := DecodeTickets(b); err == nil {
+			// fine: random bytes happened to parse
+			_ = err
+		}
+		d := codec.NewDecoder(b)
+		if _, err := DecodeStakeTx(d); err == nil {
+			_ = err
+		}
+		d2 := codec.NewDecoder(b)
+		if _, err := DecodeTicket(d2); err == nil {
+			_ = err
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTamperedTicketRejected flips a byte of an encoded ticket
+// batch: decoding may succeed, but verification against the signer
+// must fail for any mutated ticket.
+func TestQuickTamperedTicketRejected(t *testing.T) {
+	pub, priv := testKey(t, 60)
+	prev := HashState([]uint64{1, 2})
+	tickets := MakeTickets(priv, prev, 5, 0, 2)
+	enc := EncodeTickets(tickets)
+	f := func(pos uint16, bit uint8) bool {
+		mut := make([]byte, len(enc))
+		copy(mut, enc)
+		mut[int(pos)%len(mut)] ^= 1 << (bit % 8)
+		got, err := DecodeTickets(mut)
+		if err != nil {
+			return true
+		}
+		for i, tk := range got {
+			if err := VerifyTicket(pub, prev, 5, tk); err != nil {
+				return true // mutation detected
+			}
+			// Unchanged ticket content is fine.
+			if tk.Output != tickets[i].Output || tk.Unit != tickets[i].Unit || tk.Governor != tickets[i].Governor {
+				return false // verified despite mutation: forgery!
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package consensus implements the paper's §3.4.3 consensus layer:
+// Proof-of-Stake leader election through per-stake-unit VRF
+// evaluations, and the 3-step stake-transform protocol with leader
+// expulsion.
+//
+// The package is transport-agnostic: it provides verifiable message
+// types and state machines; the node layer moves them over the
+// network. The paper's trust model applies — "we may assume that these
+// governors will not perform malicious behaviors rather than hiding
+// transactions" — but every signature and proof is still verified so
+// that deviations are detected and expellable.
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repchain/internal/codec"
+	"repchain/internal/crypto"
+)
+
+// Sentinel errors. Callers match with errors.Is.
+var (
+	// ErrBadStake reports a stake operation with invalid indices or
+	// amounts.
+	ErrBadStake = errors.New("consensus: invalid stake operation")
+	// ErrInsufficientStake reports a transfer exceeding the sender's
+	// balance.
+	ErrInsufficientStake = errors.New("consensus: insufficient stake")
+	// ErrBadTicket reports a leader-election ticket that fails
+	// verification.
+	ErrBadTicket = errors.New("consensus: invalid election ticket")
+	// ErrIncompleteElection reports a leader query before every
+	// governor has submitted tickets.
+	ErrIncompleteElection = errors.New("consensus: election incomplete")
+	// ErrNoStake reports an election in which no stake units exist.
+	ErrNoStake = errors.New("consensus: no stake in play")
+	// ErrBadSignature reports a message signature that fails.
+	ErrBadSignature = errors.New("consensus: bad signature")
+	// ErrStateMismatch reports a NEW_STATE inconsistent with the
+	// verifier's own application of the stake transfers.
+	ErrStateMismatch = errors.New("consensus: stake state mismatch")
+	// ErrDecode reports a malformed encoding.
+	ErrDecode = errors.New("consensus: decode failed")
+)
+
+// StakeLedger tracks each governor's stake units. In practice "the
+// stake can be money or any reliable form of asset" (§3.4.3); here it
+// is integer units. Safe for concurrent use.
+type StakeLedger struct {
+	mu     sync.RWMutex
+	stakes []uint64
+}
+
+// NewStakeLedger creates a ledger with the given initial stakes,
+// indexed by governor.
+func NewStakeLedger(stakes []uint64) *StakeLedger {
+	s := make([]uint64, len(stakes))
+	copy(s, stakes)
+	return &StakeLedger{stakes: s}
+}
+
+// Governors returns m, the number of governors.
+func (l *StakeLedger) Governors() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.stakes)
+}
+
+// Of returns governor j's stake.
+func (l *StakeLedger) Of(j int) (uint64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if j < 0 || j >= len(l.stakes) {
+		return 0, fmt.Errorf("governor %d of %d: %w", j, len(l.stakes), ErrBadStake)
+	}
+	return l.stakes[j], nil
+}
+
+// Total returns the total stake in play.
+func (l *StakeLedger) Total() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var t uint64
+	for _, s := range l.stakes {
+		t += s
+	}
+	return t
+}
+
+// Snapshot returns a copy of the stake vector.
+func (l *StakeLedger) Snapshot() []uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]uint64, len(l.stakes))
+	copy(out, l.stakes)
+	return out
+}
+
+// Transfer moves amount units from governor `from` to governor `to`.
+func (l *StakeLedger) Transfer(from, to int, amount uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 || from >= len(l.stakes) || to < 0 || to >= len(l.stakes) {
+		return fmt.Errorf("transfer %d→%d: %w", from, to, ErrBadStake)
+	}
+	if from == to {
+		return fmt.Errorf("self transfer by %d: %w", from, ErrBadStake)
+	}
+	if amount == 0 {
+		return fmt.Errorf("zero transfer: %w", ErrBadStake)
+	}
+	if l.stakes[from] < amount {
+		return fmt.Errorf("governor %d has %d, needs %d: %w", from, l.stakes[from], amount, ErrInsufficientStake)
+	}
+	l.stakes[from] -= amount
+	l.stakes[to] += amount
+	return nil
+}
+
+// Apply replaces the stake vector (used when adopting a committed
+// NEW_STATE).
+func (l *StakeLedger) Apply(state []uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(state) != len(l.stakes) {
+		return fmt.Errorf("state for %d governors, have %d: %w", len(state), len(l.stakes), ErrBadStake)
+	}
+	copy(l.stakes, state)
+	return nil
+}
+
+// Hash returns a commitment to the stake vector.
+func (l *StakeLedger) Hash() crypto.Hash {
+	snap := l.Snapshot()
+	return HashState(snap)
+}
+
+// HashState returns the canonical commitment to a stake vector.
+func HashState(state []uint64) crypto.Hash {
+	e := codec.NewEncoder(8 * (len(state) + 1))
+	e.PutString("repchain/stakestate/v1")
+	e.PutInt(len(state))
+	for _, s := range state {
+		e.PutUint64(s)
+	}
+	return crypto.Sum(e.Bytes())
+}
+
+// StakeTx is a signed stake transfer between governors. Governors
+// related to the transfer broadcast it to all governors (§3.4.3).
+type StakeTx struct {
+	// From is the paying governor's index.
+	From int
+	// To is the receiving governor's index.
+	To int
+	// Amount is the number of stake units moved.
+	Amount uint64
+	// Nonce orders multiple transfers from one governor in one round.
+	Nonce uint64
+	// Sig is From's signature.
+	Sig []byte
+}
+
+func (t StakeTx) signingBytes() []byte {
+	e := codec.NewEncoder(64)
+	e.PutString("repchain/staketx/v1")
+	e.PutInt(t.From)
+	e.PutInt(t.To)
+	e.PutUint64(t.Amount)
+	e.PutUint64(t.Nonce)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// SignStakeTx signs a stake transfer with the paying governor's key.
+func SignStakeTx(from, to int, amount, nonce uint64, key crypto.PrivateKey) StakeTx {
+	t := StakeTx{From: from, To: to, Amount: amount, Nonce: nonce}
+	t.Sig = key.Sign(t.signingBytes())
+	return t
+}
+
+// Verify checks the transfer's signature against the paying
+// governor's public key.
+func (t StakeTx) Verify(pub crypto.PublicKey) error {
+	if err := pub.Verify(t.signingBytes(), t.Sig); err != nil {
+		return fmt.Errorf("stake tx %d→%d: %w", t.From, t.To, ErrBadSignature)
+	}
+	return nil
+}
+
+// Encode appends the wire encoding of t to e.
+func (t StakeTx) Encode(e *codec.Encoder) {
+	e.PutInt(t.From)
+	e.PutInt(t.To)
+	e.PutUint64(t.Amount)
+	e.PutUint64(t.Nonce)
+	e.PutBytes(t.Sig)
+}
+
+// DecodeStakeTx reads one StakeTx from d.
+func DecodeStakeTx(d *codec.Decoder) (StakeTx, error) {
+	var t StakeTx
+	var err error
+	if t.From, err = d.Int(); err != nil {
+		return t, fmt.Errorf("stake tx from: %w", err)
+	}
+	if t.To, err = d.Int(); err != nil {
+		return t, fmt.Errorf("stake tx to: %w", err)
+	}
+	if t.Amount, err = d.Uint64(); err != nil {
+		return t, fmt.Errorf("stake tx amount: %w", err)
+	}
+	if t.Nonce, err = d.Uint64(); err != nil {
+		return t, fmt.Errorf("stake tx nonce: %w", err)
+	}
+	if t.Sig, err = d.Bytes(); err != nil {
+		return t, fmt.Errorf("stake tx sig: %w", err)
+	}
+	return t, nil
+}
+
+// ApplyTransfers applies the given transfers in order to a copy of
+// base and returns the resulting NEW_STATE. It fails on the first
+// invalid transfer.
+func ApplyTransfers(base []uint64, txs []StakeTx) ([]uint64, error) {
+	state := make([]uint64, len(base))
+	copy(state, base)
+	for i, t := range txs {
+		if t.From < 0 || t.From >= len(state) || t.To < 0 || t.To >= len(state) || t.From == t.To || t.Amount == 0 {
+			return nil, fmt.Errorf("transfer %d (%d→%d): %w", i, t.From, t.To, ErrBadStake)
+		}
+		if state[t.From] < t.Amount {
+			return nil, fmt.Errorf("transfer %d: governor %d has %d, needs %d: %w",
+				i, t.From, state[t.From], t.Amount, ErrInsufficientStake)
+		}
+		state[t.From] -= t.Amount
+		state[t.To] += t.Amount
+	}
+	return state, nil
+}

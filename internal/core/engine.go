@@ -1,0 +1,593 @@
+// Package core wires the paper's full protocol together: the identity
+// manager, the synchronous bus, provider/collector/governor nodes, the
+// reputation mechanism, PoS/VRF leader election, block production, and
+// the stake-transform sub-protocol. One Engine is one alliance chain.
+//
+// A round follows §3.1's three phases:
+//
+//	Collecting  — providers broadcast signed transactions to their
+//	              linked collectors (callers invoke SubmitTx before
+//	              RunRound);
+//	Uploading   — collectors label and upload to all governors;
+//	Processing  — governors screen with the reputation mechanism,
+//	              elect a leader by per-stake-unit VRF, and the leader
+//	              proposes the block every replica appends. Providers
+//	              observe the block and argue mislabeled transactions,
+//	              which resolve in the next round.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repchain/internal/consensus"
+	"repchain/internal/crypto"
+	"repchain/internal/identity"
+	"repchain/internal/ledger"
+	"repchain/internal/network"
+	"repchain/internal/node"
+	"repchain/internal/reputation"
+	"repchain/internal/tx"
+)
+
+// Sentinel errors. Callers match with errors.Is.
+var (
+	// ErrBadConfig reports an invalid engine configuration.
+	ErrBadConfig = errors.New("core: invalid configuration")
+	// ErrDisagreement reports replicas disagreeing on a round's
+	// outcome — a violated Agreement property.
+	ErrDisagreement = errors.New("core: replica disagreement")
+	// ErrExpelled reports that the round's leader was expelled for a
+	// provably bad stake proposal.
+	ErrExpelled = errors.New("core: leader expelled")
+)
+
+// Config assembles an alliance chain.
+type Config struct {
+	// Spec is the provider–collector topology. When Links is set,
+	// only Spec.Providers and Spec.Collectors are used.
+	Spec identity.TopologySpec
+	// Links, when non-nil, overrides the regular topology with
+	// explicit adjacency lists (provider index → collector indices) —
+	// the paper's "the model can be easily extended to general
+	// cases" (§3.1).
+	Links [][]int
+	// Governors is m, the number of governors.
+	Governors int
+	// Stakes are the initial stake units per governor; nil defaults
+	// to one unit each.
+	Stakes []uint64
+	// Params tunes the reputation mechanism.
+	Params reputation.Params
+	// BlockLimit is b_limit; zero means unlimited.
+	BlockLimit int
+	// ArgueWindow is U, the argue latency bound in unchecked
+	// transactions per provider.
+	ArgueWindow int
+	// MaxDelay is Δ in bus ticks.
+	MaxDelay int
+	// Seed drives all deterministic randomness (keys, screening).
+	Seed int64
+	// Validator is validate(tx), shared by collectors and governors.
+	Validator tx.Validator
+	// Behaviors assigns a behaviour per collector index; nil entries
+	// (or a nil slice) mean honest.
+	Behaviors []node.Behavior
+	// ChainDir, when non-empty, backs every governor's ledger replica
+	// with an append-only file `governor-<j>.chain` in that directory,
+	// surviving restarts. Empty means in-memory replicas.
+	ChainDir string
+}
+
+// Engine is a running alliance chain.
+type Engine struct {
+	cfg    Config
+	im     *identity.Manager
+	roster *identity.Roster
+	bus    *network.Bus
+
+	providers  []*node.Provider
+	collectors []*node.Collector
+	governors  []*node.Governor
+
+	stake    *consensus.StakeLedger
+	expelled []bool
+
+	governorIDs []identity.NodeID
+	providerIDs []identity.NodeID
+	govPubs     []crypto.PublicKey
+
+	pendingStakeTxs []consensus.StakeTx
+	round           uint64
+
+	// stakeCorruptor is a test hook making the next stake proposal
+	// lie; see CorruptNextStakeProposal.
+	stakeCorruptor proposalCorruptor
+}
+
+// RoundResult summarizes one protocol round.
+type RoundResult struct {
+	// Serial is the new block's serial number.
+	Serial uint64
+	// Leader is the elected governor's index.
+	Leader int
+	// Block is the committed block.
+	Block ledger.Block
+	// Uploads counts collector uploads this round.
+	Uploads int
+	// Argues counts provider argues issued after block publication.
+	Argues int
+	// StakeBlock is non-nil when a stake-transform block committed.
+	StakeBlock *consensus.StakeBlock
+}
+
+// New builds and wires an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Governors <= 0 {
+		return nil, fmt.Errorf("governors %d: %w", cfg.Governors, ErrBadConfig)
+	}
+	if cfg.Validator == nil {
+		return nil, fmt.Errorf("nil validator: %w", ErrBadConfig)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	var topo *identity.Topology
+	var err error
+	if cfg.Links != nil {
+		topo, err = identity.NewTopologyFromLinks(cfg.Spec.Providers, cfg.Spec.Collectors, cfg.Links)
+	} else {
+		topo, err = identity.NewRegularTopology(cfg.Spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Behaviors != nil && len(cfg.Behaviors) != topo.Collectors() {
+		return nil, fmt.Errorf("%d behaviours for %d collectors: %w", len(cfg.Behaviors), topo.Collectors(), ErrBadConfig)
+	}
+	stakes := cfg.Stakes
+	if stakes == nil {
+		stakes = make([]uint64, cfg.Governors)
+		for i := range stakes {
+			stakes[i] = 1
+		}
+	}
+	if len(stakes) != cfg.Governors {
+		return nil, fmt.Errorf("%d stakes for %d governors: %w", len(stakes), cfg.Governors, ErrBadConfig)
+	}
+
+	seed := make([]byte, crypto.SeedSize)
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(cfg.Seed >> (8 * i))
+	}
+	im, err := identity.NewManagerFromSeed(seed)
+	if err != nil {
+		return nil, err
+	}
+	roster, err := identity.RegisterAll(im, topo, cfg.Governors, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		cfg:      cfg,
+		im:       im,
+		roster:   roster,
+		bus:      network.NewBus(cfg.MaxDelay),
+		stake:    consensus.NewStakeLedger(stakes),
+		expelled: make([]bool, cfg.Governors),
+	}
+	for _, g := range roster.Governors {
+		e.governorIDs = append(e.governorIDs, g.ID)
+		e.govPubs = append(e.govPubs, g.Cert.PublicKey)
+	}
+	for _, p := range roster.Providers {
+		e.providerIDs = append(e.providerIDs, p.ID)
+	}
+
+	// Providers.
+	for k, mem := range roster.Providers {
+		ep, err := e.bus.Register(mem.ID)
+		if err != nil {
+			return nil, err
+		}
+		collectorIDs := make([]identity.NodeID, 0, cfg.Spec.Degree)
+		for _, c := range topo.CollectorsOf(k) {
+			collectorIDs = append(collectorIDs, roster.Collectors[c].ID)
+		}
+		e.providers = append(e.providers, node.NewProvider(mem, ep, collectorIDs, e.governorIDs))
+	}
+	// Collectors.
+	for c, mem := range roster.Collectors {
+		ep, err := e.bus.Register(mem.ID)
+		if err != nil {
+			return nil, err
+		}
+		var behavior node.Behavior
+		if cfg.Behaviors != nil {
+			behavior = cfg.Behaviors[c]
+		}
+		e.collectors = append(e.collectors, node.NewCollector(
+			mem, ep, im, cfg.Validator, behavior, e.governorIDs, cfg.Seed+int64(1000+c)))
+	}
+	// Governors.
+	for j, mem := range roster.Governors {
+		ep, err := e.bus.Register(mem.ID)
+		if err != nil {
+			return nil, err
+		}
+		var store ledger.Store
+		if cfg.ChainDir != "" {
+			fs, err := ledger.OpenFileStore(filepath.Join(cfg.ChainDir, fmt.Sprintf("governor-%d.chain", j)))
+			if err != nil {
+				return nil, fmt.Errorf("governor %d chain file: %w", j, err)
+			}
+			store = fs
+		}
+		gov, err := node.NewGovernor(node.GovernorConfig{
+			Member:      mem,
+			Endpoint:    ep,
+			IM:          im,
+			Topology:    topo,
+			Params:      cfg.Params,
+			Validator:   cfg.Validator,
+			BlockLimit:  cfg.BlockLimit,
+			ArgueWindow: cfg.ArgueWindow,
+			Seed:        cfg.Seed + int64(2000+j),
+			Store:       store,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.governors = append(e.governors, gov)
+	}
+	// Resume the round counter from a persisted chain so leader
+	// election inputs stay unique across restarts.
+	e.round = e.governors[0].Store().Height()
+
+	// Reload persisted reputation state, if present, so a restarted
+	// governor keeps its learned weights instead of re-trusting every
+	// collector equally.
+	if cfg.ChainDir != "" {
+		for j, g := range e.governors {
+			path := e.reputationPath(j)
+			data, err := os.ReadFile(path)
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("governor %d reputation state: %w", j, err)
+			}
+			if err := g.Table().RestoreSnapshot(data); err != nil {
+				return nil, fmt.Errorf("governor %d reputation state: %w", j, err)
+			}
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) reputationPath(j int) string {
+	return filepath.Join(e.cfg.ChainDir, fmt.Sprintf("governor-%d.rep", j))
+}
+
+// Close persists reputation state (when ChainDir is set) and releases
+// any file-backed governor stores. Engines with in-memory replicas
+// need no Close.
+func (e *Engine) Close() error {
+	var firstErr error
+	for j, g := range e.governors {
+		if e.cfg.ChainDir != "" {
+			if err := os.WriteFile(e.reputationPath(j), g.Table().Snapshot(), 0o644); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("governor %d reputation state: %w", j, err)
+			}
+		}
+		if fs, ok := g.Store().(*ledger.FileStore); ok {
+			if err := fs.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("governor %d: %w", j, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// Bus exposes the network for statistics and fault injection.
+func (e *Engine) Bus() *network.Bus { return e.bus }
+
+// Roster exposes the deployment membership.
+func (e *Engine) Roster() *identity.Roster { return e.roster }
+
+// IdentityManager exposes the IM.
+func (e *Engine) IdentityManager() *identity.Manager { return e.im }
+
+// Governor returns governor j.
+func (e *Engine) Governor(j int) *node.Governor { return e.governors[j] }
+
+// Provider returns provider k.
+func (e *Engine) Provider(k int) *node.Provider { return e.providers[k] }
+
+// Collector returns collector c.
+func (e *Engine) Collector(c int) *node.Collector { return e.collectors[c] }
+
+// Governors returns m.
+func (e *Engine) Governors() int { return len(e.governors) }
+
+// StakeLedger exposes the governors' stake state.
+func (e *Engine) StakeLedger() *consensus.StakeLedger { return e.stake }
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() uint64 { return e.round }
+
+// SubmitTx has provider k sign and broadcast a transaction during the
+// collecting phase. isValid is the provider's ground truth.
+func (e *Engine) SubmitTx(k int, kind string, payload []byte, isValid bool) (tx.SignedTx, error) {
+	if k < 0 || k >= len(e.providers) {
+		return tx.SignedTx{}, fmt.Errorf("provider %d: %w", k, ErrBadConfig)
+	}
+	return e.providers[k].Submit(kind, payload, isValid, int64(e.bus.Now()), e.bus)
+}
+
+// SubmitStakeTransfer queues a signed stake transfer from governor
+// `from` for the next round's stake-transform block.
+func (e *Engine) SubmitStakeTransfer(from, to int, amount uint64) error {
+	if from < 0 || from >= len(e.governors) || to < 0 || to >= len(e.governors) {
+		return fmt.Errorf("transfer %d→%d: %w", from, to, ErrBadConfig)
+	}
+	nonce := uint64(len(e.pendingStakeTxs))
+	stx := consensus.SignStakeTx(from, to, amount, nonce, e.roster.Governors[from].PrivateKey)
+	// "governors related to the transaction should broadcast the
+	// signed transaction to all governors"
+	if err := e.bus.Multicast(e.governorIDs[from], e.governorIDs, network.KindStakeTx, encodeStakeTx(stx)); err != nil {
+		return err
+	}
+	e.pendingStakeTxs = append(e.pendingStakeTxs, stx)
+	return nil
+}
+
+// pumpGovernors drains every governor endpoint, routing collector
+// uploads and provider argues into the governors, and returns the
+// remaining messages per governor. Draining all endpoints before the
+// caller processes anything guarantees that messages sent while
+// processing (same tick) are seen by the next pump, not lost.
+func (e *Engine) pumpGovernors() ([][]network.Message, error) {
+	rest := make([][]network.Message, len(e.governors))
+	for j, g := range e.governors {
+		for _, m := range g.Endpoint().Receive() {
+			consumed, err := g.HandleMessage(m)
+			if err != nil {
+				return nil, err
+			}
+			if !consumed {
+				rest[j] = append(rest[j], m)
+			}
+		}
+	}
+	return rest, nil
+}
+
+// RunRound executes the uploading and processing phases over whatever
+// the collecting phase submitted, commits one block, and resolves
+// provider argues triggered by the new block.
+func (e *Engine) RunRound() (RoundResult, error) {
+	e.round++
+
+	// --- Uploading phase ---
+	e.bus.AdvancePastDelay() // provider broadcasts land
+	uploads := 0
+	for _, c := range e.collectors {
+		n, err := c.ProcessRound(e.bus)
+		if err != nil {
+			return RoundResult{}, err
+		}
+		uploads += n
+	}
+	e.bus.AdvancePastDelay() // collector uploads land
+
+	// --- Processing phase: screening ---
+	if _, err := e.pumpGovernors(); err != nil {
+		return RoundResult{}, err
+	}
+	recordsByGov := make([][]ledger.Record, len(e.governors))
+	for j, g := range e.governors {
+		if err := g.ProcessArgues(); err != nil {
+			return RoundResult{}, err
+		}
+		recs, err := g.ScreenRound()
+		if err != nil {
+			return RoundResult{}, err
+		}
+		recordsByGov[j] = recs
+	}
+
+	// --- Processing phase: leader election ---
+	leader, err := e.electLeader()
+	if err != nil {
+		return RoundResult{}, err
+	}
+
+	// --- Processing phase: block proposal ---
+	block, err := e.governors[leader].BuildBlock(recordsByGov[leader])
+	if err != nil {
+		return RoundResult{}, err
+	}
+	leaderID := e.governorIDs[leader]
+	// The leader broadcasts the block to all governors and providers
+	// (providers need it to argue; every node can retrieve it).
+	targets := append(append([]identity.NodeID(nil), e.governorIDs...), e.providerIDs...)
+	if err := e.bus.Multicast(leaderID, targets, network.KindBlock, block.EncodeBytes()); err != nil {
+		return RoundResult{}, err
+	}
+	e.bus.AdvancePastDelay()
+
+	// Every governor (leader included) verifies and appends.
+	rest, err := e.pumpGovernors()
+	if err != nil {
+		return RoundResult{}, err
+	}
+	for j, g := range e.governors {
+		accepted := false
+		for _, m := range rest[j] {
+			if m.Kind != network.KindBlock {
+				continue
+			}
+			b, err := ledger.DecodeBlockBytes(m.Payload)
+			if err != nil {
+				return RoundResult{}, fmt.Errorf("governor %d block decode: %w", j, err)
+			}
+			if err := g.AcceptBlock(b, leaderID, e.govPubs[leader]); err != nil {
+				return RoundResult{}, err
+			}
+			accepted = true
+		}
+		if !accepted {
+			return RoundResult{}, fmt.Errorf("governor %d missed block %d: %w", j, block.Serial, ErrDisagreement)
+		}
+	}
+	// Agreement check across replicas.
+	if err := e.checkAgreement(block.Serial); err != nil {
+		return RoundResult{}, err
+	}
+
+	// Providers observe the block and argue.
+	argues := 0
+	for _, p := range e.providers {
+		for _, m := range p.Endpoint().Receive() {
+			if m.Kind != network.KindBlock {
+				continue
+			}
+			b, err := ledger.DecodeBlockBytes(m.Payload)
+			if err != nil {
+				return RoundResult{}, fmt.Errorf("provider %s block decode: %w", p.ID(), err)
+			}
+			n, err := p.ObserveBlock(b, e.bus)
+			if err != nil {
+				return RoundResult{}, err
+			}
+			argues += n
+		}
+	}
+
+	result := RoundResult{
+		Serial:  block.Serial,
+		Leader:  leader,
+		Block:   block,
+		Uploads: uploads,
+		Argues:  argues,
+	}
+
+	// --- Stake-transform block, when transfers are pending ---
+	if len(e.pendingStakeTxs) > 0 {
+		sb, err := e.runStakeTransform(leader)
+		if err != nil {
+			return result, err
+		}
+		result.StakeBlock = sb
+		e.pendingStakeTxs = nil
+	}
+	return result, nil
+}
+
+// electLeader runs the per-stake-unit VRF election of §3.4.3. Every
+// governor broadcasts tickets; every governor independently verifies
+// all tickets and computes the winner; the engine checks they agree.
+func (e *Engine) electLeader() (int, error) {
+	prevHash := crypto.ZeroHash
+	if head, err := e.governors[0].Store().Head(); err == nil {
+		prevHash = head.Hash()
+	}
+	stakes := e.stake.Snapshot()
+	for j, ex := range e.expelled {
+		if ex {
+			stakes[j] = 0
+		}
+	}
+
+	// Each governor evaluates and broadcasts its tickets.
+	allTickets := make([][]consensus.Ticket, len(e.governors))
+	for j := range e.governors {
+		tickets := consensus.MakeTickets(e.roster.Governors[j].PrivateKey, prevHash, e.round, j, stakes[j])
+		allTickets[j] = tickets
+		if err := e.bus.Multicast(e.governorIDs[j], e.governorIDs, network.KindVRF, consensus.EncodeTickets(tickets)); err != nil {
+			return 0, err
+		}
+	}
+	e.bus.AdvancePastDelay()
+
+	// Each governor verifies every ticket and elects independently.
+	rest, err := e.pumpGovernors()
+	if err != nil {
+		return 0, err
+	}
+	leaders := make([]int, len(e.governors))
+	for j := range e.governors {
+		el, err := consensus.NewElection(e.round, prevHash, e.govPubs, stakes)
+		if err != nil {
+			return 0, err
+		}
+		for _, m := range rest[j] {
+			if m.Kind != network.KindVRF {
+				continue
+			}
+			sender, err := decodeGovernorIndex(m.From)
+			if err != nil {
+				continue
+			}
+			tickets, err := consensus.DecodeTickets(m.Payload)
+			if err != nil {
+				return 0, fmt.Errorf("governor %d tickets from %d: %w", j, sender, err)
+			}
+			if err := el.Submit(sender, tickets); err != nil {
+				return 0, err
+			}
+		}
+		l, _, err := el.Leader()
+		if err != nil {
+			return 0, fmt.Errorf("governor %d election: %w", j, err)
+		}
+		leaders[j] = l
+	}
+	for j := 1; j < len(leaders); j++ {
+		if leaders[j] != leaders[0] {
+			return 0, fmt.Errorf("governor %d elected %d, governor 0 elected %d: %w",
+				j, leaders[j], leaders[0], ErrDisagreement)
+		}
+	}
+	return leaders[0], nil
+}
+
+// checkAgreement asserts all replicas stored identical blocks at
+// serial s (the Agreement property).
+func (e *Engine) checkAgreement(s uint64) error {
+	ref, err := e.governors[0].Store().Get(s)
+	if err != nil {
+		return err
+	}
+	refHash := ref.Hash()
+	for j := 1; j < len(e.governors); j++ {
+		b, err := e.governors[j].Store().Get(s)
+		if err != nil {
+			return err
+		}
+		if b.Hash() != refHash {
+			return fmt.Errorf("block %d differs at governor %d: %w", s, j, ErrDisagreement)
+		}
+	}
+	return nil
+}
+
+func decodeGovernorIndex(id identity.NodeID) (int, error) {
+	const prefix = "governor/"
+	s := string(id)
+	if len(s) <= len(prefix) || s[:len(prefix)] != prefix {
+		return 0, fmt.Errorf("%q is not a governor: %w", id, ErrBadConfig)
+	}
+	idx := 0
+	for _, ch := range s[len(prefix):] {
+		if ch < '0' || ch > '9' {
+			return 0, fmt.Errorf("%q: %w", id, ErrBadConfig)
+		}
+		idx = idx*10 + int(ch-'0')
+	}
+	return idx, nil
+}

@@ -1,0 +1,133 @@
+package crypto
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Merkle tree over transaction lists. The paper's block carries
+// h = H(B_prev) for chain integrity; we additionally commit to the
+// transaction list with a Merkle root so that light verification of a
+// single transaction's inclusion is possible (documented extension,
+// DESIGN.md §5).
+//
+// The tree uses domain-separated hashing (distinct leaf and node tags)
+// to prevent second-preimage attacks that splice interior nodes in as
+// leaves, and duplicates the final node on odd levels (Bitcoin-style).
+
+var (
+	// ErrEmptyTree reports a Merkle operation over zero leaves.
+	ErrEmptyTree = errors.New("crypto: merkle tree has no leaves")
+	// ErrBadProofIndex reports an out-of-range leaf index.
+	ErrBadProofIndex = errors.New("crypto: merkle proof index out of range")
+)
+
+const (
+	merkleLeafTag = 0x00
+	merkleNodeTag = 0x01
+)
+
+func merkleLeaf(data []byte) Hash {
+	buf := make([]byte, 1+len(data))
+	buf[0] = merkleLeafTag
+	copy(buf[1:], data)
+	return Sum(buf)
+}
+
+func merkleNode(left, right Hash) Hash {
+	var buf [1 + 2*HashSize]byte
+	buf[0] = merkleNodeTag
+	copy(buf[1:], left[:])
+	copy(buf[1+HashSize:], right[:])
+	return Sum(buf[:])
+}
+
+// MerkleRoot computes the root commitment over the given leaf payloads.
+// An empty list yields ZeroHash, the conventional root of an empty
+// block.
+func MerkleRoot(leaves [][]byte) Hash {
+	if len(leaves) == 0 {
+		return ZeroHash
+	}
+	level := make([]Hash, len(leaves))
+	for i, l := range leaves {
+		level[i] = merkleLeaf(l)
+	}
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, merkleNode(level[i], level[i+1]))
+			} else {
+				next = append(next, merkleNode(level[i], level[i]))
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// MerkleProof is an inclusion proof for one leaf: the sibling hashes
+// from leaf to root and, per step, whether the sibling sits on the
+// right.
+type MerkleProof struct {
+	// Siblings lists the sibling hash at each level, leaf-most first.
+	Siblings []Hash
+	// RightSibling[i] reports whether Siblings[i] is the right child at
+	// level i.
+	RightSibling []bool
+	// Index is the leaf position the proof covers.
+	Index int
+}
+
+// BuildMerkleProof constructs an inclusion proof for leaves[index].
+func BuildMerkleProof(leaves [][]byte, index int) (MerkleProof, error) {
+	if len(leaves) == 0 {
+		return MerkleProof{}, ErrEmptyTree
+	}
+	if index < 0 || index >= len(leaves) {
+		return MerkleProof{}, fmt.Errorf("index %d of %d leaves: %w", index, len(leaves), ErrBadProofIndex)
+	}
+	level := make([]Hash, len(leaves))
+	for i, l := range leaves {
+		level[i] = merkleLeaf(l)
+	}
+	proof := MerkleProof{Index: index}
+	pos := index
+	for len(level) > 1 {
+		sib := pos ^ 1
+		if sib >= len(level) {
+			sib = pos // odd level: duplicated node
+		}
+		proof.Siblings = append(proof.Siblings, level[sib])
+		proof.RightSibling = append(proof.RightSibling, sib > pos || sib == pos)
+
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, merkleNode(level[i], level[i+1]))
+			} else {
+				next = append(next, merkleNode(level[i], level[i]))
+			}
+		}
+		level = next
+		pos /= 2
+	}
+	return proof, nil
+}
+
+// VerifyMerkleProof checks that leaf sits at proof.Index under root.
+func VerifyMerkleProof(root Hash, leaf []byte, proof MerkleProof) bool {
+	if len(proof.Siblings) != len(proof.RightSibling) {
+		return false
+	}
+	h := merkleLeaf(leaf)
+	for i, sib := range proof.Siblings {
+		if proof.RightSibling[i] {
+			h = merkleNode(h, sib)
+		} else {
+			h = merkleNode(sib, h)
+		}
+	}
+	return h == root
+}

@@ -1,0 +1,154 @@
+package crypto
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func makeLeaves(n int) [][]byte {
+	leaves := make([][]byte, n)
+	for i := range leaves {
+		leaves[i] = []byte(fmt.Sprintf("tx-%d", i))
+	}
+	return leaves
+}
+
+func TestMerkleRootEmpty(t *testing.T) {
+	if MerkleRoot(nil) != ZeroHash {
+		t.Fatal("empty tree root should be ZeroHash")
+	}
+}
+
+func TestMerkleRootSingle(t *testing.T) {
+	root := MerkleRoot([][]byte{[]byte("only")})
+	if root == ZeroHash {
+		t.Fatal("single leaf root should be nonzero")
+	}
+	if root == Sum([]byte("only")) {
+		t.Fatal("leaf hashing must be domain separated from plain Sum")
+	}
+}
+
+func TestMerkleRootOrderSensitive(t *testing.T) {
+	a := MerkleRoot([][]byte{[]byte("x"), []byte("y")})
+	b := MerkleRoot([][]byte{[]byte("y"), []byte("x")})
+	if a == b {
+		t.Fatal("reordering leaves should change the root")
+	}
+}
+
+func TestMerkleRootContentSensitive(t *testing.T) {
+	a := MerkleRoot(makeLeaves(5))
+	leaves := makeLeaves(5)
+	leaves[3] = []byte("tampered")
+	if a == MerkleRoot(leaves) {
+		t.Fatal("changing a leaf should change the root")
+	}
+}
+
+func TestMerkleProofAllSizesAllIndices(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			leaves := makeLeaves(n)
+			root := MerkleRoot(leaves)
+			for i := 0; i < n; i++ {
+				proof, err := BuildMerkleProof(leaves, i)
+				if err != nil {
+					t.Fatalf("BuildMerkleProof(%d) error = %v", i, err)
+				}
+				if !VerifyMerkleProof(root, leaves[i], proof) {
+					t.Fatalf("proof for leaf %d of %d failed", i, n)
+				}
+			}
+		})
+	}
+}
+
+func TestMerkleProofRejectsWrongLeaf(t *testing.T) {
+	leaves := makeLeaves(8)
+	root := MerkleRoot(leaves)
+	proof, err := BuildMerkleProof(leaves, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyMerkleProof(root, []byte("not-a-member"), proof) {
+		t.Fatal("proof verified for a non-member leaf")
+	}
+}
+
+func TestMerkleProofRejectsWrongRoot(t *testing.T) {
+	leaves := makeLeaves(8)
+	proof, err := BuildMerkleProof(leaves, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyMerkleProof(Sum([]byte("bogus root")), leaves[2], proof) {
+		t.Fatal("proof verified against wrong root")
+	}
+}
+
+func TestMerkleProofRejectsTamperedPath(t *testing.T) {
+	leaves := makeLeaves(8)
+	root := MerkleRoot(leaves)
+	proof, err := BuildMerkleProof(leaves, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Siblings[0][0] ^= 0xff
+	if VerifyMerkleProof(root, leaves[5], proof) {
+		t.Fatal("tampered proof verified")
+	}
+}
+
+func TestMerkleProofMismatchedLengths(t *testing.T) {
+	leaves := makeLeaves(4)
+	root := MerkleRoot(leaves)
+	proof, err := BuildMerkleProof(leaves, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.RightSibling = proof.RightSibling[:len(proof.RightSibling)-1]
+	if VerifyMerkleProof(root, leaves[0], proof) {
+		t.Fatal("structurally invalid proof verified")
+	}
+}
+
+func TestBuildMerkleProofErrors(t *testing.T) {
+	if _, err := BuildMerkleProof(nil, 0); !errors.Is(err, ErrEmptyTree) {
+		t.Fatalf("error = %v, want ErrEmptyTree", err)
+	}
+	leaves := makeLeaves(3)
+	for _, idx := range []int{-1, 3, 100} {
+		if _, err := BuildMerkleProof(leaves, idx); !errors.Is(err, ErrBadProofIndex) {
+			t.Fatalf("index %d: error = %v, want ErrBadProofIndex", idx, err)
+		}
+	}
+}
+
+func TestQuickMerkleProofs(t *testing.T) {
+	f := func(raw [][]byte, pick uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		idx := int(pick) % len(raw)
+		root := MerkleRoot(raw)
+		proof, err := BuildMerkleProof(raw, idx)
+		if err != nil {
+			return false
+		}
+		return VerifyMerkleProof(root, raw[idx], proof)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMerkleRoot1024(b *testing.B) {
+	leaves := makeLeaves(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MerkleRoot(leaves)
+	}
+}

@@ -1,0 +1,144 @@
+package crypto
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestVRFEvalVerify(t *testing.T) {
+	pub, priv := mustKey(t, 20)
+	alpha := VRFAlpha(Sum([]byte("prev")), 3, 1, 0)
+	out := VRFEval(priv, alpha)
+	if err := VRFVerify(pub, alpha, out); err != nil {
+		t.Fatalf("VRFVerify() error = %v", err)
+	}
+}
+
+func TestVRFDeterministic(t *testing.T) {
+	_, priv := mustKey(t, 20)
+	alpha := []byte("input")
+	a, b := VRFEval(priv, alpha), VRFEval(priv, alpha)
+	if a.Output != b.Output {
+		t.Fatal("VRF output not deterministic")
+	}
+}
+
+func TestVRFDistinctInputsDistinctOutputs(t *testing.T) {
+	_, priv := mustKey(t, 20)
+	a := VRFEval(priv, VRFAlpha(ZeroHash, 1, 0, 0))
+	b := VRFEval(priv, VRFAlpha(ZeroHash, 1, 0, 1))
+	if a.Output == b.Output {
+		t.Fatal("distinct stake units produced identical VRF outputs")
+	}
+}
+
+func TestVRFDistinctKeysDistinctOutputs(t *testing.T) {
+	_, priv1 := mustKey(t, 20)
+	_, priv2 := mustKey(t, 21)
+	alpha := VRFAlpha(ZeroHash, 1, 0, 0)
+	if VRFEval(priv1, alpha).Output == VRFEval(priv2, alpha).Output {
+		t.Fatal("distinct keys produced identical VRF outputs")
+	}
+}
+
+func TestVRFVerifyRejectsWrongKey(t *testing.T) {
+	_, priv := mustKey(t, 20)
+	other, _ := mustKey(t, 21)
+	alpha := []byte("alpha")
+	out := VRFEval(priv, alpha)
+	if err := VRFVerify(other, alpha, out); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("VRFVerify() error = %v, want ErrBadProof", err)
+	}
+}
+
+func TestVRFVerifyRejectsWrongAlpha(t *testing.T) {
+	pub, priv := mustKey(t, 20)
+	out := VRFEval(priv, []byte("alpha"))
+	if err := VRFVerify(pub, []byte("beta"), out); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("VRFVerify() error = %v, want ErrBadProof", err)
+	}
+}
+
+func TestVRFVerifyRejectsForgedOutput(t *testing.T) {
+	pub, priv := mustKey(t, 20)
+	alpha := []byte("alpha")
+	out := VRFEval(priv, alpha)
+	out.Output[0] ^= 0xff // claim a different output for a valid proof
+	if err := VRFVerify(pub, alpha, out); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("VRFVerify() error = %v, want ErrBadProof", err)
+	}
+}
+
+func TestVRFAlphaBindsAllFields(t *testing.T) {
+	base := VRFAlpha(ZeroHash, 1, 2, 3)
+	variants := [][]byte{
+		VRFAlpha(Sum([]byte("other")), 1, 2, 3),
+		VRFAlpha(ZeroHash, 9, 2, 3),
+		VRFAlpha(ZeroHash, 1, 9, 3),
+		VRFAlpha(ZeroHash, 1, 2, 9),
+	}
+	for i, v := range variants {
+		if string(v) == string(base) {
+			t.Fatalf("variant %d did not change alpha", i)
+		}
+	}
+}
+
+// TestVRFUniformity smoke-checks that output leading bytes are roughly
+// uniform across many inputs: leader election fairness (stake
+// proportionality) relies on this.
+func TestVRFUniformity(t *testing.T) {
+	_, priv := mustKey(t, 22)
+	const n = 4096
+	var ones int
+	for i := 0; i < n; i++ {
+		out := VRFEval(priv, VRFAlpha(ZeroHash, uint64(i), 0, 0))
+		if out.Output[0]&1 == 1 {
+			ones++
+		}
+	}
+	// With n=4096 fair coin flips, deviation beyond 10% of n is
+	// astronomically unlikely (> 12 sigma).
+	if ones < n/2-n/10 || ones > n/2+n/10 {
+		t.Fatalf("low bit bias: %d ones of %d", ones, n)
+	}
+}
+
+func TestQuickVRFRoundTrip(t *testing.T) {
+	pub, priv := mustKey(t, 23)
+	f := func(alpha []byte) bool {
+		out := VRFEval(priv, alpha)
+		return VRFVerify(pub, alpha, out) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkVRFEval(b *testing.B) {
+	_, priv, err := KeyFromSeed(testSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alpha := VRFAlpha(ZeroHash, 1, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VRFEval(priv, alpha)
+	}
+}
+
+func BenchmarkVRFVerify(b *testing.B) {
+	pub, priv, err := KeyFromSeed(testSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alpha := VRFAlpha(ZeroHash, 1, 0, 0)
+	out := VRFEval(priv, alpha)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VRFVerify(pub, alpha, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package experiments regenerates every evaluation artifact recorded
+// in EXPERIMENTS.md. The poster has no measured tables — its
+// evaluation is Figure 1 (architecture) plus four analytical results —
+// so each analytical claim becomes one empirical experiment (DESIGN.md
+// §3). Each runner returns a Table whose rows are what
+// cmd/repchain-bench prints and what EXPERIMENTS.md records.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrUnknown reports a request for an experiment ID that does not
+// exist.
+var ErrUnknown = errors.New("experiments: unknown experiment")
+
+// Table is one experiment's rendered result.
+type Table struct {
+	// ID is the experiment identifier, e.g. "E1".
+	ID string
+	// Title states the claim under test.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the measured series.
+	Rows [][]string
+	// Notes record the workload and the expected shape.
+	Notes []string
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces one experiment's table. seed makes runs
+// reproducible; scale (≥ 1) multiplies workload sizes so quick test
+// runs and full benchmark runs share code.
+type Runner func(seed int64, scale int) (Table, error)
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{
+	"E1":  E1RegretSqrtT,
+	"E2":  E2UncheckedVsF,
+	"E3":  E3HoeffdingTail,
+	"E4":  E4ThroughputVsF,
+	"E5":  E5PolicyComparison,
+	"E6":  E6IncentiveCurve,
+	"E7":  E7MessageComplexity,
+	"E8":  E8AdversaryFraction,
+	"E9":  E9ArgueLatency,
+	"E10": E10BetaAblation,
+	"E11": E11TurncoatAttack,
+	"E12": E12TheoremFour,
+}
+
+// IDs returns all experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, seed int64, scale int) (Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Table{}, fmt.Errorf("%q: %w", id, ErrUnknown)
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return r(seed, scale)
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(seed int64, scale int) ([]Table, error) {
+	var out []Table
+	for _, id := range IDs() {
+		t, err := Run(id, seed, scale)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+func d64(v int64) string  { return fmt.Sprintf("%d", v) }
+func g4(v float64) string { return fmt.Sprintf("%.4g", v) }

@@ -1,0 +1,217 @@
+package identity
+
+import (
+	"errors"
+	"testing"
+
+	"repchain/internal/crypto"
+)
+
+func newTestManager(t *testing.T) *Manager {
+	t.Helper()
+	seed := make([]byte, crypto.SeedSize)
+	seed[0] = 0x1A
+	m, err := NewManagerFromSeed(seed)
+	if err != nil {
+		t.Fatalf("NewManagerFromSeed() error = %v", err)
+	}
+	return m
+}
+
+func registerNode(t *testing.T, m *Manager, role Role, idx int) (Certificate, crypto.PrivateKey) {
+	t.Helper()
+	seed := make([]byte, crypto.SeedSize)
+	seed[0] = byte(role)
+	seed[1] = byte(idx)
+	seed[2] = byte(idx >> 8)
+	pub, priv, err := crypto.KeyFromSeed(seed)
+	if err != nil {
+		t.Fatalf("KeyFromSeed() error = %v", err)
+	}
+	cert, err := m.Register(MakeNodeID(role, idx), role, pub)
+	if err != nil {
+		t.Fatalf("Register() error = %v", err)
+	}
+	return cert, priv
+}
+
+func TestRoleString(t *testing.T) {
+	tests := []struct {
+		role Role
+		want string
+	}{
+		{RoleProvider, "provider"},
+		{RoleCollector, "collector"},
+		{RoleGovernor, "governor"},
+		{Role(0), "role(0)"},
+		{Role(9), "role(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.role.String(); got != tt.want {
+			t.Errorf("Role(%d).String() = %q, want %q", tt.role, got, tt.want)
+		}
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	m := newTestManager(t)
+	cert, _ := registerNode(t, m, RoleProvider, 0)
+	got, err := m.Lookup(cert.ID)
+	if err != nil {
+		t.Fatalf("Lookup() error = %v", err)
+	}
+	if got.ID != cert.ID || got.Role != RoleProvider || !got.PublicKey.Equal(cert.PublicKey) {
+		t.Fatal("Lookup() returned a different certificate")
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	m := newTestManager(t)
+	cert, _ := registerNode(t, m, RoleProvider, 0)
+	_, err := m.Register(cert.ID, RoleProvider, cert.PublicKey)
+	if !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("Register() error = %v, want ErrDuplicateNode", err)
+	}
+}
+
+func TestRegisterRejectsInvalidRole(t *testing.T) {
+	m := newTestManager(t)
+	pub, _, err := crypto.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register("x", Role(42), pub); !errors.Is(err, ErrRoleMismatch) {
+		t.Fatalf("Register() error = %v, want ErrRoleMismatch", err)
+	}
+}
+
+func TestRegisterRejectsZeroKey(t *testing.T) {
+	m := newTestManager(t)
+	if _, err := m.Register("x", RoleProvider, crypto.PublicKey{}); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("Register() error = %v, want ErrBadCertificate", err)
+	}
+}
+
+func TestVerifyCertificate(t *testing.T) {
+	m := newTestManager(t)
+	cert, _ := registerNode(t, m, RoleCollector, 1)
+	if err := m.VerifyCertificate(cert); err != nil {
+		t.Fatalf("VerifyCertificate() error = %v", err)
+	}
+}
+
+func TestVerifyCertificateRejectsTampering(t *testing.T) {
+	m := newTestManager(t)
+	cert, _ := registerNode(t, m, RoleCollector, 1)
+
+	tampered := cert
+	tampered.Role = RoleGovernor // privilege escalation attempt
+	if err := m.VerifyCertificate(tampered); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("VerifyCertificate(tampered role) error = %v, want ErrBadCertificate", err)
+	}
+
+	tampered = cert
+	tampered.ID = "governor/0"
+	if err := m.VerifyCertificate(tampered); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("VerifyCertificate(tampered id) error = %v, want ErrBadCertificate", err)
+	}
+}
+
+func TestVerifyCertificateAgainstRoot(t *testing.T) {
+	m := newTestManager(t)
+	cert, _ := registerNode(t, m, RoleGovernor, 0)
+	if err := VerifyCertificateAgainst(m.RootPublicKey(), cert); err != nil {
+		t.Fatalf("VerifyCertificateAgainst() error = %v", err)
+	}
+	other := newTestManagerWithSeedByte(t, 99)
+	if err := VerifyCertificateAgainst(other.RootPublicKey(), cert); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("foreign root accepted certificate: %v", err)
+	}
+}
+
+func newTestManagerWithSeedByte(t *testing.T, b byte) *Manager {
+	t.Helper()
+	seed := make([]byte, crypto.SeedSize)
+	seed[0] = b
+	m, err := NewManagerFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRevoke(t *testing.T) {
+	m := newTestManager(t)
+	cert, _ := registerNode(t, m, RoleCollector, 2)
+	if err := m.Revoke(cert.ID); err != nil {
+		t.Fatalf("Revoke() error = %v", err)
+	}
+	if _, err := m.Lookup(cert.ID); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("Lookup(revoked) error = %v, want ErrRevoked", err)
+	}
+	if err := m.VerifyCertificate(cert); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("VerifyCertificate(revoked) error = %v, want ErrRevoked", err)
+	}
+}
+
+func TestRevokeUnknown(t *testing.T) {
+	m := newTestManager(t)
+	if err := m.Revoke("nobody"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Revoke() error = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	m := newTestManager(t)
+	for i := 10; i >= 0; i-- {
+		registerNode(t, m, RoleProvider, i)
+	}
+	got := m.Members(RoleProvider)
+	if len(got) != 11 {
+		t.Fatalf("Members() returned %d, want 11", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Members() not sorted: %v", got)
+		}
+	}
+	if m.Count(RoleProvider) != 11 || m.Count(RoleGovernor) != 0 {
+		t.Fatal("Count() wrong")
+	}
+}
+
+func TestLinkAndLinked(t *testing.T) {
+	m := newTestManager(t)
+	p, _ := registerNode(t, m, RoleProvider, 0)
+	c, _ := registerNode(t, m, RoleCollector, 0)
+	if m.Linked(p.ID, c.ID) {
+		t.Fatal("Linked() true before Link()")
+	}
+	if err := m.Link(p.ID, c.ID); err != nil {
+		t.Fatalf("Link() error = %v", err)
+	}
+	if !m.Linked(p.ID, c.ID) {
+		t.Fatal("Linked() false after Link()")
+	}
+	if got := m.CollectorsOf(p.ID); len(got) != 1 || got[0] != c.ID {
+		t.Fatalf("CollectorsOf() = %v", got)
+	}
+	if got := m.ProvidersOf(c.ID); len(got) != 1 || got[0] != p.ID {
+		t.Fatalf("ProvidersOf() = %v", got)
+	}
+}
+
+func TestLinkRoleEnforcement(t *testing.T) {
+	m := newTestManager(t)
+	p, _ := registerNode(t, m, RoleProvider, 0)
+	g, _ := registerNode(t, m, RoleGovernor, 0)
+	if err := m.Link(p.ID, g.ID); !errors.Is(err, ErrRoleMismatch) {
+		t.Fatalf("Link(provider, governor) error = %v, want ErrRoleMismatch", err)
+	}
+	if err := m.Link(g.ID, p.ID); !errors.Is(err, ErrRoleMismatch) {
+		t.Fatalf("Link(governor, provider) error = %v, want ErrRoleMismatch", err)
+	}
+	if err := m.Link("ghost", p.ID); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Link(unknown, _) error = %v, want ErrUnknownNode", err)
+	}
+}

@@ -1,0 +1,25 @@
+package identity
+
+import (
+	"repchain/internal/crypto"
+)
+
+// deriveSeed produces the counter-th child seed of a master seed by
+// hashing; RegisterAll uses it so that a single seed reproduces every
+// node identity in a deployment.
+func deriveSeed(master []byte, counter int) []byte {
+	var ctr [8]byte
+	for i := 0; i < 8; i++ {
+		ctr[i] = byte(counter >> (8 * i))
+	}
+	h := crypto.SumParts(master, ctr[:])
+	return h[:]
+}
+
+func keyFromSeed(seed []byte) (crypto.PublicKey, crypto.PrivateKey, error) {
+	return crypto.KeyFromSeed(seed)
+}
+
+func generateKey() (crypto.PublicKey, crypto.PrivateKey, error) {
+	return crypto.GenerateKey(nil)
+}

@@ -1,0 +1,236 @@
+package identity
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repchain/internal/crypto"
+)
+
+func TestTopologySpecValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    TopologySpec
+		wantErr bool
+	}{
+		{"paper example r=8", TopologySpec{Providers: 16, Collectors: 8, Degree: 8}, false},
+		{"square", TopologySpec{Providers: 4, Collectors: 4, Degree: 2}, false},
+		{"degree one", TopologySpec{Providers: 6, Collectors: 3, Degree: 1}, false},
+		{"zero providers", TopologySpec{Providers: 0, Collectors: 3, Degree: 1}, true},
+		{"zero collectors", TopologySpec{Providers: 3, Collectors: 0, Degree: 1}, true},
+		{"zero degree", TopologySpec{Providers: 3, Collectors: 3, Degree: 0}, true},
+		{"degree exceeds collectors", TopologySpec{Providers: 3, Collectors: 3, Degree: 4}, true},
+		{"non-integral collector degree", TopologySpec{Providers: 3, Collectors: 2, Degree: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrBadTopology) {
+				t.Fatalf("Validate() error = %v, want ErrBadTopology", err)
+			}
+		})
+	}
+}
+
+func TestRegularTopologyDegrees(t *testing.T) {
+	specs := []TopologySpec{
+		{Providers: 16, Collectors: 8, Degree: 8},
+		{Providers: 10, Collectors: 5, Degree: 3},
+		{Providers: 7, Collectors: 7, Degree: 7},
+		{Providers: 12, Collectors: 4, Degree: 2},
+	}
+	for _, spec := range specs {
+		topo, err := NewRegularTopology(spec)
+		if err != nil {
+			t.Fatalf("NewRegularTopology(%+v) error = %v", spec, err)
+		}
+		s := spec.CollectorDegree()
+		for k := 0; k < spec.Providers; k++ {
+			if got := len(topo.CollectorsOf(k)); got != spec.Degree {
+				t.Fatalf("provider %d degree = %d, want %d", k, got, spec.Degree)
+			}
+		}
+		for c := 0; c < spec.Collectors; c++ {
+			if got := len(topo.ProvidersOf(c)); got != s {
+				t.Fatalf("collector %d degree = %d, want %d", c, got, s)
+			}
+		}
+	}
+}
+
+func TestTopologyLinkedConsistent(t *testing.T) {
+	topo, err := NewRegularTopology(TopologySpec{Providers: 9, Collectors: 3, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < topo.Providers(); k++ {
+		linked := make(map[int]bool)
+		for _, c := range topo.CollectorsOf(k) {
+			linked[c] = true
+		}
+		for c := 0; c < topo.Collectors(); c++ {
+			if topo.Linked(k, c) != linked[c] {
+				t.Fatalf("Linked(%d,%d) inconsistent with CollectorsOf", k, c)
+			}
+		}
+	}
+}
+
+func TestProviderRank(t *testing.T) {
+	topo, err := NewRegularTopology(TopologySpec{Providers: 8, Collectors: 4, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < topo.Collectors(); c++ {
+		ps := topo.ProvidersOf(c)
+		for want, p := range ps {
+			rank, ok := topo.ProviderRank(c, p)
+			if !ok || rank != want {
+				t.Fatalf("ProviderRank(%d,%d) = %d,%v want %d,true", c, p, rank, ok, want)
+			}
+		}
+	}
+	if _, ok := topo.ProviderRank(0, 9999); ok {
+		t.Fatal("ProviderRank accepted unlinked provider")
+	}
+	if _, ok := topo.ProviderRank(-1, 0); ok {
+		t.Fatal("ProviderRank accepted negative collector")
+	}
+}
+
+func TestTopologyFromLinks(t *testing.T) {
+	topo, err := NewTopologyFromLinks(3, 2, [][]int{{0, 1}, {0}, {1}})
+	if err != nil {
+		t.Fatalf("NewTopologyFromLinks() error = %v", err)
+	}
+	if !topo.Linked(0, 0) || !topo.Linked(0, 1) || !topo.Linked(1, 0) || topo.Linked(1, 1) {
+		t.Fatal("links not reproduced")
+	}
+}
+
+func TestTopologyFromLinksErrors(t *testing.T) {
+	tests := []struct {
+		name       string
+		providers  int
+		collectors int
+		links      [][]int
+	}{
+		{"wrong provider count", 2, 2, [][]int{{0}}},
+		{"collector out of range", 1, 2, [][]int{{2}}},
+		{"negative collector", 1, 2, [][]int{{-1}}},
+		{"duplicate link", 1, 2, [][]int{{0, 0}}},
+		{"zero sizes", 0, 2, [][]int{}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewTopologyFromLinks(tt.providers, tt.collectors, tt.links)
+			if !errors.Is(err, ErrBadTopology) {
+				t.Fatalf("error = %v, want ErrBadTopology", err)
+			}
+		})
+	}
+}
+
+func TestQuickRegularTopologyHandshake(t *testing.T) {
+	// Property: sum of provider degrees equals sum of collector degrees
+	// (the handshake lemma, r·l = s·n) for any valid spec.
+	f := func(l, n, r uint8) bool {
+		spec := TopologySpec{
+			Providers:  int(l%32) + 1,
+			Collectors: int(n%16) + 1,
+			Degree:     int(r%8) + 1,
+		}
+		if spec.Validate() != nil {
+			return true // skip unrealizable specs
+		}
+		topo, err := NewRegularTopology(spec)
+		if err != nil {
+			return false
+		}
+		var left, right int
+		for k := 0; k < topo.Providers(); k++ {
+			left += len(topo.CollectorsOf(k))
+		}
+		for c := 0; c < topo.Collectors(); c++ {
+			right += len(topo.ProvidersOf(c))
+		}
+		return left == right && left == spec.Providers*spec.Degree
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterAll(t *testing.T) {
+	m := newTestManager(t)
+	topo, err := NewRegularTopology(TopologySpec{Providers: 6, Collectors: 3, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := make([]byte, crypto.SeedSize)
+	roster, err := RegisterAll(m, topo, 4, seed)
+	if err != nil {
+		t.Fatalf("RegisterAll() error = %v", err)
+	}
+	if len(roster.Providers) != 6 || len(roster.Collectors) != 3 || len(roster.Governors) != 4 {
+		t.Fatalf("roster sizes wrong: %d/%d/%d", len(roster.Providers), len(roster.Collectors), len(roster.Governors))
+	}
+	// Every certificate verifies and every topological link is recorded
+	// in the IM.
+	for _, mem := range roster.Providers {
+		if err := m.VerifyCertificate(mem.Cert); err != nil {
+			t.Fatalf("provider cert: %v", err)
+		}
+	}
+	for k := 0; k < topo.Providers(); k++ {
+		for _, c := range topo.CollectorsOf(k) {
+			if !m.Linked(roster.Providers[k].ID, roster.Collectors[c].ID) {
+				t.Fatalf("link %d-%d missing in IM", k, c)
+			}
+		}
+	}
+	// Signing keys must work with the issued certificates.
+	msg := []byte("probe")
+	sig := roster.Governors[0].PrivateKey.Sign(msg)
+	if err := roster.Governors[0].Cert.PublicKey.Verify(msg, sig); err != nil {
+		t.Fatalf("roster key mismatch: %v", err)
+	}
+}
+
+func TestRegisterAllDeterministic(t *testing.T) {
+	topo, err := NewRegularTopology(TopologySpec{Providers: 2, Collectors: 2, Degree: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := make([]byte, crypto.SeedSize)
+	seed[5] = 7
+
+	m1 := newTestManager(t)
+	r1, err := RegisterAll(m1, topo, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newTestManager(t)
+	r2, err := RegisterAll(m2, topo, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Providers[0].Cert.PublicKey.Equal(r2.Providers[0].Cert.PublicKey) {
+		t.Fatal("same seed produced different member keys")
+	}
+}
+
+func TestRegisterAllRejectsNoGovernors(t *testing.T) {
+	m := newTestManager(t)
+	topo, err := NewRegularTopology(TopologySpec{Providers: 2, Collectors: 2, Degree: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RegisterAll(m, topo, 0, nil); !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("RegisterAll() error = %v, want ErrBadTopology", err)
+	}
+}

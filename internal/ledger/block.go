@@ -1,0 +1,285 @@
+// Package ledger implements the paper's tamper-proof chain of blocks.
+//
+// A block B = (s, TXList, h) carries a serial number s, a list of
+// provider-signed transactions with the governor's recorded statuses,
+// and the hash h = H(B_prev) of the previous block (§3.1). Blocks have
+// one-by-one increasing serial numbers and the chain satisfies:
+//
+//   - Agreement: one block per serial number;
+//   - Chain Integrity: h' = H(B) links consecutive blocks under a
+//     collision-resistant hash;
+//   - No Skipping: a block is only retrievable once all predecessors
+//     are.
+//
+// The package provides an in-memory store and an append-only file
+// store behind a common Store interface, plus whole-chain
+// verification.
+package ledger
+
+import (
+	"errors"
+	"fmt"
+
+	"repchain/internal/codec"
+	"repchain/internal/crypto"
+	"repchain/internal/identity"
+	"repchain/internal/tx"
+)
+
+// Sentinel errors. Callers match with errors.Is.
+var (
+	// ErrNotFound reports a retrieve for a serial number beyond the
+	// chain head.
+	ErrNotFound = errors.New("ledger: block not found")
+	// ErrBadSerial reports an append whose serial number is not
+	// head+1 (the No Skipping property).
+	ErrBadSerial = errors.New("ledger: serial number out of order")
+	// ErrBadPrevHash reports an append whose previous-hash field does
+	// not match the head block (the Chain Integrity property).
+	ErrBadPrevHash = errors.New("ledger: previous hash mismatch")
+	// ErrBlockTooLarge reports a block exceeding the b_limit bound.
+	ErrBlockTooLarge = errors.New("ledger: block exceeds transaction limit")
+	// ErrCorruptChain reports a verification failure over a stored
+	// chain.
+	ErrCorruptChain = errors.New("ledger: chain verification failed")
+	// ErrDecode reports a malformed block encoding.
+	ErrDecode = errors.New("ledger: decode failed")
+)
+
+// Record is one TXList entry: a provider-signed transaction together
+// with the governor's recorded judgment. Algorithm 2 appends three
+// shapes — tx (checked valid), (tx, valid) (checked after a -1
+// label), and (tx, invalid, unchecked) — which all normalize to this
+// struct.
+type Record struct {
+	// Signed is the provider envelope.
+	Signed tx.SignedTx
+	// Label is the label of the collector the governor drew for this
+	// transaction (kept so that later argue() evidence can score every
+	// reporting collector; the full report set is replayed from
+	// governor state).
+	Label tx.Label
+	// Status is the governor's recorded judgment.
+	Status tx.Status
+	// Unchecked reports that the governor skipped verification and the
+	// status is the conservative invalid marking of Algorithm 2
+	// line 32.
+	Unchecked bool
+}
+
+// Encode appends the canonical encoding of r to e.
+func (r Record) Encode(e *codec.Encoder) {
+	r.Signed.Encode(e)
+	e.PutVarint(int64(r.Label))
+	e.PutInt(int(r.Status))
+	e.PutBool(r.Unchecked)
+}
+
+// DecodeRecord reads one Record from d.
+func DecodeRecord(d *codec.Decoder) (Record, error) {
+	s, err := tx.DecodeSignedTx(d)
+	if err != nil {
+		return Record{}, fmt.Errorf("record: %w", err)
+	}
+	lv, err := d.Varint()
+	if err != nil {
+		return Record{}, fmt.Errorf("record label: %w", err)
+	}
+	sv, err := d.Int()
+	if err != nil {
+		return Record{}, fmt.Errorf("record status: %w", err)
+	}
+	unchecked, err := d.Bool()
+	if err != nil {
+		return Record{}, fmt.Errorf("record unchecked: %w", err)
+	}
+	st := tx.Status(sv)
+	if st != tx.StatusValid && st != tx.StatusInvalid {
+		return Record{}, fmt.Errorf("record status %d: %w", sv, ErrDecode)
+	}
+	return Record{Signed: s, Label: tx.Label(lv), Status: st, Unchecked: unchecked}, nil
+}
+
+// Block is the paper's B = (s, TXList, h), extended with a Merkle
+// commitment over the TXList, the proposing leader's identity, and the
+// leader's signature (DESIGN.md §5 records the extensions).
+type Block struct {
+	// Serial is s, the one-by-one increasing block number starting
+	// at 1.
+	Serial uint64
+	// Records is TXList.
+	Records []Record
+	// PrevHash is h = H(B_prev); ZeroHash in the genesis block.
+	PrevHash crypto.Hash
+	// TxRoot is the Merkle root over the encoded Records.
+	TxRoot crypto.Hash
+	// Proposer is the leading governor that assembled the block.
+	Proposer identity.NodeID
+	// Signature is the proposer's signature over the block hash.
+	Signature []byte
+}
+
+// ComputeTxRoot returns the Merkle root over the block's records.
+func ComputeTxRoot(records []Record) crypto.Hash {
+	leaves := make([][]byte, len(records))
+	for i, r := range records {
+		e := codec.NewEncoder(256)
+		r.Encode(e)
+		leaf := make([]byte, e.Len())
+		copy(leaf, e.Bytes())
+		leaves[i] = leaf
+	}
+	return crypto.MerkleRoot(leaves)
+}
+
+// hashableBytes returns the canonical encoding of everything the block
+// hash covers: serial, records, previous hash, transaction root, and
+// proposer — but not the proposer signature, which signs the hash.
+func (b Block) hashableBytes() []byte {
+	e := codec.NewEncoder(256 * (len(b.Records) + 1))
+	e.PutString("repchain/block/v1")
+	e.PutUint64(b.Serial)
+	e.PutInt(len(b.Records))
+	for _, r := range b.Records {
+		r.Encode(e)
+	}
+	e.PutRaw(b.PrevHash[:])
+	e.PutRaw(b.TxRoot[:])
+	e.PutString(string(b.Proposer))
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// Hash returns H(B), the value the next block stores in its PrevHash
+// field.
+func (b Block) Hash() crypto.Hash {
+	return crypto.Sum(b.hashableBytes())
+}
+
+// SignAs sets the proposer identity and signs the block hash.
+func (b *Block) SignAs(proposer identity.NodeID, key crypto.PrivateKey) {
+	b.Proposer = proposer
+	h := b.Hash()
+	b.Signature = key.Sign(h[:])
+}
+
+// VerifyProposer checks the proposer signature against pub.
+func (b Block) VerifyProposer(pub crypto.PublicKey) error {
+	h := b.Hash()
+	if err := pub.Verify(h[:], b.Signature); err != nil {
+		return fmt.Errorf("block %d proposer signature: %w", b.Serial, err)
+	}
+	return nil
+}
+
+// Encode appends the wire encoding of b to e.
+func (b Block) Encode(e *codec.Encoder) {
+	e.PutString("repchain/block/v1")
+	e.PutUint64(b.Serial)
+	e.PutInt(len(b.Records))
+	for _, r := range b.Records {
+		r.Encode(e)
+	}
+	e.PutRaw(b.PrevHash[:])
+	e.PutRaw(b.TxRoot[:])
+	e.PutString(string(b.Proposer))
+	e.PutBytes(b.Signature)
+}
+
+// EncodeBytes returns the standalone wire encoding of b.
+func (b Block) EncodeBytes() []byte {
+	e := codec.NewEncoder(256 * (len(b.Records) + 1))
+	b.Encode(e)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// DecodeBlock reads one Block from d.
+func DecodeBlock(d *codec.Decoder) (Block, error) {
+	var b Block
+	tag, err := d.String()
+	if err != nil {
+		return b, err
+	}
+	if tag != "repchain/block/v1" {
+		return b, fmt.Errorf("block tag %q: %w", tag, ErrDecode)
+	}
+	if b.Serial, err = d.Uint64(); err != nil {
+		return b, err
+	}
+	n, err := d.Int()
+	if err != nil {
+		return b, err
+	}
+	if n < 0 || n > 1<<20 {
+		return b, fmt.Errorf("block record count %d: %w", n, ErrDecode)
+	}
+	b.Records = make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := DecodeRecord(d)
+		if err != nil {
+			return b, fmt.Errorf("block record %d: %w", i, err)
+		}
+		b.Records = append(b.Records, r)
+	}
+	prev, err := d.Raw(crypto.HashSize)
+	if err != nil {
+		return b, err
+	}
+	if b.PrevHash, err = crypto.HashFromBytes(prev); err != nil {
+		return b, err
+	}
+	root, err := d.Raw(crypto.HashSize)
+	if err != nil {
+		return b, err
+	}
+	if b.TxRoot, err = crypto.HashFromBytes(root); err != nil {
+		return b, err
+	}
+	prop, err := d.String()
+	if err != nil {
+		return b, err
+	}
+	b.Proposer = identity.NodeID(prop)
+	if b.Signature, err = d.Bytes(); err != nil {
+		return b, err
+	}
+	return b, nil
+}
+
+// DecodeBlockBytes decodes a standalone block encoding, requiring full
+// consumption of buf.
+func DecodeBlockBytes(buf []byte) (Block, error) {
+	d := codec.NewDecoder(buf)
+	b, err := DecodeBlock(d)
+	if err != nil {
+		return Block{}, err
+	}
+	if err := d.Expect(); err != nil {
+		return Block{}, fmt.Errorf("block: %w", err)
+	}
+	return b, nil
+}
+
+// NewBlock assembles an unsigned block on top of prev (nil for
+// genesis), computing the transaction root. limit is b_limit; zero
+// means unlimited.
+func NewBlock(prev *Block, records []Record, limit int) (Block, error) {
+	if limit > 0 && len(records) > limit {
+		return Block{}, fmt.Errorf("%d records with b_limit %d: %w", len(records), limit, ErrBlockTooLarge)
+	}
+	b := Block{
+		Records: append([]Record(nil), records...),
+		TxRoot:  ComputeTxRoot(records),
+	}
+	if prev == nil {
+		b.Serial = 1
+		b.PrevHash = crypto.ZeroHash
+	} else {
+		b.Serial = prev.Serial + 1
+		b.PrevHash = prev.Hash()
+	}
+	return b, nil
+}

@@ -1,0 +1,50 @@
+package ledger
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDecodeNeverPanics feeds random byte strings to the block
+// decoder: it must reject or accept gracefully, never panic, and any
+// accepted block must re-encode to a decodable form.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		blk, err := DecodeBlockBytes(b)
+		if err != nil {
+			return true
+		}
+		// Extremely unlikely, but if random bytes decode, the block
+		// must round trip.
+		_, err = DecodeBlockBytes(blk.EncodeBytes())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecodeMutatedBlock flips one byte of a real block encoding:
+// the result must either fail to decode or decode to a block whose
+// hash differs (the mutation cannot be silent).
+func TestQuickDecodeMutatedBlock(t *testing.T) {
+	base, err := NewBlock(nil, testRecords(t, 3, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := base.EncodeBytes()
+	want := base.Hash()
+	f := func(pos uint16, bit uint8) bool {
+		mut := make([]byte, len(enc))
+		copy(mut, enc)
+		mut[int(pos)%len(mut)] ^= 1 << (bit % 8)
+		blk, err := DecodeBlockBytes(mut)
+		if err != nil {
+			return true
+		}
+		return blk.Hash() != want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

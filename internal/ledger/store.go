@@ -1,0 +1,259 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repchain/internal/crypto"
+)
+
+// Store is a chain of blocks with the paper's retrieve(s) primitive.
+// Implementations are safe for concurrent use.
+type Store interface {
+	// Append adds b to the chain, enforcing serial ordering and the
+	// previous-hash link.
+	Append(b Block) error
+	// Get returns the block with serial number s (retrieve(s)).
+	Get(s uint64) (Block, error)
+	// Head returns the newest block, or ErrNotFound on an empty chain.
+	Head() (Block, error)
+	// Height returns the newest serial number, zero when empty.
+	Height() uint64
+}
+
+// MemoryStore keeps the chain in memory.
+type MemoryStore struct {
+	mu     sync.RWMutex
+	blocks []Block
+}
+
+var _ Store = (*MemoryStore)(nil)
+
+// NewMemoryStore returns an empty in-memory chain.
+func NewMemoryStore() *MemoryStore { return &MemoryStore{} }
+
+// Append implements Store.
+func (s *MemoryStore) Append(b Block) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return appendChecked(&s.blocks, b)
+}
+
+// Get implements Store.
+func (s *MemoryStore) Get(serial uint64) (Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return getChecked(s.blocks, serial)
+}
+
+// Head implements Store.
+func (s *MemoryStore) Head() (Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.blocks) == 0 {
+		return Block{}, fmt.Errorf("empty chain: %w", ErrNotFound)
+	}
+	return s.blocks[len(s.blocks)-1], nil
+}
+
+// Height implements Store.
+func (s *MemoryStore) Height() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return uint64(len(s.blocks))
+}
+
+// appendChecked enforces the No Skipping and Chain Integrity invariants
+// shared by both stores.
+func appendChecked(blocks *[]Block, b Block) error {
+	height := uint64(len(*blocks))
+	if b.Serial != height+1 {
+		return fmt.Errorf("append serial %d at height %d: %w", b.Serial, height, ErrBadSerial)
+	}
+	if height == 0 {
+		if !b.PrevHash.IsZero() {
+			return fmt.Errorf("genesis block with nonzero previous hash: %w", ErrBadPrevHash)
+		}
+	} else {
+		prev := (*blocks)[height-1]
+		if b.PrevHash != prev.Hash() {
+			return fmt.Errorf("block %d previous hash %s, head is %s: %w",
+				b.Serial, b.PrevHash.Short(), prev.Hash().Short(), ErrBadPrevHash)
+		}
+	}
+	*blocks = append(*blocks, b)
+	return nil
+}
+
+func getChecked(blocks []Block, serial uint64) (Block, error) {
+	if serial == 0 || serial > uint64(len(blocks)) {
+		return Block{}, fmt.Errorf("serial %d at height %d: %w", serial, len(blocks), ErrNotFound)
+	}
+	return blocks[serial-1], nil
+}
+
+// VerifyChain replays the whole chain in store, checking serial
+// ordering, previous-hash links, and transaction-root commitments. It
+// is the auditor's offline check of the Chain Integrity and No
+// Skipping properties.
+func VerifyChain(store Store) error {
+	height := store.Height()
+	var prevHash crypto.Hash
+	for s := uint64(1); s <= height; s++ {
+		b, err := store.Get(s)
+		if err != nil {
+			return fmt.Errorf("retrieve %d: %w", s, err)
+		}
+		if b.Serial != s {
+			return fmt.Errorf("block at position %d has serial %d: %w", s, b.Serial, ErrCorruptChain)
+		}
+		if b.PrevHash != prevHash {
+			return fmt.Errorf("block %d previous hash mismatch: %w", s, ErrCorruptChain)
+		}
+		if got := ComputeTxRoot(b.Records); got != b.TxRoot {
+			return fmt.Errorf("block %d transaction root mismatch: %w", s, ErrCorruptChain)
+		}
+		prevHash = b.Hash()
+	}
+	return nil
+}
+
+// FileStore is an append-only on-disk chain: a sequence of
+// length-prefixed block encodings. It keeps an in-memory index of
+// decoded blocks for reads and appends synchronously to the file.
+type FileStore struct {
+	mu     sync.RWMutex
+	blocks []Block
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+}
+
+var _ Store = (*FileStore)(nil)
+
+// OpenFileStore opens or creates the chain file at path, replaying any
+// existing blocks and verifying their links.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open chain file: %w", err)
+	}
+	fs := &FileStore{f: f, w: bufio.NewWriter(f), path: path}
+	if err := fs.replay(); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return nil, fmt.Errorf("replay chain (close also failed: %v): %w", cerr, err)
+		}
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return nil, fmt.Errorf("seek chain end (close also failed: %v): %w", cerr, err)
+		}
+		return nil, fmt.Errorf("seek chain end: %w", err)
+	}
+	return fs, nil
+}
+
+func (fs *FileStore) replay() error {
+	r := bufio.NewReader(fs.f)
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("chain file %s truncated frame header: %w", fs.path, ErrCorruptChain)
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > 1<<28 {
+			return fmt.Errorf("chain file %s frame of %d bytes: %w", fs.path, n, ErrCorruptChain)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("chain file %s truncated frame: %w", fs.path, ErrCorruptChain)
+		}
+		b, err := DecodeBlockBytes(buf)
+		if err != nil {
+			return fmt.Errorf("chain file %s block decode: %w", fs.path, err)
+		}
+		if err := appendChecked(&fs.blocks, b); err != nil {
+			return fmt.Errorf("chain file %s replay: %w", fs.path, err)
+		}
+	}
+}
+
+// Append implements Store, persisting the block before indexing it.
+func (fs *FileStore) Append(b Block) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	// Validate against the in-memory head first so a bad block never
+	// reaches disk.
+	height := uint64(len(fs.blocks))
+	if b.Serial != height+1 {
+		return fmt.Errorf("append serial %d at height %d: %w", b.Serial, height, ErrBadSerial)
+	}
+	if height == 0 {
+		if !b.PrevHash.IsZero() {
+			return fmt.Errorf("genesis block with nonzero previous hash: %w", ErrBadPrevHash)
+		}
+	} else if b.PrevHash != fs.blocks[height-1].Hash() {
+		return fmt.Errorf("block %d previous hash mismatch: %w", b.Serial, ErrBadPrevHash)
+	}
+
+	enc := b.EncodeBytes()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(enc)))
+	if _, err := fs.w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("write block frame: %w", err)
+	}
+	if _, err := fs.w.Write(enc); err != nil {
+		return fmt.Errorf("write block: %w", err)
+	}
+	if err := fs.w.Flush(); err != nil {
+		return fmt.Errorf("flush block: %w", err)
+	}
+	fs.blocks = append(fs.blocks, b)
+	return nil
+}
+
+// Get implements Store.
+func (fs *FileStore) Get(serial uint64) (Block, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return getChecked(fs.blocks, serial)
+}
+
+// Head implements Store.
+func (fs *FileStore) Head() (Block, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if len(fs.blocks) == 0 {
+		return Block{}, fmt.Errorf("empty chain: %w", ErrNotFound)
+	}
+	return fs.blocks[len(fs.blocks)-1], nil
+}
+
+// Height implements Store.
+func (fs *FileStore) Height() uint64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return uint64(len(fs.blocks))
+}
+
+// Close flushes and closes the underlying file.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.w.Flush(); err != nil {
+		return fmt.Errorf("flush chain file: %w", err)
+	}
+	if err := fs.f.Close(); err != nil {
+		return fmt.Errorf("close chain file: %w", err)
+	}
+	return nil
+}

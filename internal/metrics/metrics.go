@@ -1,0 +1,213 @@
+// Package metrics provides the lightweight counters and series the
+// simulation harness and benchmark runners record. It is deliberately
+// small: experiments need deterministic, dependency-free accounting,
+// not a full telemetry stack.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use. Safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta, which must be non-negative.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Series accumulates ordered float64 observations. The zero value is
+// ready to use. Safe for concurrent use.
+type Series struct {
+	mu sync.Mutex
+	v  []float64
+}
+
+// Observe appends one observation.
+func (s *Series) Observe(v float64) {
+	s.mu.Lock()
+	s.v = append(s.v, v)
+	s.mu.Unlock()
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.v)
+}
+
+// Values returns a copy of the observations.
+func (s *Series) Values() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.v))
+	copy(out, s.v)
+	return out
+}
+
+// Summary reduces the series to descriptive statistics.
+func (s *Series) Summary() Summary {
+	return Summarize(s.Values())
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	P50    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes descriptive statistics of vs.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(vs))
+	copy(sorted, vs)
+	sort.Float64s(sorted)
+
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	var sq float64
+	for _, v := range sorted {
+		d := v - mean
+		sq += d * d
+	}
+	std := 0.0
+	if len(sorted) > 1 {
+		std = math.Sqrt(sq / float64(len(sorted)-1))
+	}
+	return Summary{
+		Count:  len(sorted),
+		Mean:   mean,
+		Stddev: std,
+		Min:    sorted[0],
+		P50:    Quantile(sorted, 0.50),
+		P95:    Quantile(sorted, 0.95),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// Quantile returns the q-quantile of an ascending-sorted sample using
+// linear interpolation. q is clamped to [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly for experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p95=%.4g max=%.4g",
+		s.Count, s.Mean, s.Stddev, s.Min, s.P50, s.P95, s.Max)
+}
+
+// Registry is a named collection of counters and series. The zero
+// value is not usable; call NewRegistry. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	series   map[string]*Series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		series:   make(map[string]*Series),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Series returns the named series, creating it on first use.
+func (r *Registry) Series(name string) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Dump renders every metric in sorted name order, one per line.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.series))
+	for n := range r.counters {
+		names = append(names, "c:"+n)
+	}
+	for n := range r.series {
+		names = append(names, "s:"+n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		kind, name := n[:1], n[2:]
+		switch kind {
+		case "c":
+			fmt.Fprintf(&b, "%-40s %d\n", name, r.counters[name].Value())
+		case "s":
+			fmt.Fprintf(&b, "%-40s %s\n", name, r.series[name].Summary())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value should read 0")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value() = %d, want 5", c.Value())
+	}
+	c.Add(-3) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Fatalf("Value() after negative Add = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("Value() = %d, want 16000", c.Value())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	for _, v := range []float64{3, 1, 2} {
+		s.Observe(v)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+	vs := s.Values()
+	if vs[0] != 3 || vs[1] != 1 || vs[2] != 2 {
+		t.Fatalf("Values() = %v, order not preserved", vs)
+	}
+	// Values must be a copy.
+	vs[0] = 99
+	if s.Values()[0] != 3 {
+		t.Fatal("Values() aliases internal storage")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sum := Summarize([]float64{1, 2, 3, 4, 5})
+	if sum.Count != 5 || sum.Mean != 3 || sum.Min != 1 || sum.Max != 5 || sum.P50 != 3 {
+		t.Fatalf("Summarize() = %+v", sum)
+	}
+	if math.Abs(sum.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Stddev = %v", sum.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := Summarize(nil); got.Count != 0 {
+		t.Fatalf("Summarize(nil) = %+v", got)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	sum := Summarize([]float64{7})
+	if sum.Count != 1 || sum.Mean != 7 || sum.Stddev != 0 || sum.P95 != 7 {
+		t.Fatalf("Summarize([7]) = %+v", sum)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},
+		{1, 40},
+		{-0.5, 10},
+		{2, 40},
+		{0.5, 25},
+		{1.0 / 3, 20},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("Quantile(nil) should be 0")
+	}
+}
+
+func TestQuickQuantileWithinRange(t *testing.T) {
+	f := func(vs []float64, qRaw uint8) bool {
+		if len(vs) == 0 {
+			return true
+		}
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		sum := Summarize(vs)
+		return sum.Min <= sum.P50 && sum.P50 <= sum.P95 && sum.P95 <= sum.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("blocks").Add(3)
+	r.Counter("blocks").Inc() // same counter on second call
+	if r.Counter("blocks").Value() != 4 {
+		t.Fatal("registry did not reuse counter")
+	}
+	r.Series("loss").Observe(1.5)
+	if r.Series("loss").Len() != 1 {
+		t.Fatal("registry did not reuse series")
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, "blocks") || !strings.Contains(dump, "loss") {
+		t.Fatalf("Dump() missing metrics:\n%s", dump)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared").Inc()
+				r.Series("obs").Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("shared").Value() != 4000 {
+		t.Fatalf("shared = %d", r.Counter("shared").Value())
+	}
+	if r.Series("obs").Len() != 4000 {
+		t.Fatalf("obs len = %d", r.Series("obs").Len())
+	}
+}

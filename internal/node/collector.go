@@ -1,0 +1,260 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repchain/internal/identity"
+	"repchain/internal/network"
+	"repchain/internal/tx"
+)
+
+// Reaction is a collector behaviour's decision for one verified
+// transaction.
+type Reaction struct {
+	// Report is false when the collector conceals the transaction
+	// (misbehaviour class 2 of §4.2).
+	Report bool
+	// Label is the label to upload; an honest collector uploads the
+	// validator's label, a misreporter flips it (class 1).
+	Label tx.Label
+}
+
+// Behavior decides how a collector treats transactions. The honest
+// behaviour reports every transaction with the validator's label;
+// adversarial behaviours implement the misbehaviour classes of §4.2.
+type Behavior interface {
+	// React is called once per verified transaction with the honest
+	// label.
+	React(honest tx.Label, rng *rand.Rand) Reaction
+	// ForgeCount returns how many forged transactions to inject this
+	// round (misbehaviour class 3).
+	ForgeCount(rng *rand.Rand) int
+}
+
+// HonestBehavior always reports the validator's label and never
+// forges.
+type HonestBehavior struct{}
+
+var _ Behavior = HonestBehavior{}
+
+// React implements Behavior.
+func (HonestBehavior) React(honest tx.Label, _ *rand.Rand) Reaction {
+	return Reaction{Report: true, Label: honest}
+}
+
+// ForgeCount implements Behavior.
+func (HonestBehavior) ForgeCount(*rand.Rand) int { return 0 }
+
+// ProbBehavior misbehaves with fixed probabilities, covering all three
+// misbehaviour classes of §4.2.
+type ProbBehavior struct {
+	// Misreport is the probability of flipping the honest label.
+	Misreport float64
+	// Conceal is the probability of not uploading a transaction.
+	Conceal float64
+	// Forge is the probability of injecting one forged transaction
+	// per round.
+	Forge float64
+}
+
+var _ Behavior = ProbBehavior{}
+
+// React implements Behavior.
+func (b ProbBehavior) React(honest tx.Label, rng *rand.Rand) Reaction {
+	if rng.Float64() < b.Conceal {
+		return Reaction{Report: false}
+	}
+	label := honest
+	if rng.Float64() < b.Misreport {
+		label = honest.Opposite()
+	}
+	return Reaction{Report: true, Label: label}
+}
+
+// ForgeCount implements Behavior.
+func (b ProbBehavior) ForgeCount(rng *rand.Rand) int {
+	if b.Forge > 0 && rng.Float64() < b.Forge {
+		return 1
+	}
+	return 0
+}
+
+// Collector is a collector c_i: it verifies provider transactions,
+// labels them, and uploads them to every governor (Algorithm 1).
+type Collector struct {
+	member      identity.Member
+	ep          *network.Endpoint
+	im          *identity.Manager
+	validator   tx.Validator
+	behavior    Behavior
+	governorIDs []identity.NodeID
+	rng         *rand.Rand
+
+	// providerIDs are the linked providers; forged transactions claim
+	// one of these identities.
+	providerIDs []identity.NodeID
+
+	// stats
+	received  int
+	uploaded  int
+	concealed int
+	discarded int
+	forged    int
+	forgeSeq  uint64
+}
+
+// NewCollector wires a collector node to the bus.
+func NewCollector(
+	member identity.Member,
+	ep *network.Endpoint,
+	im *identity.Manager,
+	validator tx.Validator,
+	behavior Behavior,
+	governors []identity.NodeID,
+	seed int64,
+) *Collector {
+	if behavior == nil {
+		behavior = HonestBehavior{}
+	}
+	return &Collector{
+		member:      member,
+		ep:          ep,
+		im:          im,
+		validator:   validator,
+		behavior:    behavior,
+		governorIDs: append([]identity.NodeID(nil), governors...),
+		providerIDs: im.ProvidersOf(member.ID),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// ID returns the collector's node ID.
+func (c *Collector) ID() identity.NodeID { return c.member.ID }
+
+// Index returns the collector's index i.
+func (c *Collector) Index() int { return c.member.Index }
+
+// HandleProviderTx processes one delivered provider transaction —
+// Algorithm 1 plus the behaviour model — uploading the labeled
+// envelope to every governor through sender. It reports whether an
+// upload happened.
+func (c *Collector) HandleProviderTx(m network.Message, sender Sender) (bool, error) {
+	if m.Kind != network.KindProviderTx {
+		return false, nil
+	}
+	signed, err := tx.DecodeSignedTxBytes(m.Payload)
+	if err != nil {
+		c.discarded++
+		return false, nil
+	}
+	c.received++
+	// verify(p_k, tx): the provider's signature must check out and
+	// the claimed provider must be the actual sender.
+	if signed.Tx.Provider != m.From {
+		c.discarded++
+		return false, nil
+	}
+	pub, err := c.im.PublicKeyOf(signed.Tx.Provider)
+	if err != nil {
+		c.discarded++
+		return false, nil
+	}
+	if err := signed.VerifyProvider(pub); err != nil {
+		c.discarded++
+		return false, nil
+	}
+	honest := tx.LabelFor(c.validator, signed.Tx)
+	reaction := c.behavior.React(honest, c.rng)
+	if !reaction.Report {
+		c.concealed++
+		return false, nil
+	}
+	labeled, err := tx.SignLabel(signed, reaction.Label, c.member.ID, c.member.PrivateKey)
+	if err != nil {
+		return false, fmt.Errorf("collector %s label: %w", c.member.ID, err)
+	}
+	if err := sender.Multicast(c.member.ID, c.governorIDs, network.KindCollectorTx, labeled.EncodeBytes()); err != nil {
+		return false, fmt.Errorf("collector %s upload: %w", c.member.ID, err)
+	}
+	c.uploaded++
+	return true, nil
+}
+
+// ForgeRound injects the behaviour model's forged transactions for one
+// round (misbehaviour class 3). The collector cannot produce a
+// provider signature, so it signs the inner transaction with its own
+// key — governors detect this except with negligible probability
+// (§4.2). It returns the number of forgeries sent.
+func (c *Collector) ForgeRound(sender Sender) (int, error) {
+	forged := 0
+	for n := c.behavior.ForgeCount(c.rng); n > 0; n-- {
+		if len(c.providerIDs) == 0 {
+			break
+		}
+		c.forgeSeq++
+		victim := c.providerIDs[c.rng.Intn(len(c.providerIDs))]
+		fake := tx.Transaction{
+			Provider:  victim,
+			Seq:       1_000_000_000 + c.forgeSeq,
+			Timestamp: int64(c.forgeSeq),
+			Kind:      "forged",
+			Payload:   []byte("fabricated"),
+		}
+		inner := tx.Sign(fake, c.member.PrivateKey) // wrong key on purpose
+		labeled, err := tx.SignLabel(inner, tx.LabelValid, c.member.ID, c.member.PrivateKey)
+		if err != nil {
+			return forged, fmt.Errorf("collector %s forge: %w", c.member.ID, err)
+		}
+		if err := sender.Multicast(c.member.ID, c.governorIDs, network.KindCollectorTx, labeled.EncodeBytes()); err != nil {
+			return forged, fmt.Errorf("collector %s forge upload: %w", c.member.ID, err)
+		}
+		c.forged++
+		forged++
+	}
+	return forged, nil
+}
+
+// ProcessRound drains the collector's bus inbox, uploads labeled
+// transactions, and injects the round's forgeries. It returns the
+// number of uploads (including forgeries).
+func (c *Collector) ProcessRound(bus *network.Bus) (int, error) {
+	uploads := 0
+	for _, m := range c.ep.Receive() {
+		sent, err := c.HandleProviderTx(m, bus)
+		if err != nil {
+			return uploads, err
+		}
+		if sent {
+			uploads++
+		}
+	}
+	forged, err := c.ForgeRound(bus)
+	if err != nil {
+		return uploads, err
+	}
+	return uploads + forged, nil
+}
+
+// CollectorStats reports a collector's activity counters.
+type CollectorStats struct {
+	Received  int
+	Uploaded  int
+	Concealed int
+	Discarded int
+	Forged    int
+}
+
+// Stats returns the collector's counters.
+func (c *Collector) Stats() CollectorStats {
+	return CollectorStats{
+		Received:  c.received,
+		Uploaded:  c.uploaded,
+		Concealed: c.concealed,
+		Discarded: c.discarded,
+		Forged:    c.forged,
+	}
+}
+
+// Endpoint returns the collector's bus endpoint.
+func (c *Collector) Endpoint() *network.Endpoint { return c.ep }

@@ -1,0 +1,513 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repchain/internal/crypto"
+	"repchain/internal/identity"
+	"repchain/internal/ledger"
+	"repchain/internal/network"
+	"repchain/internal/reputation"
+	"repchain/internal/tx"
+)
+
+// GovernorConfig assembles a governor's dependencies.
+type GovernorConfig struct {
+	// Member is the governor's credential and signing key.
+	Member identity.Member
+	// Endpoint is the governor's bus attachment.
+	Endpoint *network.Endpoint
+	// IM is the identity manager used for verify().
+	IM *identity.Manager
+	// Topology is the provider–collector graph.
+	Topology *identity.Topology
+	// Params tunes the reputation mechanism.
+	Params reputation.Params
+	// Validator is validate(tx).
+	Validator tx.Validator
+	// BlockLimit is b_limit; zero means unlimited.
+	BlockLimit int
+	// ArgueWindow is U: an unchecked transaction may be argued until
+	// U newer unchecked transactions from the same provider exist.
+	ArgueWindow int
+	// Seed drives the governor's local screening randomness.
+	Seed int64
+	// Store overrides the governor's ledger replica; nil means a
+	// fresh in-memory store. Pass a ledger.FileStore for a persistent
+	// replica that survives restarts.
+	Store ledger.Store
+}
+
+// GovernorStats counts a governor's screening activity.
+type GovernorStats struct {
+	// ReportsReceived counts verified collector uploads.
+	ReportsReceived int
+	// ForgeriesDetected counts uploads failing verify().
+	ForgeriesDetected int
+	// Checked counts transactions the governor validated.
+	Checked int
+	// Unchecked counts transactions recorded (invalid, unchecked).
+	Unchecked int
+	// ValidRecorded counts transactions recorded valid.
+	ValidRecorded int
+	// InvalidDiscarded counts checked-invalid transactions discarded.
+	InvalidDiscarded int
+	// ArguesAccepted counts argues that re-validated a transaction.
+	ArguesAccepted int
+	// ArguesRejected counts stale, duplicate, or failed argues.
+	ArguesRejected int
+	// Expired counts unchecked transactions revealed invalid after
+	// the argue window lapsed.
+	Expired int
+	// Mistakes counts unchecked transactions whose argue showed the
+	// recorded invalid status was wrong — the governor's realized
+	// mistakes that Theorem 4 bounds.
+	Mistakes int
+}
+
+// uncheckedEntry tracks one (tx, invalid, unchecked) record awaiting
+// its reveal: an argue, or expiry after ArgueWindow newer entries.
+type uncheckedEntry struct {
+	provider int
+	signed   tx.SignedTx
+	reports  []reputation.Report
+	revealed bool
+}
+
+// groupedTx accumulates the round's reports for one transaction.
+type groupedTx struct {
+	signed   tx.SignedTx
+	provider int
+	reports  []reputation.Report
+	labels   map[int]tx.Label // collector -> label, for equivocation detection
+	order    int              // arrival order for deterministic iteration
+}
+
+// Governor is a governor g_j: it screens uploaded transactions with
+// the reputation mechanism (Algorithm 2), updates reputations
+// (Algorithm 3), assembles blocks when leading, and maintains a full
+// replica of the ledger.
+type Governor struct {
+	cfg   GovernorConfig
+	table *reputation.Table
+	store ledger.Store
+	rng   *rand.Rand
+
+	// round state: transactions grouped by ID, in arrival order.
+	groups map[crypto.Hash]*groupedTx
+	ngroup int
+	argues []ArgueMsg
+
+	// pendingRecords carries argue re-validations and block-limit
+	// overflow into subsequent blocks.
+	pendingRecords []ledger.Record
+
+	// unchecked is the per-provider argue window (U) queue.
+	unchecked     map[int][]*uncheckedEntry
+	uncheckedByID map[crypto.Hash]*uncheckedEntry
+
+	// committedValid tracks transactions already recorded valid in
+	// the replicated chain, preventing duplicate re-inclusion when
+	// several governors accept the same argue.
+	committedValid map[crypto.Hash]bool
+	// processedArgues prevents double-processing one argue delivered
+	// by several providers or rounds.
+	processedArgues map[crypto.Hash]bool
+
+	stats GovernorStats
+}
+
+// NewGovernor builds a governor from its configuration.
+func NewGovernor(cfg GovernorConfig) (*Governor, error) {
+	table, err := reputation.NewTable(cfg.Topology, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("governor %s: %w", cfg.Member.ID, err)
+	}
+	if cfg.ArgueWindow <= 0 {
+		cfg.ArgueWindow = 64
+	}
+	store := cfg.Store
+	if store == nil {
+		store = ledger.NewMemoryStore()
+	}
+	return &Governor{
+		cfg:             cfg,
+		table:           table,
+		store:           store,
+		rng:             rand.New(rand.NewSource(cfg.Seed)),
+		groups:          make(map[crypto.Hash]*groupedTx),
+		unchecked:       make(map[int][]*uncheckedEntry),
+		uncheckedByID:   make(map[crypto.Hash]*uncheckedEntry),
+		committedValid:  make(map[crypto.Hash]bool),
+		processedArgues: make(map[crypto.Hash]bool),
+	}, nil
+}
+
+// ID returns the governor's node ID.
+func (g *Governor) ID() identity.NodeID { return g.cfg.Member.ID }
+
+// Index returns the governor's index j.
+func (g *Governor) Index() int { return g.cfg.Member.Index }
+
+// Table exposes the governor's reputation table for inspection.
+func (g *Governor) Table() *reputation.Table { return g.table }
+
+// Store exposes the governor's ledger replica.
+func (g *Governor) Store() ledger.Store { return g.store }
+
+// Stats returns the governor's counters.
+func (g *Governor) Stats() GovernorStats { return g.stats }
+
+// Endpoint returns the governor's bus endpoint.
+func (g *Governor) Endpoint() *network.Endpoint { return g.cfg.Endpoint }
+
+// HandleMessage routes one delivered message. Collector uploads and
+// provider argues are consumed (uploads run verify(c_i, Tx) per the
+// paper: the collector's signature, its certificate, and the inner
+// provider signature from a linked provider; failures penalize the
+// uploader's forge score, Algorithm 3 case 1). Messages of other
+// kinds are left to the caller; consumed reports whether the governor
+// took the message.
+func (g *Governor) HandleMessage(m network.Message) (consumed bool, err error) {
+	switch m.Kind {
+	case network.KindCollectorTx:
+		return true, g.acceptUpload(m)
+	case network.KindArgue:
+		return true, g.acceptArgue(m)
+	default:
+		return false, nil
+	}
+}
+
+// DrainInbox consumes the round's uploads and argues, discarding
+// anything else.
+func (g *Governor) DrainInbox() error {
+	for _, m := range g.cfg.Endpoint.Receive() {
+		if _, err := g.HandleMessage(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Governor) acceptUpload(m network.Message) error {
+	collectorIdx, err := roleIndex(m.From, identity.RoleCollector)
+	if err != nil {
+		return nil // not a collector: ignore
+	}
+	penalize := func() error {
+		g.stats.ForgeriesDetected++
+		if collectorIdx < 0 || collectorIdx >= g.table.Collectors() {
+			// An uploader outside the known collector set cannot be
+			// scored, only rejected.
+			return nil
+		}
+		if err := g.table.RecordForgery(collectorIdx); err != nil {
+			return fmt.Errorf("governor %s forge penalty: %w", g.cfg.Member.ID, err)
+		}
+		return nil
+	}
+
+	labeled, err := tx.DecodeLabeledTxBytes(m.Payload)
+	if err != nil {
+		return penalize()
+	}
+	// The upload must actually come from the collector that signed it.
+	if labeled.Collector != m.From {
+		return penalize()
+	}
+	collPub, err := g.cfg.IM.PublicKeyOf(labeled.Collector)
+	if err != nil {
+		return penalize()
+	}
+	if err := labeled.VerifyCollector(collPub); err != nil {
+		return penalize()
+	}
+	// The inner provider signature must verify and the provider must
+	// be linked with the uploading collector.
+	provID := labeled.Signed.Tx.Provider
+	provPub, err := g.cfg.IM.PublicKeyOf(provID)
+	if err != nil {
+		return penalize()
+	}
+	if err := labeled.Signed.VerifyProvider(provPub); err != nil {
+		return penalize()
+	}
+	if !g.cfg.IM.Linked(provID, labeled.Collector) {
+		return penalize()
+	}
+	providerIdx, err := roleIndex(provID, identity.RoleProvider)
+	if err != nil {
+		return penalize()
+	}
+
+	id := labeled.ID()
+	grp, ok := g.groups[id]
+	if !ok {
+		grp = &groupedTx{
+			signed:   labeled.Signed,
+			provider: providerIdx,
+			labels:   make(map[int]tx.Label),
+			order:    g.ngroup,
+		}
+		g.ngroup++
+		g.groups[id] = grp
+	}
+	if prev, dup := grp.labels[collectorIdx]; dup {
+		if prev != labeled.Label {
+			// Equivocation: two different signed labels for one
+			// transaction. Treat as fabrication.
+			return penalize()
+		}
+		return nil // idempotent duplicate
+	}
+	grp.labels[collectorIdx] = labeled.Label
+	grp.reports = append(grp.reports, reputation.Report{Collector: collectorIdx, Label: labeled.Label})
+	g.stats.ReportsReceived++
+	return nil
+}
+
+func (g *Governor) acceptArgue(m network.Message) error {
+	msg, err := DecodeArgueBytes(m.Payload)
+	if err != nil {
+		g.stats.ArguesRejected++
+		return nil
+	}
+	// Only the authoring provider may argue its own transaction.
+	if msg.Signed.Tx.Provider != m.From {
+		g.stats.ArguesRejected++
+		return nil
+	}
+	pub, err := g.cfg.IM.PublicKeyOf(msg.Signed.Tx.Provider)
+	if err != nil {
+		g.stats.ArguesRejected++
+		return nil
+	}
+	if err := msg.Verify(pub); err != nil {
+		g.stats.ArguesRejected++
+		return nil
+	}
+	g.argues = append(g.argues, msg)
+	return nil
+}
+
+// ProcessArgues resolves queued argues (Algorithm 2 lines 34–39): the
+// governor re-validates the disputed transaction; a valid one is
+// appended (tx, valid) to a later block. When the governor itself
+// left the transaction unchecked, the reveal also updates reputations
+// with case 3. Every governor processes every argue — the chain
+// records the leader's screening, so a governor that happened to check
+// the transaction locally must still be ready to re-include it when it
+// next leads.
+func (g *Governor) ProcessArgues() error {
+	for _, a := range g.argues {
+		id := a.Signed.ID()
+		if g.processedArgues[id] || g.committedValid[id] {
+			g.stats.ArguesRejected++
+			continue
+		}
+		g.processedArgues[id] = true
+
+		status := tx.StatusInvalid
+		if g.cfg.Validator.Validate(a.Signed.Tx) {
+			status = tx.StatusValid
+			g.pendingRecords = append(g.pendingRecords, ledger.Record{
+				Signed: a.Signed,
+				Label:  tx.LabelValid,
+				Status: tx.StatusValid,
+			})
+			g.stats.ArguesAccepted++
+			g.stats.Mistakes++ // recorded invalid, actually valid
+		} else {
+			g.stats.ArguesRejected++
+		}
+		// Case-3 reveal only applies where this governor holds the
+		// unchecked entry (it knows who reported what).
+		if entry, ok := g.uncheckedByID[id]; ok && !entry.revealed {
+			if len(entry.reports) > 0 {
+				if _, err := g.table.RecordRevealed(entry.provider, entry.reports, status); err != nil {
+					return fmt.Errorf("governor %s argue reveal: %w", g.cfg.Member.ID, err)
+				}
+			}
+			entry.revealed = true
+			delete(g.uncheckedByID, id)
+		}
+	}
+	g.argues = g.argues[:0]
+	return nil
+}
+
+// ScreenRound runs Algorithm 2 over the round's grouped transactions
+// and returns the records destined for the next block, including any
+// pending carryover. Reputation updates (cases 2 and 3) happen
+// inline.
+func (g *Governor) ScreenRound() ([]ledger.Record, error) {
+	// Deterministic iteration: sort groups by arrival order.
+	ordered := make([]*groupedTx, g.ngroup)
+	for _, grp := range g.groups {
+		ordered[grp.order] = grp
+	}
+	records := g.pendingRecords
+	g.pendingRecords = nil
+
+	for _, grp := range ordered {
+		if grp == nil {
+			continue
+		}
+		dec, err := g.table.Screen(g.rng, grp.provider, grp.reports)
+		if err != nil {
+			return nil, fmt.Errorf("governor %s screen: %w", g.cfg.Member.ID, err)
+		}
+		if dec.Check {
+			g.stats.Checked++
+			valid := g.cfg.Validator.Validate(grp.signed.Tx)
+			status := tx.StatusFor(valid)
+			if err := g.table.RecordChecked(grp.provider, grp.reports, status); err != nil {
+				return nil, fmt.Errorf("governor %s checked update: %w", g.cfg.Member.ID, err)
+			}
+			if valid {
+				records = append(records, ledger.Record{
+					Signed: grp.signed,
+					Label:  dec.Label,
+					Status: tx.StatusValid,
+				})
+				g.stats.ValidRecorded++
+			} else {
+				// "For each transaction that is verified by g_j, g_j
+				// discards it if the validation result is invalid."
+				g.stats.InvalidDiscarded++
+			}
+			continue
+		}
+		// Unchecked: record (tx, invalid, unchecked) and open the
+		// argue window.
+		g.stats.Unchecked++
+		records = append(records, ledger.Record{
+			Signed:    grp.signed,
+			Label:     dec.Label,
+			Status:    tx.StatusInvalid,
+			Unchecked: true,
+		})
+		entry := &uncheckedEntry{
+			provider: grp.provider,
+			signed:   grp.signed,
+			reports:  grp.reports,
+		}
+		g.unchecked[grp.provider] = append(g.unchecked[grp.provider], entry)
+		g.uncheckedByID[grp.signed.ID()] = entry
+		if err := g.expireOld(grp.provider); err != nil {
+			return nil, err
+		}
+	}
+	g.groups = make(map[crypto.Hash]*groupedTx)
+	g.ngroup = 0
+	return records, nil
+}
+
+// expireOld reveals-as-invalid any unchecked transaction of provider k
+// buried under more than ArgueWindow newer unchecked transactions:
+// "Every unchecked transaction exceeding this limit will be regarded
+// as invalid permanently."
+func (g *Governor) expireOld(k int) error {
+	q := g.unchecked[k]
+	for len(q) > g.cfg.ArgueWindow {
+		entry := q[0]
+		q = q[1:]
+		if entry.revealed {
+			continue
+		}
+		if len(entry.reports) > 0 {
+			if _, err := g.table.RecordRevealed(entry.provider, entry.reports, tx.StatusInvalid); err != nil {
+				return fmt.Errorf("governor %s expiry reveal: %w", g.cfg.Member.ID, err)
+			}
+		}
+		entry.revealed = true
+		delete(g.uncheckedByID, entry.signed.ID())
+		g.stats.Expired++
+	}
+	// Also drop already-revealed heads to bound the queue.
+	for len(q) > 0 && q[0].revealed {
+		q = q[1:]
+	}
+	g.unchecked[k] = q
+	return nil
+}
+
+// BuildBlock assembles and signs the round's block from records when
+// this governor leads. Records already committed valid elsewhere in
+// the chain are dropped (several governors may hold the same argue
+// re-validation pending); records beyond BlockLimit are carried over
+// to the next block.
+func (g *Governor) BuildBlock(records []ledger.Record) (ledger.Block, error) {
+	fresh := records[:0]
+	for _, r := range records {
+		if r.Status == tx.StatusValid && g.committedValid[r.Signed.ID()] {
+			continue
+		}
+		fresh = append(fresh, r)
+	}
+	records = fresh
+	if g.cfg.BlockLimit > 0 && len(records) > g.cfg.BlockLimit {
+		g.pendingRecords = append(records[g.cfg.BlockLimit:], g.pendingRecords...)
+		records = records[:g.cfg.BlockLimit]
+	}
+	head, err := g.store.Head()
+	var prev *ledger.Block
+	if err == nil {
+		prev = &head
+	}
+	b, err := ledger.NewBlock(prev, records, g.cfg.BlockLimit)
+	if err != nil {
+		return ledger.Block{}, fmt.Errorf("governor %s build block: %w", g.cfg.Member.ID, err)
+	}
+	b.SignAs(g.cfg.Member.ID, g.cfg.Member.PrivateKey)
+	return b, nil
+}
+
+// StashRecords keeps a non-leading governor's screening output for
+// potential later proposals. In the paper the leader's screening
+// forms the block; other governors' screenings only feed their local
+// reputations, so the records are dropped — only argue re-validations
+// and overflow stay pending.
+func (g *Governor) StashRecords(records []ledger.Record) {
+	// Keep only records that must eventually appear: argue
+	// re-validations queued in pendingRecords already survive; the
+	// round's screening records are the leader's responsibility.
+	_ = records
+}
+
+// AcceptBlock verifies and appends a proposed block: the proposer must
+// be the elected leader, the signature must verify, and the chain
+// links must hold (the store enforces serial order and the previous
+// hash).
+func (g *Governor) AcceptBlock(b ledger.Block, leader identity.NodeID, leaderPub crypto.PublicKey) error {
+	if b.Proposer != leader {
+		return fmt.Errorf("governor %s: block %d proposed by %s, leader is %s: %w",
+			g.cfg.Member.ID, b.Serial, b.Proposer, leader, ErrBadMessage)
+	}
+	if err := b.VerifyProposer(leaderPub); err != nil {
+		return fmt.Errorf("governor %s: %w", g.cfg.Member.ID, err)
+	}
+	if err := g.store.Append(b); err != nil {
+		return fmt.Errorf("governor %s: %w", g.cfg.Member.ID, err)
+	}
+	for _, rec := range b.Records {
+		if rec.Status == tx.StatusValid {
+			g.committedValid[rec.Signed.ID()] = true
+		}
+	}
+	return nil
+}
+
+// PendingUnchecked reports how many unchecked transactions await
+// reveal for provider k.
+func (g *Governor) PendingUnchecked(k int) int {
+	n := 0
+	for _, e := range g.unchecked[k] {
+		if !e.revealed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+// Package node implements the three node roles of the paper's
+// hierarchy — Provider, Collector, Governor — as state machines over
+// the network bus. Each node consumes the bus messages addressed to it
+// and produces the next phase's messages; the core engine sequences
+// the Collecting → Uploading → Processing phases of §3.1.
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"repchain/internal/codec"
+	"repchain/internal/crypto"
+	"repchain/internal/identity"
+	"repchain/internal/tx"
+)
+
+// Sentinel errors. Callers match with errors.Is.
+var (
+	// ErrBadMessage reports an undecodable or unauthenticated
+	// protocol message.
+	ErrBadMessage = errors.New("node: bad message")
+	// ErrUnknownSender reports a message from an unregistered node.
+	ErrUnknownSender = errors.New("node: unknown sender")
+)
+
+// ArgueMsg is the provider's argue(tx, s) invocation (§3.1): the
+// disputed transaction, the serial number of the block that recorded
+// it, and the provider's signature over both.
+type ArgueMsg struct {
+	// Signed is the disputed transaction with its original provider
+	// signature.
+	Signed tx.SignedTx
+	// Serial is s, the block that marked the transaction invalid and
+	// unchecked.
+	Serial uint64
+	// Sig is the provider's signature over (tx ID, serial).
+	Sig []byte
+}
+
+func argueSigningBytes(id crypto.Hash, serial uint64) []byte {
+	e := codec.NewEncoder(64)
+	e.PutString("repchain/argue/v1")
+	e.PutRaw(id[:])
+	e.PutUint64(serial)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// NewArgue builds a signed argue message for a transaction recorded in
+// block serial.
+func NewArgue(signed tx.SignedTx, serial uint64, key crypto.PrivateKey) ArgueMsg {
+	return ArgueMsg{
+		Signed: signed,
+		Serial: serial,
+		Sig:    key.Sign(argueSigningBytes(signed.ID(), serial)),
+	}
+}
+
+// Verify checks both the argue signature and the embedded provider
+// signature against pub.
+func (a ArgueMsg) Verify(pub crypto.PublicKey) error {
+	if err := a.Signed.VerifyProvider(pub); err != nil {
+		return fmt.Errorf("argue inner tx: %w", err)
+	}
+	if err := pub.Verify(argueSigningBytes(a.Signed.ID(), a.Serial), a.Sig); err != nil {
+		return fmt.Errorf("argue for %s: %w", a.Signed.ID().Short(), ErrBadMessage)
+	}
+	return nil
+}
+
+// EncodeBytes returns the wire encoding of a.
+func (a ArgueMsg) EncodeBytes() []byte {
+	e := codec.NewEncoder(256)
+	a.Signed.Encode(e)
+	e.PutUint64(a.Serial)
+	e.PutBytes(a.Sig)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// DecodeArgueBytes decodes an argue message, requiring full
+// consumption of b.
+func DecodeArgueBytes(b []byte) (ArgueMsg, error) {
+	d := codec.NewDecoder(b)
+	signed, err := tx.DecodeSignedTx(d)
+	if err != nil {
+		return ArgueMsg{}, fmt.Errorf("argue: %w", err)
+	}
+	serial, err := d.Uint64()
+	if err != nil {
+		return ArgueMsg{}, fmt.Errorf("argue serial: %w", err)
+	}
+	sig, err := d.Bytes()
+	if err != nil {
+		return ArgueMsg{}, fmt.Errorf("argue sig: %w", err)
+	}
+	if err := d.Expect(); err != nil {
+		return ArgueMsg{}, fmt.Errorf("argue: %w", err)
+	}
+	return ArgueMsg{Signed: signed, Serial: serial, Sig: sig}, nil
+}
+
+// roleIndex parses the numeric index out of a canonical node ID like
+// "collector/3". It returns an error for foreign ID shapes.
+func roleIndex(id identity.NodeID, role identity.Role) (int, error) {
+	var idx int
+	prefix := role.String() + "/"
+	s := string(id)
+	if len(s) <= len(prefix) || s[:len(prefix)] != prefix {
+		return 0, fmt.Errorf("node id %q is not a %s: %w", id, role, ErrUnknownSender)
+	}
+	for _, ch := range s[len(prefix):] {
+		if ch < '0' || ch > '9' {
+			return 0, fmt.Errorf("node id %q: %w", id, ErrUnknownSender)
+		}
+		idx = idx*10 + int(ch-'0')
+	}
+	return idx, nil
+}

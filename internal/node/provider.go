@@ -1,0 +1,159 @@
+package node
+
+import (
+	"fmt"
+
+	"repchain/internal/crypto"
+	"repchain/internal/identity"
+	"repchain/internal/ledger"
+	"repchain/internal/network"
+	"repchain/internal/tx"
+)
+
+// Sender abstracts the outbound half of a broadcast network. Both the
+// simulation bus (*network.Bus) and the TCP transport satisfy it, so
+// node logic is transport-agnostic.
+type Sender interface {
+	// Multicast delivers one message from `from` to every recipient.
+	Multicast(from identity.NodeID, to []identity.NodeID, kind string, payload []byte) error
+}
+
+var _ Sender = (*network.Bus)(nil)
+
+// Provider is a data provider p_k. It signs transactions together with
+// a timestamp and broadcasts them to the r collectors it is linked
+// with; as an *active* provider it retrieves every block and argues
+// whenever one of its valid transactions is marked invalid (§3.1).
+type Provider struct {
+	member identity.Member
+	ep     *network.Endpoint
+	// collectorIDs are the linked collectors, in index order.
+	collectorIDs []identity.NodeID
+	governorIDs  []identity.NodeID
+
+	seq uint64
+	// truth records the provider's own knowledge of each transaction's
+	// validity — used to decide whether to argue. The workload
+	// generator supplies it at submission time.
+	truth map[crypto.Hash]bool
+	// pending tracks transactions not yet seen valid in a block.
+	pending map[crypto.Hash]tx.SignedTx
+	// argued prevents duplicate argues for one transaction.
+	argued map[crypto.Hash]bool
+	// settled counts transactions observed in blocks with their final
+	// status (valid, or invalid-and-confirmed).
+	settledValid   int
+	settledInvalid int
+}
+
+// NewProvider wires a provider node to the bus.
+func NewProvider(member identity.Member, ep *network.Endpoint, collectors, governors []identity.NodeID) *Provider {
+	return &Provider{
+		member:       member,
+		ep:           ep,
+		collectorIDs: append([]identity.NodeID(nil), collectors...),
+		governorIDs:  append([]identity.NodeID(nil), governors...),
+		truth:        make(map[crypto.Hash]bool),
+		pending:      make(map[crypto.Hash]tx.SignedTx),
+		argued:       make(map[crypto.Hash]bool),
+	}
+}
+
+// ID returns the provider's node ID.
+func (p *Provider) ID() identity.NodeID { return p.member.ID }
+
+// Index returns the provider's index k.
+func (p *Provider) Index() int { return p.member.Index }
+
+// Submit signs and broadcasts a transaction to the provider's linked
+// collectors (broadcast_provider). isValid is the provider's own
+// ground truth, used later to decide argues. timestamp is the logical
+// or wall clock reading.
+func (p *Provider) Submit(kind string, payload []byte, isValid bool, timestamp int64, sender Sender) (tx.SignedTx, error) {
+	p.seq++
+	t := tx.Transaction{
+		Provider:  p.member.ID,
+		Seq:       p.seq,
+		Timestamp: timestamp,
+		Kind:      kind,
+		Payload:   payload,
+	}
+	signed := tx.Sign(t, p.member.PrivateKey)
+	id := signed.ID()
+	p.truth[id] = isValid
+	p.pending[id] = signed
+	if err := sender.Multicast(p.member.ID, p.collectorIDs, network.KindProviderTx, signed.EncodeBytes()); err != nil {
+		return tx.SignedTx{}, fmt.Errorf("provider %s submit: %w", p.member.ID, err)
+	}
+	return signed, nil
+}
+
+// ObserveBlock scans a retrieved block for the provider's own
+// transactions and sends argue messages for valid transactions marked
+// invalid. It returns the number of argues issued.
+func (p *Provider) ObserveBlock(b ledger.Block, sender Sender) (int, error) {
+	argues := 0
+	for _, rec := range b.Records {
+		if rec.Signed.Tx.Provider != p.member.ID {
+			continue
+		}
+		id := rec.Signed.ID()
+		switch {
+		case rec.Status == tx.StatusValid:
+			if _, ok := p.pending[id]; ok {
+				p.settledValid++
+				delete(p.pending, id)
+			}
+		case rec.Status == tx.StatusInvalid && rec.Unchecked:
+			// Marked invalid without verification. If the provider
+			// knows it was valid, argue (the active-provider duty of
+			// the Validity property).
+			if p.truth[id] && !p.argued[id] {
+				signed, ok := p.pending[id]
+				if !ok {
+					continue
+				}
+				msg := NewArgue(signed, b.Serial, p.member.PrivateKey)
+				if err := sender.Multicast(p.member.ID, p.governorIDs, network.KindArgue, msg.EncodeBytes()); err != nil {
+					return argues, fmt.Errorf("provider %s argue: %w", p.member.ID, err)
+				}
+				p.argued[id] = true
+				argues++
+			}
+			if !p.truth[id] {
+				// Invalid and recorded as such: settled.
+				if _, ok := p.pending[id]; ok {
+					p.settledInvalid++
+					delete(p.pending, id)
+				}
+			}
+		case rec.Status == tx.StatusInvalid:
+			// Checked invalid: the governor verified it; settled.
+			if _, ok := p.pending[id]; ok {
+				p.settledInvalid++
+				delete(p.pending, id)
+			}
+		}
+	}
+	return argues, nil
+}
+
+// PendingValid returns how many of the provider's valid transactions
+// have not yet appeared valid in any block — the quantity the Validity
+// property drives to zero.
+func (p *Provider) PendingValid() int {
+	n := 0
+	for id := range p.pending {
+		if p.truth[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// SettledValid returns how many of the provider's transactions have
+// appeared in a block with status valid.
+func (p *Provider) SettledValid() int { return p.settledValid }
+
+// Endpoint returns the provider's bus endpoint.
+func (p *Provider) Endpoint() *network.Endpoint { return p.ep }

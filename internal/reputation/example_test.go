@@ -1,0 +1,76 @@
+package reputation_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repchain/internal/identity"
+	"repchain/internal/reputation"
+	"repchain/internal/tx"
+)
+
+// Example walks one governor through the paper's mechanism by hand:
+// screen a transaction, verify it, update reputations, and read the
+// revenue split.
+func Example() {
+	topo, err := identity.NewRegularTopology(identity.TopologySpec{
+		Providers: 1, Collectors: 3, Degree: 3,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	table, err := reputation.NewTable(topo, reputation.DefaultParams())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	// Three collectors report a transaction from provider 0; collector
+	// 2 lies.
+	reports := []reputation.Report{
+		{Collector: 0, Label: tx.LabelValid},
+		{Collector: 1, Label: tx.LabelValid},
+		{Collector: 2, Label: tx.LabelInvalid},
+	}
+	rng := rand.New(rand.NewSource(1))
+	decision, err := table.Screen(rng, 0, reports)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("check:", decision.Check)
+
+	// The governor verified it valid: case-2 update (+1 right, -1
+	// wrong).
+	if err := table.RecordChecked(0, reports, tx.StatusValid); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("liar misreport score:", table.Misreport(2))
+
+	// Later, an unchecked transaction's truth is revealed: case-3
+	// multiplicative update.
+	if _, err := table.RecordRevealed(0, reports, tx.StatusValid); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	w, err := table.Weight(0, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("liar weight: %.3f\n", w)
+
+	shares, err := table.RevenueShares()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("liar revenue share: %.3f\n", shares[2])
+	// Output:
+	// check: true
+	// liar misreport score: -1
+	// liar weight: 0.855
+	// liar revenue share: 0.261
+}

@@ -1,0 +1,123 @@
+package reputation
+
+import (
+	"fmt"
+
+	"repchain/internal/codec"
+)
+
+// Snapshot and Restore serialize a governor's full reputation state so
+// a restarted governor resumes with its learned weights instead of
+// re-trusting every collector equally. The encoding is deterministic
+// (package codec) and versioned.
+
+const snapshotTag = "repchain/reptable/v1"
+
+// Snapshot returns the deterministic binary encoding of the table's
+// mutable state: every per-provider weight vector with its loss
+// accounting, and the misreport/forge scores.
+func (t *Table) Snapshot() []byte {
+	e := codec.NewEncoder(1024)
+	e.PutString(snapshotTag)
+	e.PutFloat64(t.params.Beta)
+	e.PutFloat64(t.params.F)
+	e.PutFloat64(t.params.Mu)
+	e.PutFloat64(t.params.Nu)
+	e.PutInt(len(t.perProvider))
+	for k, in := range t.perProvider {
+		e.PutInt(in.Experts())
+		for pos := 0; pos < in.Experts(); pos++ {
+			e.PutFloat64(in.Weight(pos))
+			e.PutFloat64(in.ExpertLoss(pos))
+		}
+		e.PutFloat64(in.GovernorLoss())
+		e.PutInt(in.Rounds())
+		_ = k
+	}
+	e.PutInt(len(t.misreport))
+	for c := range t.misreport {
+		e.PutFloat64(t.misreport[c])
+		e.PutFloat64(t.forge[c])
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// RestoreSnapshot loads a Snapshot into a freshly built table. The
+// table's topology and parameters must match the snapshot's origin;
+// mismatches are rejected.
+func (t *Table) RestoreSnapshot(b []byte) error {
+	d := codec.NewDecoder(b)
+	tag, err := d.String()
+	if err != nil || tag != snapshotTag {
+		return fmt.Errorf("snapshot tag %q: %w", tag, ErrBadParams)
+	}
+	for _, want := range []float64{t.params.Beta, t.params.F, t.params.Mu, t.params.Nu} {
+		got, err := d.Float64()
+		if err != nil {
+			return fmt.Errorf("snapshot params: %w", err)
+		}
+		if got != want {
+			return fmt.Errorf("snapshot parameter %v, table has %v: %w", got, want, ErrBadParams)
+		}
+	}
+	np, err := d.Int()
+	if err != nil {
+		return fmt.Errorf("snapshot provider count: %w", err)
+	}
+	if np != len(t.perProvider) {
+		return fmt.Errorf("snapshot has %d providers, table has %d: %w", np, len(t.perProvider), ErrBadParams)
+	}
+	for k := 0; k < np; k++ {
+		ne, err := d.Int()
+		if err != nil {
+			return fmt.Errorf("snapshot provider %d expert count: %w", k, err)
+		}
+		in := t.perProvider[k]
+		if ne != in.Experts() {
+			return fmt.Errorf("snapshot provider %d has %d experts, table has %d: %w",
+				k, ne, in.Experts(), ErrBadParams)
+		}
+		weights := make([]float64, ne)
+		losses := make([]float64, ne)
+		for pos := 0; pos < ne; pos++ {
+			if weights[pos], err = d.Float64(); err != nil {
+				return fmt.Errorf("snapshot weight: %w", err)
+			}
+			if losses[pos], err = d.Float64(); err != nil {
+				return fmt.Errorf("snapshot expert loss: %w", err)
+			}
+		}
+		govLoss, err := d.Float64()
+		if err != nil {
+			return fmt.Errorf("snapshot governor loss: %w", err)
+		}
+		rounds, err := d.Int()
+		if err != nil {
+			return fmt.Errorf("snapshot rounds: %w", err)
+		}
+		if err := in.Restore(weights, losses, govLoss, rounds); err != nil {
+			return fmt.Errorf("snapshot provider %d: %w", k, err)
+		}
+	}
+	nc, err := d.Int()
+	if err != nil {
+		return fmt.Errorf("snapshot collector count: %w", err)
+	}
+	if nc != len(t.misreport) {
+		return fmt.Errorf("snapshot has %d collectors, table has %d: %w", nc, len(t.misreport), ErrBadParams)
+	}
+	for c := 0; c < nc; c++ {
+		if t.misreport[c], err = d.Float64(); err != nil {
+			return fmt.Errorf("snapshot misreport: %w", err)
+		}
+		if t.forge[c], err = d.Float64(); err != nil {
+			return fmt.Errorf("snapshot forge: %w", err)
+		}
+	}
+	if err := d.Expect(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package reputation
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repchain/internal/identity"
+	"repchain/internal/tx"
+)
+
+// buildDirtyTable creates a table and runs enough traffic that every
+// state component is non-trivial.
+func buildDirtyTable(t *testing.T) *Table {
+	t.Helper()
+	tab := fullTable(t, 4, DefaultParams())
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		reports := []Report{
+			{Collector: 0, Label: tx.LabelValid},
+			{Collector: 1, Label: tx.LabelInvalid},
+			{Collector: 2, Label: tx.LabelValid},
+		}
+		status := tx.StatusValid
+		if i%3 == 0 {
+			status = tx.StatusInvalid
+		}
+		if i%2 == 0 {
+			if err := tab.RecordChecked(0, reports, status); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := tab.RecordRevealed(0, reports, status); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tab.RecordForgery(3); err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+	return tab
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := buildDirtyTable(t)
+	snap := src.Snapshot()
+
+	dst := fullTable(t, 4, DefaultParams())
+	if err := dst.RestoreSnapshot(snap); err != nil {
+		t.Fatalf("RestoreSnapshot() error = %v", err)
+	}
+
+	// All state must match exactly.
+	for c := 0; c < 4; c++ {
+		sv, err := src.Vector(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := dst.Vector(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sv {
+			if sv[i] != dv[i] {
+				t.Fatalf("collector %d vector[%d]: %v vs %v", c, i, sv[i], dv[i])
+			}
+		}
+	}
+	srcLoss, err := src.GovernorLoss(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstLoss, err := dst.GovernorLoss(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srcLoss != dstLoss {
+		t.Fatalf("governor loss %v vs %v", srcLoss, dstLoss)
+	}
+	srcReg, err := src.Regret(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstReg, err := dst.Regret(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srcReg != dstReg {
+		t.Fatalf("regret %v vs %v", srcReg, dstReg)
+	}
+}
+
+func TestSnapshotRestoredTableKeepsWorking(t *testing.T) {
+	src := buildDirtyTable(t)
+	dst := fullTable(t, 4, DefaultParams())
+	if err := dst.RestoreSnapshot(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Screening draws from both tables agree in distribution: same
+	// seed, same reports, same decisions.
+	reports := []Report{
+		{Collector: 0, Label: tx.LabelValid},
+		{Collector: 1, Label: tx.LabelInvalid},
+	}
+	rngA := rand.New(rand.NewSource(77))
+	rngB := rand.New(rand.NewSource(77))
+	for i := 0; i < 50; i++ {
+		a, err := src.Screen(rngA, 0, reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dst.Screen(rngB, 0, reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("draw %d diverged after restore: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestRestoreSnapshotRejectsMismatches(t *testing.T) {
+	src := buildDirtyTable(t)
+	snap := src.Snapshot()
+
+	// Wrong parameters.
+	otherParams := DefaultParams()
+	otherParams.F = 0.7
+	wrongParams := fullTable(t, 4, otherParams)
+	if err := wrongParams.RestoreSnapshot(snap); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("params mismatch error = %v, want ErrBadParams", err)
+	}
+
+	// Wrong topology (different collector count).
+	topo, err := identity.NewRegularTopology(identity.TopologySpec{
+		Providers: 1, Collectors: 5, Degree: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongTopo, err := NewTable(topo, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongTopo.RestoreSnapshot(snap); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("topology mismatch error = %v, want ErrBadParams", err)
+	}
+
+	// Garbage and truncation.
+	fresh := fullTable(t, 4, DefaultParams())
+	if err := fresh.RestoreSnapshot([]byte("junk")); err == nil {
+		t.Fatal("garbage restored")
+	}
+	if err := fresh.RestoreSnapshot(snap[:len(snap)/2]); err == nil {
+		t.Fatal("truncated snapshot restored")
+	}
+	if err := fresh.RestoreSnapshot(append(snap, 0)); err == nil {
+		t.Fatal("padded snapshot restored")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	src := buildDirtyTable(t)
+	a, b := src.Snapshot(), src.Snapshot()
+	if len(a) != len(b) {
+		t.Fatal("snapshot lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("snapshots differ byte-for-byte")
+		}
+	}
+}

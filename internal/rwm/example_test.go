@@ -1,0 +1,48 @@
+package rwm_test
+
+import (
+	"fmt"
+
+	"repchain/internal/rwm"
+)
+
+// Example runs the Theorem 1 game by hand: three experts, one perfect,
+// over three revealed transactions.
+func Example() {
+	in, err := rwm.New(3, 0.9)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rounds := [][]rwm.Outcome{
+		{rwm.OutcomeRight, rwm.OutcomeWrong, rwm.OutcomeAbsent},
+		{rwm.OutcomeRight, rwm.OutcomeWrong, rwm.OutcomeRight},
+		{rwm.OutcomeRight, rwm.OutcomeRight, rwm.OutcomeWrong},
+	}
+	for _, outs := range rounds {
+		if _, err := in.Reveal(outs); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	best, loss := in.BestExpert()
+	fmt.Printf("best expert %d with loss %.0f, regret %.2f\n", best, loss, in.Regret())
+	// Output: best expert 0 with loss 0, regret 2.30
+}
+
+// ExampleRecommendedBeta shows the paper's tuning at its worked
+// example (r=8, T=4800 gives exactly the practical β=0.9).
+func ExampleRecommendedBeta() {
+	fmt.Printf("%.2f\n", rwm.RecommendedBeta(8, 4800))
+	fmt.Printf("%.0f\n", rwm.TheoremOneBound(8, 4800))
+	// Output:
+	// 0.90
+	// 1920
+}
+
+// ExampleGamma evaluates the paper's γ_tx formula at the worst-case
+// loss L=2, where it equals β exactly.
+func ExampleGamma() {
+	fmt.Printf("%.2f\n", rwm.Gamma(0.9, 2))
+	// Output: 0.90
+}

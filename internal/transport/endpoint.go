@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repchain/internal/codec"
+	"repchain/internal/crypto"
+	"repchain/internal/identity"
+)
+
+// Frame is one signed application message on the wire.
+type Frame struct {
+	// From is the sender's node ID.
+	From identity.NodeID
+	// Kind classifies the payload (network.Kind* constants).
+	Kind string
+	// Payload is the encoded protocol message.
+	Payload []byte
+	// Counter is the sender's monotone frame counter, preventing
+	// replay within and across connections.
+	Counter uint64
+	// Sig is the sender's Ed25519 signature over the frame.
+	Sig []byte
+}
+
+func frameSigningBytes(from identity.NodeID, kind string, payload []byte, counter uint64) []byte {
+	e := codec.NewEncoder(64 + len(payload))
+	e.PutString("repchain/frame/v1")
+	e.PutString(string(from))
+	e.PutString(kind)
+	e.PutBytes(payload)
+	e.PutUint64(counter)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+func encodeFrame(f Frame) []byte {
+	e := codec.NewEncoder(128 + len(f.Payload))
+	e.PutString(string(f.From))
+	e.PutString(f.Kind)
+	e.PutBytes(f.Payload)
+	e.PutUint64(f.Counter)
+	e.PutBytes(f.Sig)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+func decodeFrame(b []byte) (Frame, error) {
+	d := codec.NewDecoder(b)
+	var f Frame
+	from, err := d.String()
+	if err != nil {
+		return f, fmt.Errorf("frame from: %w", ErrBadFrame)
+	}
+	f.From = identity.NodeID(from)
+	if f.Kind, err = d.String(); err != nil {
+		return f, fmt.Errorf("frame kind: %w", ErrBadFrame)
+	}
+	if f.Payload, err = d.Bytes(); err != nil {
+		return f, fmt.Errorf("frame payload: %w", ErrBadFrame)
+	}
+	if f.Counter, err = d.Uint64(); err != nil {
+		return f, fmt.Errorf("frame counter: %w", ErrBadFrame)
+	}
+	if f.Sig, err = d.Bytes(); err != nil {
+		return f, fmt.Errorf("frame sig: %w", ErrBadFrame)
+	}
+	if err := d.Expect(); err != nil {
+		return f, fmt.Errorf("frame: %w", ErrBadFrame)
+	}
+	return f, nil
+}
+
+// maxFrameSize bounds a single frame, protecting receivers from
+// hostile length prefixes.
+const maxFrameSize = 8 << 20 // 8 MiB
+
+// Endpoint is one node's TCP attachment: it listens on the node's
+// address, dials peers lazily, signs outgoing frames, and verifies
+// incoming frames against the deployment's keys.
+type Endpoint struct {
+	self identity.NodeID
+	key  crypto.PrivateKey
+
+	mu       sync.Mutex
+	peers    map[identity.NodeID]NodeSpec
+	pubs     map[identity.NodeID]crypto.PublicKey
+	conns    map[identity.NodeID]net.Conn
+	inbound  []net.Conn
+	lastCtr  map[identity.NodeID]uint64
+	counter  uint64
+	closed   bool
+	listener net.Listener
+
+	inboxMu sync.Mutex
+	inbox   []Frame
+
+	wg sync.WaitGroup
+}
+
+// NewEndpoint creates and starts an endpoint for node id, listening on
+// the node's deployment address.
+func NewEndpoint(d *Deployment, id identity.NodeID) (*Endpoint, error) {
+	spec, err := d.Node(string(id))
+	if err != nil {
+		return nil, err
+	}
+	key, err := spec.PrivateKeyOf()
+	if err != nil {
+		return nil, err
+	}
+	ep := &Endpoint{
+		self:    id,
+		key:     key,
+		peers:   make(map[identity.NodeID]NodeSpec, len(d.Nodes)),
+		pubs:    make(map[identity.NodeID]crypto.PublicKey, len(d.Nodes)),
+		conns:   make(map[identity.NodeID]net.Conn),
+		lastCtr: make(map[identity.NodeID]uint64),
+	}
+	for _, n := range d.Nodes {
+		pub, err := n.PublicKeyOf()
+		if err != nil {
+			return nil, err
+		}
+		ep.peers[identity.NodeID(n.ID)] = n
+		ep.pubs[identity.NodeID(n.ID)] = pub
+	}
+	ln, err := net.Listen("tcp", spec.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", spec.Addr, err)
+	}
+	ep.listener = ln
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// ID returns the endpoint's node ID.
+func (ep *Endpoint) ID() identity.NodeID { return ep.self }
+
+// Addr returns the bound listen address (useful with port 0).
+func (ep *Endpoint) Addr() string { return ep.listener.Addr().String() }
+
+func (ep *Endpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		conn, err := ep.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		ep.inbound = append(ep.inbound, conn)
+		ep.mu.Unlock()
+		ep.wg.Add(1)
+		go ep.readLoop(conn)
+	}
+}
+
+func (ep *Endpoint) readLoop(conn net.Conn) {
+	defer ep.wg.Done()
+	defer func() { _ = conn.Close() }()
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrameSize {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		frame, err := decodeFrame(buf)
+		if err != nil {
+			continue
+		}
+		if err := ep.authenticate(frame); err != nil {
+			continue
+		}
+		ep.inboxMu.Lock()
+		ep.inbox = append(ep.inbox, frame)
+		ep.inboxMu.Unlock()
+	}
+}
+
+// authenticate verifies the frame signature and replay counter.
+func (ep *Endpoint) authenticate(f Frame) error {
+	pub, ok := ep.pubs[f.From]
+	if !ok {
+		return fmt.Errorf("frame from %q: %w", f.From, ErrUnknownPeer)
+	}
+	msg := frameSigningBytes(f.From, f.Kind, f.Payload, f.Counter)
+	if err := pub.Verify(msg, f.Sig); err != nil {
+		return fmt.Errorf("frame from %q: %w", f.From, ErrBadFrame)
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if f.Counter <= ep.lastCtr[f.From] {
+		return fmt.Errorf("replayed frame %d from %q: %w", f.Counter, f.From, ErrBadFrame)
+	}
+	ep.lastCtr[f.From] = f.Counter
+	return nil
+}
+
+// Send delivers one signed frame to a peer, dialing lazily and
+// retrying once on a stale connection.
+//
+// Concurrency: the endpoint's bookkeeping is mutex-guarded, but
+// concurrent Sends to the *same* peer may interleave partial TCP
+// writes. The node runtimes are single-threaded per node (one
+// goroutine owns each endpoint), which is the supported usage.
+func (ep *Endpoint) Send(to identity.NodeID, kind string, payload []byte) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return ErrClosed
+	}
+	spec, ok := ep.peers[to]
+	if !ok {
+		ep.mu.Unlock()
+		return fmt.Errorf("send to %q: %w", to, ErrUnknownPeer)
+	}
+	ep.counter++
+	frame := Frame{From: ep.self, Kind: kind, Payload: payload, Counter: ep.counter}
+	frame.Sig = ep.key.Sign(frameSigningBytes(frame.From, frame.Kind, frame.Payload, frame.Counter))
+	conn := ep.conns[to]
+	ep.mu.Unlock()
+
+	enc := encodeFrame(frame)
+	msg := make([]byte, 4+len(enc))
+	binary.BigEndian.PutUint32(msg, uint32(len(enc)))
+	copy(msg[4:], enc)
+
+	write := func(c net.Conn) error {
+		_, err := c.Write(msg)
+		return err
+	}
+	if conn != nil {
+		if err := write(conn); err == nil {
+			return nil
+		}
+		// Stale connection: drop and redial.
+		ep.mu.Lock()
+		if ep.conns[to] == conn {
+			delete(ep.conns, to)
+		}
+		ep.mu.Unlock()
+		_ = conn.Close()
+	}
+	fresh, err := net.Dial("tcp", spec.Addr)
+	if err != nil {
+		return fmt.Errorf("dial %q: %w", to, err)
+	}
+	if err := write(fresh); err != nil {
+		_ = fresh.Close()
+		return fmt.Errorf("write to %q: %w", to, err)
+	}
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		_ = fresh.Close()
+		return ErrClosed
+	}
+	if old, ok := ep.conns[to]; ok && old != fresh {
+		_ = old.Close()
+	}
+	ep.conns[to] = fresh
+	ep.mu.Unlock()
+	return nil
+}
+
+// Multicast sends one frame to each recipient.
+func (ep *Endpoint) Multicast(to []identity.NodeID, kind string, payload []byte) error {
+	for _, dst := range to {
+		if dst == ep.self {
+			// Local delivery without the network.
+			ep.mu.Lock()
+			ep.counter++
+			frame := Frame{From: ep.self, Kind: kind, Payload: payload, Counter: ep.counter}
+			ep.mu.Unlock()
+			ep.inboxMu.Lock()
+			ep.inbox = append(ep.inbox, frame)
+			ep.inboxMu.Unlock()
+			continue
+		}
+		if err := ep.Send(dst, kind, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Receive drains the inbox.
+func (ep *Endpoint) Receive() []Frame {
+	ep.inboxMu.Lock()
+	defer ep.inboxMu.Unlock()
+	out := ep.inbox
+	ep.inbox = nil
+	return out
+}
+
+// Close shuts the listener and all connections and joins the reader
+// goroutines.
+func (ep *Endpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	err := ep.listener.Close()
+	for _, c := range ep.conns {
+		_ = c.Close()
+	}
+	for _, c := range ep.inbound {
+		_ = c.Close()
+	}
+	ep.conns = make(map[identity.NodeID]net.Conn)
+	ep.inbound = nil
+	ep.mu.Unlock()
+	ep.wg.Wait()
+	if err != nil {
+		return fmt.Errorf("close listener: %w", err)
+	}
+	return nil
+}

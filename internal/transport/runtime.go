@@ -1,0 +1,513 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repchain/internal/codec"
+	"repchain/internal/consensus"
+	"repchain/internal/crypto"
+	"repchain/internal/identity"
+	"repchain/internal/ledger"
+	"repchain/internal/network"
+	"repchain/internal/node"
+	"repchain/internal/reputation"
+	"repchain/internal/tx"
+)
+
+// The wall-clock round runtime. Under the paper's synchrony assumption
+// every node owns a loosely synchronized clock, so the three phases of
+// a round run at fixed offsets within a shared round duration:
+//
+//	t0 + 0.00·R   providers broadcast the round's transactions
+//	t0 + 0.30·R   collectors label and upload what arrived
+//	t0 + 0.55·R   governors screen, then broadcast VRF tickets
+//	t0 + 0.75·R   governors elect; the leader broadcasts the block
+//	t0 + 0.92·R   everyone adopts the block; providers argue
+//	t0 + 1.00·R   next round
+//
+// Each phase gap exceeds the network's delivery bound Δ provided the
+// round duration is chosen accordingly.
+
+// Clock fixes the shared round schedule.
+type Clock struct {
+	// Epoch is round 1's start time.
+	Epoch time.Time
+	// Round is the round duration R.
+	Round time.Duration
+}
+
+// phase offsets as fractions of the round duration.
+const (
+	phaseUpload = 0.30
+	phaseScreen = 0.55
+	phaseElect  = 0.75
+	phaseAdopt  = 0.92
+)
+
+func (c Clock) at(round uint64, frac float64) time.Time {
+	start := c.Epoch.Add(time.Duration(round-1) * c.Round)
+	return start.Add(time.Duration(frac * float64(c.Round)))
+}
+
+func sleepUntil(t time.Time) {
+	if d := time.Until(t); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// frameSender adapts an Endpoint to the node.Sender interface.
+type frameSender struct{ ep *Endpoint }
+
+var _ node.Sender = frameSender{}
+
+// Multicast implements node.Sender; the from argument is implied by
+// the endpoint's identity (frames are signed with its key).
+func (s frameSender) Multicast(_ identity.NodeID, to []identity.NodeID, kind string, payload []byte) error {
+	return s.ep.Multicast(to, kind, payload)
+}
+
+func toNetworkMessages(frames []Frame) []network.Message {
+	out := make([]network.Message, len(frames))
+	for i, f := range frames {
+		out[i] = network.Message{From: f.From, Kind: f.Kind, Payload: f.Payload}
+	}
+	return out
+}
+
+// RuntimeConfig assembles one node's TCP runtime.
+type RuntimeConfig struct {
+	// Deployment describes the whole alliance.
+	Deployment *Deployment
+	// ID selects which node this process runs.
+	ID identity.NodeID
+	// Clock is the shared round schedule.
+	Clock Clock
+	// Rounds is how many rounds to run before stopping.
+	Rounds int
+	// Params tunes the reputation mechanism (governors).
+	Params reputation.Params
+	// Validator is validate(tx), shared by collectors and governors.
+	Validator tx.Validator
+	// TxPerRound is how many transactions a provider submits per
+	// round.
+	TxPerRound int
+	// ValidFrac is the provider workload's valid fraction.
+	ValidFrac float64
+	// Seed drives local randomness.
+	Seed int64
+	// StateDir, when non-empty, persists a governor's chain replica
+	// (<id>.chain) and reputation state (<id>.rep) under this
+	// directory across restarts.
+	StateDir string
+}
+
+// Report summarizes a node's run.
+type Report struct {
+	// Role is the node's role name.
+	Role string
+	// Rounds is how many rounds completed.
+	Rounds int
+	// Height is the final chain height (governors).
+	Height uint64
+	// Stats holds governor screening counters (governors).
+	Stats node.GovernorStats
+	// Uploads counts collector uploads (collectors).
+	Uploads int
+	// Submitted and SettledValid count provider activity (providers).
+	Submitted    int
+	SettledValid int
+	PendingValid int
+}
+
+// RunNode runs one node to completion of cfg.Rounds rounds.
+func RunNode(cfg RuntimeConfig) (Report, error) {
+	spec, err := cfg.Deployment.Node(string(cfg.ID))
+	if err != nil {
+		return Report{}, err
+	}
+	switch spec.Role {
+	case "provider":
+		return runProvider(cfg, spec)
+	case "collector":
+		return runCollector(cfg, spec)
+	case "governor":
+		return runGovernor(cfg, spec)
+	default:
+		return Report{}, fmt.Errorf("node %q role %q: %w", cfg.ID, spec.Role, ErrBadDeployment)
+	}
+}
+
+func memberOf(spec NodeSpec) (identity.Member, error) {
+	key, err := spec.PrivateKeyOf()
+	if err != nil {
+		return identity.Member{}, err
+	}
+	pub, err := spec.PublicKeyOf()
+	if err != nil {
+		return identity.Member{}, err
+	}
+	return identity.Member{
+		ID:    identity.NodeID(spec.ID),
+		Index: spec.Index,
+		Cert: identity.Certificate{
+			ID:        identity.NodeID(spec.ID),
+			Role:      roleFromString(spec.Role),
+			PublicKey: pub,
+		},
+		PrivateKey: key,
+	}, nil
+}
+
+func roleFromString(s string) identity.Role {
+	switch s {
+	case "provider":
+		return identity.RoleProvider
+	case "collector":
+		return identity.RoleCollector
+	case "governor":
+		return identity.RoleGovernor
+	default:
+		return 0
+	}
+}
+
+func idsOf(specs []NodeSpec) []identity.NodeID {
+	out := make([]identity.NodeID, len(specs))
+	for i, s := range specs {
+		out[i] = identity.NodeID(s.ID)
+	}
+	return out
+}
+
+func runProvider(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
+	ep, err := NewEndpoint(cfg.Deployment, cfg.ID)
+	if err != nil {
+		return Report{}, err
+	}
+	defer func() { _ = ep.Close() }()
+
+	mem, err := memberOf(spec)
+	if err != nil {
+		return Report{}, err
+	}
+	topo, err := cfg.Deployment.Topology()
+	if err != nil {
+		return Report{}, err
+	}
+	collectors := cfg.Deployment.NodesByRole("collector")
+	var linked []identity.NodeID
+	for _, c := range topo.CollectorsOf(spec.Index) {
+		linked = append(linked, identity.NodeID(collectors[c].ID))
+	}
+	governorIDs := idsOf(cfg.Deployment.NodesByRole("governor"))
+	prov := node.NewProvider(mem, nil, linked, governorIDs)
+	sender := frameSender{ep: ep}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(spec.Index)))
+
+	report := Report{Role: "provider"}
+	for round := uint64(1); round <= uint64(cfg.Rounds); round++ {
+		sleepUntil(cfg.Clock.at(round, 0))
+		for i := 0; i < cfg.TxPerRound; i++ {
+			valid := rng.Float64() < cfg.ValidFrac
+			payload := []byte{0, byte(i), byte(round)}
+			if valid {
+				payload[0] = 1
+			}
+			if _, err := prov.Submit("tcp/demo", payload, valid, time.Now().UnixNano(), sender); err != nil {
+				return report, err
+			}
+			report.Submitted++
+		}
+		// Adopt the round's block and argue.
+		sleepUntil(cfg.Clock.at(round, phaseAdopt))
+		for _, f := range ep.Receive() {
+			if f.Kind != network.KindBlock {
+				continue
+			}
+			b, err := ledger.DecodeBlockBytes(f.Payload)
+			if err != nil {
+				continue
+			}
+			if _, err := prov.ObserveBlock(b, sender); err != nil {
+				return report, err
+			}
+		}
+		report.Rounds++
+	}
+	report.SettledValid = prov.SettledValid()
+	report.PendingValid = prov.PendingValid()
+	return report, nil
+}
+
+func runCollector(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
+	ep, err := NewEndpoint(cfg.Deployment, cfg.ID)
+	if err != nil {
+		return Report{}, err
+	}
+	defer func() { _ = ep.Close() }()
+
+	mem, err := memberOf(spec)
+	if err != nil {
+		return Report{}, err
+	}
+	im, err := cfg.Deployment.BuildIdentityManager()
+	if err != nil {
+		return Report{}, err
+	}
+	governorIDs := idsOf(cfg.Deployment.NodesByRole("governor"))
+	coll := node.NewCollector(mem, nil, im, cfg.Validator, node.HonestBehavior{}, governorIDs, cfg.Seed+int64(100+spec.Index))
+	sender := frameSender{ep: ep}
+
+	report := Report{Role: "collector"}
+	for round := uint64(1); round <= uint64(cfg.Rounds); round++ {
+		sleepUntil(cfg.Clock.at(round, phaseUpload))
+		for _, m := range toNetworkMessages(ep.Receive()) {
+			sent, err := coll.HandleProviderTx(m, sender)
+			if err != nil {
+				return report, err
+			}
+			if sent {
+				report.Uploads++
+			}
+		}
+		report.Rounds++
+	}
+	return report, nil
+}
+
+func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
+	ep, err := NewEndpoint(cfg.Deployment, cfg.ID)
+	if err != nil {
+		return Report{}, err
+	}
+	defer func() { _ = ep.Close() }()
+
+	mem, err := memberOf(spec)
+	if err != nil {
+		return Report{}, err
+	}
+	im, err := cfg.Deployment.BuildIdentityManager()
+	if err != nil {
+		return Report{}, err
+	}
+	topo, err := cfg.Deployment.Topology()
+	if err != nil {
+		return Report{}, err
+	}
+	var store ledger.Store
+	if cfg.StateDir != "" {
+		fs, err := ledger.OpenFileStore(filepath.Join(cfg.StateDir, fmt.Sprintf("governor-%d.chain", spec.Index)))
+		if err != nil {
+			return Report{}, fmt.Errorf("governor chain file: %w", err)
+		}
+		store = fs
+		defer func() { _ = fs.Close() }()
+	}
+	gov, err := node.NewGovernor(node.GovernorConfig{
+		Member:      mem,
+		IM:          im,
+		Topology:    topo,
+		Params:      cfg.Params,
+		Validator:   cfg.Validator,
+		ArgueWindow: 64,
+		Seed:        cfg.Seed + int64(200+spec.Index),
+		Store:       store,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	repPath := ""
+	if cfg.StateDir != "" {
+		repPath = filepath.Join(cfg.StateDir, fmt.Sprintf("governor-%d.rep", spec.Index))
+		if data, err := os.ReadFile(repPath); err == nil {
+			if err := gov.Table().RestoreSnapshot(data); err != nil {
+				return Report{}, fmt.Errorf("governor reputation state: %w", err)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return Report{}, fmt.Errorf("governor reputation state: %w", err)
+		}
+	}
+	defer func() {
+		if repPath != "" {
+			_ = os.WriteFile(repPath, gov.Table().Snapshot(), 0o644)
+		}
+	}()
+
+	governorSpecs := cfg.Deployment.NodesByRole("governor")
+	governorIDs := idsOf(governorSpecs)
+	providerIDs := idsOf(cfg.Deployment.NodesByRole("provider"))
+	govPubs := make([]crypto.PublicKey, len(governorSpecs))
+	stakes := make([]uint64, len(governorSpecs))
+	for i, gs := range governorSpecs {
+		pub, err := gs.PublicKeyOf()
+		if err != nil {
+			return Report{}, err
+		}
+		govPubs[i] = pub
+		stakes[i] = gs.Stake
+		if stakes[i] == 0 {
+			stakes[i] = 1
+		}
+	}
+	sender := frameSender{ep: ep}
+
+	// Resume round numbering from a persisted chain (all governors in
+	// a deployment must restart together so their heights agree).
+	baseRound := gov.Store().Height()
+	report := Report{Role: "governor"}
+	for r := uint64(1); r <= uint64(cfg.Rounds); r++ {
+		round := baseRound + r
+		// Screen the round's uploads and argues.
+		sleepUntil(cfg.Clock.at(r, phaseScreen))
+		ticketsFrom := make(map[int][]consensus.Ticket)
+		drain := func() error {
+			for _, f := range ep.Receive() {
+				m := network.Message{From: f.From, Kind: f.Kind, Payload: f.Payload}
+				consumed, err := gov.HandleMessage(m)
+				if err != nil {
+					return err
+				}
+				if consumed {
+					continue
+				}
+				if f.Kind == network.KindVRF {
+					senderIdx, err := governorIndexOf(f.From)
+					if err != nil {
+						continue
+					}
+					ticketRound, ts, err := decodeRoundTickets(f.Payload)
+					if err != nil || ticketRound != round {
+						continue // stale or malformed ticket batch
+					}
+					ticketsFrom[senderIdx] = ts
+				}
+			}
+			return nil
+		}
+		if err := drain(); err != nil {
+			return report, err
+		}
+		if err := gov.ProcessArgues(); err != nil {
+			return report, err
+		}
+		records, err := gov.ScreenRound()
+		if err != nil {
+			return report, err
+		}
+
+		// Broadcast leader-election tickets over the previous block.
+		prevHash := crypto.ZeroHash
+		if head, err := gov.Store().Head(); err == nil {
+			prevHash = head.Hash()
+		}
+		myTickets := consensus.MakeTickets(mem.PrivateKey, prevHash, round, spec.Index, stakes[spec.Index])
+		if err := ep.Multicast(governorIDs, network.KindVRF, encodeRoundTickets(round, myTickets)); err != nil {
+			return report, err
+		}
+
+		// Collect tickets and elect.
+		sleepUntil(cfg.Clock.at(r, phaseElect))
+		if err := drain(); err != nil {
+			return report, err
+		}
+		el, err := consensus.NewElection(round, prevHash, govPubs, stakes)
+		if err != nil {
+			return report, err
+		}
+		for j := range governorSpecs {
+			ts := ticketsFrom[j]
+			if err := el.Submit(j, ts); err != nil {
+				return report, fmt.Errorf("round %d tickets from governor %d: %w", round, j, err)
+			}
+		}
+		leader, _, err := el.Leader()
+		if err != nil {
+			return report, err
+		}
+
+		// The leader proposes; everyone adopts.
+		if leader == spec.Index {
+			block, err := gov.BuildBlock(records)
+			if err != nil {
+				return report, err
+			}
+			targets := append(append([]identity.NodeID(nil), governorIDs...), providerIDs...)
+			if err := sender.Multicast(mem.ID, targets, network.KindBlock, block.EncodeBytes()); err != nil {
+				return report, err
+			}
+		}
+		sleepUntil(cfg.Clock.at(r, phaseAdopt))
+		for _, f := range ep.Receive() {
+			m := network.Message{From: f.From, Kind: f.Kind, Payload: f.Payload}
+			if consumed, err := gov.HandleMessage(m); err != nil {
+				return report, err
+			} else if consumed {
+				continue
+			}
+			if f.Kind != network.KindBlock {
+				continue
+			}
+			b, err := ledger.DecodeBlockBytes(f.Payload)
+			if err != nil {
+				continue
+			}
+			if err := gov.AcceptBlock(b, governorIDs[leader], govPubs[leader]); err != nil {
+				return report, err
+			}
+		}
+		report.Rounds++
+	}
+	report.Height = gov.Store().Height()
+	report.Stats = gov.Stats()
+	return report, nil
+}
+
+// encodeRoundTickets tags a ticket batch with its round so receivers
+// can discard stale batches that straggle into the next round.
+func encodeRoundTickets(round uint64, ts []consensus.Ticket) []byte {
+	inner := consensus.EncodeTickets(ts)
+	e := codec.NewEncoder(16 + len(inner))
+	e.PutUint64(round)
+	e.PutBytes(inner)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+func decodeRoundTickets(b []byte) (uint64, []consensus.Ticket, error) {
+	d := codec.NewDecoder(b)
+	round, err := d.Uint64()
+	if err != nil {
+		return 0, nil, fmt.Errorf("ticket round: %w", ErrBadFrame)
+	}
+	inner, err := d.Bytes()
+	if err != nil {
+		return 0, nil, fmt.Errorf("ticket batch: %w", ErrBadFrame)
+	}
+	ts, err := consensus.DecodeTickets(inner)
+	if err != nil {
+		return 0, nil, err
+	}
+	return round, ts, nil
+}
+
+func governorIndexOf(id identity.NodeID) (int, error) {
+	const prefix = "governor/"
+	s := string(id)
+	if len(s) <= len(prefix) || s[:len(prefix)] != prefix {
+		return 0, fmt.Errorf("%q: %w", id, ErrUnknownPeer)
+	}
+	idx := 0
+	for _, ch := range s[len(prefix):] {
+		if ch < '0' || ch > '9' {
+			return 0, fmt.Errorf("%q: %w", id, ErrUnknownPeer)
+		}
+		idx = idx*10 + int(ch-'0')
+	}
+	return idx, nil
+}

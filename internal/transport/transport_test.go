@@ -1,0 +1,516 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repchain/internal/crypto"
+	"repchain/internal/identity"
+	"repchain/internal/network"
+	"repchain/internal/reputation"
+	"repchain/internal/tx"
+)
+
+var testOracle = tx.ValidatorFunc(func(t tx.Transaction) bool {
+	return len(t.Payload) > 0 && t.Payload[0] == 1
+})
+
+// freePorts reserves n distinct loopback ports by listening and
+// closing.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	listeners := make([]net.Listener, 0, n)
+	ports := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		addr, ok := ln.Addr().(*net.TCPAddr)
+		if !ok {
+			t.Fatal("not a TCP address")
+		}
+		ports = append(ports, addr.Port)
+	}
+	for _, ln := range listeners {
+		if err := ln.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ports
+}
+
+// testDeployment builds a loopback deployment with fresh ports.
+func testDeployment(t *testing.T, providers, collectors, degree, governors int) *Deployment {
+	t.Helper()
+	topo, err := identity.NewRegularTopology(identity.TopologySpec{
+		Providers: providers, Collectors: collectors, Degree: degree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := make([]byte, crypto.SeedSize)
+	seed[0] = 0x42
+	im, err := identity.NewManagerFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roster, err := identity.RegisterAll(im, topo, governors, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDeployment(im, roster, "127.0.0.1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := freePorts(t, len(d.Nodes))
+	for i := range d.Nodes {
+		d.Nodes[i].Addr = fmt.Sprintf("127.0.0.1:%d", ports[i])
+	}
+	return d
+}
+
+func TestDeploymentJSONRoundTrip(t *testing.T) {
+	d := testDeployment(t, 2, 2, 1, 2)
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Deployment
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate() error = %v", err)
+	}
+	l, n, m := got.Counts()
+	if l != 2 || n != 2 || m != 2 {
+		t.Fatalf("Counts() = %d, %d, %d", l, n, m)
+	}
+}
+
+func TestDeploymentValidateRejects(t *testing.T) {
+	base := testDeployment(t, 2, 2, 1, 2)
+	tests := []struct {
+		name   string
+		mutate func(*Deployment)
+	}{
+		{"no nodes", func(d *Deployment) { d.Nodes = nil }},
+		{"duplicate id", func(d *Deployment) { d.Nodes[1].ID = d.Nodes[0].ID }},
+		{"missing addr", func(d *Deployment) { d.Nodes[0].Addr = "" }},
+		{"bad key hex", func(d *Deployment) { d.Nodes[0].PublicKey = "zz" }},
+		{"no governors", func(d *Deployment) {
+			var keep []NodeSpec
+			for _, n := range d.Nodes {
+				if n.Role != "governor" {
+					keep = append(keep, n)
+				}
+			}
+			d.Nodes = keep
+		}},
+		{"bad link", func(d *Deployment) { d.Links[0] = []int{99} }},
+		{"link count", func(d *Deployment) { d.Links = d.Links[:1] }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			data, err := json.Marshal(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var d Deployment
+			if err := json.Unmarshal(data, &d); err != nil {
+				t.Fatal(err)
+			}
+			tt.mutate(&d)
+			if err := d.Validate(); !errors.Is(err, ErrBadDeployment) {
+				t.Fatalf("Validate() error = %v, want ErrBadDeployment", err)
+			}
+		})
+	}
+}
+
+func TestDeploymentAccessors(t *testing.T) {
+	d := testDeployment(t, 2, 2, 1, 2)
+	spec, err := d.Node("governor/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Role != "governor" || spec.Index != 1 {
+		t.Fatalf("Node() = %+v", spec)
+	}
+	if _, err := d.Node("ghost"); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("Node(ghost) error = %v", err)
+	}
+	govs := d.NodesByRole("governor")
+	if len(govs) != 2 || govs[0].Index != 0 || govs[1].Index != 1 {
+		t.Fatalf("NodesByRole() = %+v", govs)
+	}
+	topo, err := d.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Providers() != 2 || topo.Collectors() != 2 {
+		t.Fatal("Topology() dimensions wrong")
+	}
+	im, err := d.BuildIdentityManager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Count(identity.RoleProvider) != 2 {
+		t.Fatal("IM reconstruction wrong")
+	}
+}
+
+func TestFrameRoundTripAndAuth(t *testing.T) {
+	seed := make([]byte, crypto.SeedSize)
+	pub, priv, err := crypto.KeyFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Frame{From: "governor/0", Kind: "k", Payload: []byte("data"), Counter: 7}
+	f.Sig = priv.Sign(frameSigningBytes(f.From, f.Kind, f.Payload, f.Counter))
+	got, err := decodeFrame(encodeFrame(f))
+	if err != nil {
+		t.Fatalf("decodeFrame() error = %v", err)
+	}
+	msg := frameSigningBytes(got.From, got.Kind, got.Payload, got.Counter)
+	if err := pub.Verify(msg, got.Sig); err != nil {
+		t.Fatalf("signature broken by round trip: %v", err)
+	}
+	// Tampered payload fails verification.
+	got.Payload[0] ^= 0xff
+	msg = frameSigningBytes(got.From, got.Kind, got.Payload, got.Counter)
+	if err := pub.Verify(msg, got.Sig); err == nil {
+		t.Fatal("tampered frame verified")
+	}
+	if _, err := decodeFrame([]byte("junk")); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("garbage error = %v", err)
+	}
+}
+
+func TestEndpointSendReceive(t *testing.T) {
+	d := testDeployment(t, 2, 2, 1, 2)
+	a, err := NewEndpoint(d, "governor/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := NewEndpoint(d, "governor/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+
+	if err := a.Send("governor/1", "test", []byte("ping")); err != nil {
+		t.Fatalf("Send() error = %v", err)
+	}
+	frames := waitFrames(t, b, 1)
+	if frames[0].From != "governor/0" || string(frames[0].Payload) != "ping" {
+		t.Fatalf("frame = %+v", frames[0])
+	}
+}
+
+func waitFrames(t *testing.T, ep *Endpoint, n int) []Frame {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	var out []Frame
+	for time.Now().Before(deadline) {
+		out = append(out, ep.Receive()...)
+		if len(out) >= n {
+			return out
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d frames, have %d", n, len(out))
+	return nil
+}
+
+func TestEndpointRejectsForgedSender(t *testing.T) {
+	d := testDeployment(t, 2, 2, 1, 2)
+	a, err := NewEndpoint(d, "governor/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := NewEndpoint(d, "governor/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+
+	// Hand-craft a frame claiming to be from governor/1 but signed
+	// with governor/0's key, and push it raw over a socket.
+	spec, err := d.Node("governor/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specA, err := d.Node("governor/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA, err := specA.PrivateKeyOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := Frame{From: "governor/1", Kind: "evil", Payload: []byte("x"), Counter: 99}
+	forged.Sig = keyA.Sign(frameSigningBytes(forged.From, forged.Kind, forged.Payload, forged.Counter))
+	enc := encodeFrame(forged)
+	conn, err := net.Dial("tcp", spec.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	hdr := []byte{0, 0, 0, byte(len(enc))}
+	if _, err := conn.Write(append(hdr, enc...)); err != nil {
+		t.Fatal(err)
+	}
+	// Also send a legitimate frame so we can bound the wait.
+	if err := a.Send("governor/1", "ok", nil); err != nil {
+		t.Fatal(err)
+	}
+	frames := waitFrames(t, b, 1)
+	for _, f := range frames {
+		if f.Kind == "evil" {
+			t.Fatal("forged frame accepted")
+		}
+	}
+}
+
+func TestEndpointRejectsReplay(t *testing.T) {
+	d := testDeployment(t, 2, 2, 1, 2)
+	a, err := NewEndpoint(d, "governor/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := NewEndpoint(d, "governor/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+
+	if err := a.Send("governor/1", "one", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	_ = waitFrames(t, b, 1)
+
+	// Replay frame counter 1 from a raw socket.
+	specA, err := d.Node("governor/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA, err := specA.PrivateKeyOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := Frame{From: "governor/0", Kind: "one", Payload: []byte("1"), Counter: 1}
+	replay.Sig = keyA.Sign(frameSigningBytes(replay.From, replay.Kind, replay.Payload, replay.Counter))
+	enc := encodeFrame(replay)
+	spec, err := d.Node("governor/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", spec.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	hdr := []byte{0, 0, 0, byte(len(enc))}
+	if _, err := conn.Write(append(hdr, enc...)); err != nil {
+		t.Fatal(err)
+	}
+	// Send a fresh frame to bound the wait; only it should arrive.
+	if err := a.Send("governor/1", "two", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	frames := waitFrames(t, b, 1)
+	for _, f := range frames {
+		if f.Kind == "one" {
+			t.Fatal("replayed frame accepted")
+		}
+	}
+}
+
+func TestEndpointUnknownPeer(t *testing.T) {
+	d := testDeployment(t, 2, 2, 1, 2)
+	a, err := NewEndpoint(d, "governor/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	if err := a.Send("ghost", "k", nil); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("Send(ghost) error = %v", err)
+	}
+}
+
+func TestEndpointClosedSend(t *testing.T) {
+	d := testDeployment(t, 2, 2, 1, 2)
+	a, err := NewEndpoint(d, "governor/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("governor/1", "k", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send() after Close error = %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double Close() error = %v", err)
+	}
+}
+
+// TestRuntimeFullAlliance runs a whole alliance over loopback TCP and
+// checks every governor reaches the same height with the providers'
+// valid transactions settled.
+func TestRuntimeFullAlliance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock run")
+	}
+	d := testDeployment(t, 2, 2, 2, 2)
+	// Generous round duration: the test must tolerate -race overhead
+	// and parallel package execution without violating the synchrony
+	// assumption the runtime is built on.
+	clock := Clock{Epoch: time.Now().Add(500 * time.Millisecond), Round: 800 * time.Millisecond}
+	const rounds = 4
+	base := RuntimeConfig{
+		Deployment: d,
+		Clock:      clock,
+		Rounds:     rounds,
+		Params:     reputation.DefaultParams(),
+		Validator:  testOracle,
+		TxPerRound: 3,
+		ValidFrac:  0.8,
+		Seed:       5,
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		reports = make(map[string]Report)
+		failed  error
+	)
+	for _, spec := range d.Nodes {
+		cfg := base
+		cfg.ID = identity.NodeID(spec.ID)
+		wg.Add(1)
+		go func(id string, cfg RuntimeConfig) {
+			defer wg.Done()
+			r, err := RunNode(cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && failed == nil {
+				failed = fmt.Errorf("node %s: %w", id, err)
+				return
+			}
+			reports[id] = r
+		}(spec.ID, cfg)
+	}
+	wg.Wait()
+	if failed != nil {
+		t.Fatal(failed)
+	}
+	for id, r := range reports {
+		if r.Rounds != rounds {
+			t.Fatalf("%s completed %d rounds, want %d", id, r.Rounds, rounds)
+		}
+	}
+	h0 := reports["governor/0"].Height
+	h1 := reports["governor/1"].Height
+	if h0 != uint64(rounds) || h1 != uint64(rounds) {
+		t.Fatalf("governor heights %d/%d, want %d", h0, h1, rounds)
+	}
+	submitted := reports["provider/0"].Submitted + reports["provider/1"].Submitted
+	if submitted != 2*rounds*base.TxPerRound {
+		t.Fatalf("submitted = %d", submitted)
+	}
+	uploads := reports["collector/0"].Uploads + reports["collector/1"].Uploads
+	if uploads == 0 {
+		t.Fatal("no uploads over TCP")
+	}
+	_ = network.KindBlock // keep import for documentation symmetry
+}
+
+// TestRuntimeGovernorPersistence restarts a whole TCP alliance with
+// StateDir set: governors must reload their chains and keep extending
+// them.
+func TestRuntimeGovernorPersistence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock run")
+	}
+	stateDir := t.TempDir()
+	runAlliance := func(d *Deployment, rounds int) map[string]Report {
+		t.Helper()
+		clock := Clock{Epoch: time.Now().Add(500 * time.Millisecond), Round: 800 * time.Millisecond}
+		base := RuntimeConfig{
+			Deployment: d,
+			Clock:      clock,
+			Rounds:     rounds,
+			Params:     reputation.DefaultParams(),
+			Validator:  testOracle,
+			TxPerRound: 2,
+			ValidFrac:  0.8,
+			Seed:       6,
+			StateDir:   stateDir,
+		}
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			reports = make(map[string]Report)
+			failed  error
+		)
+		for _, spec := range d.Nodes {
+			cfg := base
+			cfg.ID = identity.NodeID(spec.ID)
+			wg.Add(1)
+			go func(id string, cfg RuntimeConfig) {
+				defer wg.Done()
+				r, err := RunNode(cfg)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && failed == nil {
+					failed = fmt.Errorf("node %s: %w", id, err)
+					return
+				}
+				reports[id] = r
+			}(spec.ID, cfg)
+		}
+		wg.Wait()
+		if failed != nil {
+			t.Fatal(failed)
+		}
+		return reports
+	}
+
+	d := testDeployment(t, 2, 2, 2, 2)
+	first := runAlliance(d, 2)
+	if first["governor/0"].Height != 2 {
+		t.Fatalf("first run height = %d", first["governor/0"].Height)
+	}
+	// Fresh ports for the restart (listeners from run 1 are closed,
+	// but avoid TIME_WAIT flakes).
+	ports := freePorts(t, len(d.Nodes))
+	for i := range d.Nodes {
+		d.Nodes[i].Addr = fmt.Sprintf("127.0.0.1:%d", ports[i])
+	}
+	second := runAlliance(d, 2)
+	if got := second["governor/0"].Height; got != 4 {
+		t.Fatalf("restarted alliance height = %d, want 4 (2 persisted + 2 new)", got)
+	}
+	if got := second["governor/1"].Height; got != 4 {
+		t.Fatalf("governor/1 height = %d, want 4", got)
+	}
+}
+
+func TestRuntimeUnknownNode(t *testing.T) {
+	d := testDeployment(t, 2, 2, 1, 2)
+	_, err := RunNode(RuntimeConfig{Deployment: d, ID: "ghost"})
+	if !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("error = %v, want ErrUnknownPeer", err)
+	}
+}

@@ -1,0 +1,390 @@
+// Package tx defines the protocol's transaction forms and the two
+// signed wire envelopes of the paper's §3.1:
+//
+//   - broadcast_provider carries a Transaction "contain[ing] a
+//     transaction payload, the current timestamp, as well as the
+//     provider's signature on them, to prevent a collector from
+//     fabricating one" — the SignedTx type;
+//   - broadcast_collector carries "a transaction payload, a timestamp,
+//     a recorded provider's signature, a label (e.g. valid or invalid),
+//     and the collector's signature on all of them" — the LabeledTx
+//     type.
+//
+// Transactions are identified by the hash of their canonical encoding.
+// Because the provider signs the timestamp along with the payload, a
+// malicious collector can neither forge a new transaction nor replay an
+// old one under a fresh identity (paper §4.2: "A malicious collector
+// cannot simply replicate a transaction as well since the transaction
+// is signed together with the timestamp").
+package tx
+
+import (
+	"errors"
+	"fmt"
+
+	"repchain/internal/codec"
+	"repchain/internal/crypto"
+	"repchain/internal/identity"
+)
+
+// Sentinel errors. Callers match with errors.Is.
+var (
+	// ErrBadSignature reports an envelope whose signature fails.
+	ErrBadSignature = errors.New("tx: bad signature")
+	// ErrBadLabel reports a label outside {+1, -1}.
+	ErrBadLabel = errors.New("tx: invalid label")
+	// ErrDecode reports a malformed wire encoding.
+	ErrDecode = errors.New("tx: decode failed")
+)
+
+// Label is a collector's judgment on a transaction: +1 valid, -1
+// invalid (paper §3.1).
+type Label int8
+
+// The two legal labels.
+const (
+	// LabelValid marks a transaction the collector believes valid.
+	LabelValid Label = 1
+	// LabelInvalid marks a transaction the collector believes invalid.
+	LabelInvalid Label = -1
+)
+
+// Valid reports whether l is one of the two legal labels.
+func (l Label) Valid() bool { return l == LabelValid || l == LabelInvalid }
+
+// String renders the label as the paper writes it.
+func (l Label) String() string {
+	switch l {
+	case LabelValid:
+		return "+1"
+	case LabelInvalid:
+		return "-1"
+	default:
+		return fmt.Sprintf("label(%d)", int8(l))
+	}
+}
+
+// Status is the governor's recorded judgment in a block.
+type Status int
+
+// Statuses a transaction can carry in the ledger.
+const (
+	// StatusValid records a transaction validated (or successfully
+	// argued) as valid.
+	StatusValid Status = iota + 1
+	// StatusInvalid records a transaction verified invalid, or an
+	// unchecked transaction conservatively marked invalid
+	// (Algorithm 2 line 32).
+	StatusInvalid
+)
+
+// String returns the lowercase status name.
+func (s Status) String() string {
+	switch s {
+	case StatusValid:
+		return "valid"
+	case StatusInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Transaction is the provider-authored payload before signing.
+type Transaction struct {
+	// Provider is the authoring provider's node ID.
+	Provider identity.NodeID
+	// Seq is the provider-local sequence number; together with the
+	// timestamp it makes every transaction unique.
+	Seq uint64
+	// Timestamp is the provider's clock reading (Unix nanoseconds in
+	// the TCP runtime, a logical tick in simulation).
+	Timestamp int64
+	// Kind names the application payload type, e.g.
+	// "carshare/ride-request".
+	Kind string
+	// Payload is the opaque application data.
+	Payload []byte
+}
+
+// encode appends the canonical encoding of t (the bytes the provider
+// signs) to e.
+func (t Transaction) encode(e *codec.Encoder) {
+	e.PutString("repchain/tx/v1")
+	e.PutString(string(t.Provider))
+	e.PutUint64(t.Seq)
+	e.PutVarint(t.Timestamp)
+	e.PutString(t.Kind)
+	e.PutBytes(t.Payload)
+}
+
+// SigningBytes returns the canonical byte string the provider signs.
+func (t Transaction) SigningBytes() []byte {
+	e := codec.NewEncoder(64 + len(t.Payload))
+	t.encode(e)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// ID returns the transaction identifier: the hash of the canonical
+// encoding. Two transactions with equal contents share an ID.
+func (t Transaction) ID() crypto.Hash {
+	return crypto.Sum(t.SigningBytes())
+}
+
+func decodeTransaction(d *codec.Decoder) (Transaction, error) {
+	var t Transaction
+	tag, err := d.String()
+	if err != nil {
+		return t, err
+	}
+	if tag != "repchain/tx/v1" {
+		return t, fmt.Errorf("transaction tag %q: %w", tag, ErrDecode)
+	}
+	prov, err := d.String()
+	if err != nil {
+		return t, err
+	}
+	t.Provider = identity.NodeID(prov)
+	if t.Seq, err = d.Uint64(); err != nil {
+		return t, err
+	}
+	if t.Timestamp, err = d.Varint(); err != nil {
+		return t, err
+	}
+	if t.Kind, err = d.String(); err != nil {
+		return t, err
+	}
+	if t.Payload, err = d.Bytes(); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// SignedTx is the broadcast_provider envelope: a transaction plus the
+// provider's signature over its canonical encoding.
+type SignedTx struct {
+	// Tx is the signed transaction.
+	Tx Transaction
+	// Sig is the provider's Ed25519 signature over Tx.SigningBytes().
+	Sig []byte
+}
+
+// Sign produces the provider envelope for t.
+func Sign(t Transaction, key crypto.PrivateKey) SignedTx {
+	return SignedTx{Tx: t, Sig: key.Sign(t.SigningBytes())}
+}
+
+// VerifyProvider checks the provider signature against pub. This is
+// the provider half of the paper's verify(d, m).
+func (s SignedTx) VerifyProvider(pub crypto.PublicKey) error {
+	if err := pub.Verify(s.Tx.SigningBytes(), s.Sig); err != nil {
+		return fmt.Errorf("provider signature on %s: %w", s.Tx.ID().Short(), ErrBadSignature)
+	}
+	return nil
+}
+
+// ID returns the inner transaction's identifier.
+func (s SignedTx) ID() crypto.Hash { return s.Tx.ID() }
+
+// Encode appends the wire encoding of s to e.
+func (s SignedTx) Encode(e *codec.Encoder) {
+	s.Tx.encode(e)
+	e.PutBytes(s.Sig)
+}
+
+// EncodeBytes returns the standalone wire encoding of s.
+func (s SignedTx) EncodeBytes() []byte {
+	e := codec.NewEncoder(128 + len(s.Tx.Payload))
+	s.Encode(e)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// DecodeSignedTx reads one SignedTx from d.
+func DecodeSignedTx(d *codec.Decoder) (SignedTx, error) {
+	t, err := decodeTransaction(d)
+	if err != nil {
+		return SignedTx{}, fmt.Errorf("signed tx: %w", err)
+	}
+	sig, err := d.Bytes()
+	if err != nil {
+		return SignedTx{}, fmt.Errorf("signed tx signature: %w", err)
+	}
+	return SignedTx{Tx: t, Sig: sig}, nil
+}
+
+// DecodeSignedTxBytes decodes a standalone SignedTx encoding,
+// requiring full consumption of b.
+func DecodeSignedTxBytes(b []byte) (SignedTx, error) {
+	d := codec.NewDecoder(b)
+	s, err := DecodeSignedTx(d)
+	if err != nil {
+		return SignedTx{}, err
+	}
+	if err := d.Expect(); err != nil {
+		return SignedTx{}, fmt.Errorf("signed tx: %w", err)
+	}
+	return s, nil
+}
+
+// LabeledTx is the broadcast_collector envelope Tx of Algorithm 1:
+// Tx ← (tx, l, sig_ci(tx, l)).
+type LabeledTx struct {
+	// Signed is the provider envelope being forwarded.
+	Signed SignedTx
+	// Label is the collector's judgment.
+	Label Label
+	// Collector identifies the uploading collector.
+	Collector identity.NodeID
+	// Sig is the collector's signature over (Signed, Label, Collector).
+	Sig []byte
+}
+
+// labelSigningBytes returns the canonical byte string the collector
+// signs: the provider envelope, the label, and the collector identity.
+func labelSigningBytes(s SignedTx, l Label, collector identity.NodeID) []byte {
+	e := codec.NewEncoder(160 + len(s.Tx.Payload))
+	e.PutString("repchain/labeled/v1")
+	s.Encode(e)
+	e.PutVarint(int64(l))
+	e.PutString(string(collector))
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// SignLabel produces the collector envelope for s with label l.
+func SignLabel(s SignedTx, l Label, collector identity.NodeID, key crypto.PrivateKey) (LabeledTx, error) {
+	if !l.Valid() {
+		return LabeledTx{}, fmt.Errorf("label %d: %w", l, ErrBadLabel)
+	}
+	return LabeledTx{
+		Signed:    s,
+		Label:     l,
+		Collector: collector,
+		Sig:       key.Sign(labelSigningBytes(s, l, collector)),
+	}, nil
+}
+
+// VerifyCollector checks the collector signature against pub. This is
+// the collector half of the paper's verify(d, m); link membership is
+// checked separately against the identity manager.
+func (lt LabeledTx) VerifyCollector(pub crypto.PublicKey) error {
+	if !lt.Label.Valid() {
+		return fmt.Errorf("label %d on %s: %w", lt.Label, lt.ID().Short(), ErrBadLabel)
+	}
+	msg := labelSigningBytes(lt.Signed, lt.Label, lt.Collector)
+	if err := pub.Verify(msg, lt.Sig); err != nil {
+		return fmt.Errorf("collector signature on %s: %w", lt.ID().Short(), ErrBadSignature)
+	}
+	return nil
+}
+
+// ID returns the inner transaction's identifier.
+func (lt LabeledTx) ID() crypto.Hash { return lt.Signed.ID() }
+
+// Encode appends the wire encoding of lt to e.
+func (lt LabeledTx) Encode(e *codec.Encoder) {
+	lt.Signed.Encode(e)
+	e.PutVarint(int64(lt.Label))
+	e.PutString(string(lt.Collector))
+	e.PutBytes(lt.Sig)
+}
+
+// EncodeBytes returns the standalone wire encoding of lt.
+func (lt LabeledTx) EncodeBytes() []byte {
+	e := codec.NewEncoder(192 + len(lt.Signed.Tx.Payload))
+	lt.Encode(e)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// DecodeLabeledTx reads one LabeledTx from d.
+func DecodeLabeledTx(d *codec.Decoder) (LabeledTx, error) {
+	s, err := DecodeSignedTx(d)
+	if err != nil {
+		return LabeledTx{}, fmt.Errorf("labeled tx: %w", err)
+	}
+	lv, err := d.Varint()
+	if err != nil {
+		return LabeledTx{}, fmt.Errorf("labeled tx label: %w", err)
+	}
+	l := Label(lv)
+	if !l.Valid() {
+		return LabeledTx{}, fmt.Errorf("labeled tx label %d: %w", lv, ErrBadLabel)
+	}
+	coll, err := d.String()
+	if err != nil {
+		return LabeledTx{}, fmt.Errorf("labeled tx collector: %w", err)
+	}
+	sig, err := d.Bytes()
+	if err != nil {
+		return LabeledTx{}, fmt.Errorf("labeled tx signature: %w", err)
+	}
+	return LabeledTx{Signed: s, Label: l, Collector: identity.NodeID(coll), Sig: sig}, nil
+}
+
+// DecodeLabeledTxBytes decodes a standalone LabeledTx encoding,
+// requiring full consumption of b.
+func DecodeLabeledTxBytes(b []byte) (LabeledTx, error) {
+	d := codec.NewDecoder(b)
+	lt, err := DecodeLabeledTx(d)
+	if err != nil {
+		return LabeledTx{}, err
+	}
+	if err := d.Expect(); err != nil {
+		return LabeledTx{}, fmt.Errorf("labeled tx: %w", err)
+	}
+	return lt, nil
+}
+
+// Validator is the paper's validate(tx) primitive: the
+// application-level rule deciding whether a transaction is valid.
+// Collectors call it when labeling; governors call it when screening.
+type Validator interface {
+	// Validate reports whether t is a valid transaction.
+	Validate(t Transaction) bool
+}
+
+// ValidatorFunc adapts a function to the Validator interface.
+type ValidatorFunc func(Transaction) bool
+
+// Validate implements Validator.
+func (f ValidatorFunc) Validate(t Transaction) bool { return f(t) }
+
+var _ Validator = ValidatorFunc(nil)
+
+// LabelFor returns the label an honest collector assigns under v.
+func LabelFor(v Validator, t Transaction) Label {
+	if v.Validate(t) {
+		return LabelValid
+	}
+	return LabelInvalid
+}
+
+// StatusFor converts a validity bool into a Status.
+func StatusFor(valid bool) Status {
+	if valid {
+		return StatusValid
+	}
+	return StatusInvalid
+}
+
+// Opposite returns the flipped label, used by misreporting adversary
+// models.
+func (l Label) Opposite() Label {
+	if l == LabelValid {
+		return LabelInvalid
+	}
+	return LabelValid
+}
+
+// Matches reports whether the label agrees with a status: +1 with
+// valid, -1 with invalid.
+func (l Label) Matches(s Status) bool {
+	return (l == LabelValid) == (s == StatusValid)
+}

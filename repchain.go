@@ -1,0 +1,395 @@
+// Package repchain is the public API of the RepChain library: a
+// permissioned blockchain for horizontal strategic alliances with a
+// provable reputation mechanism, reproducing Chen et al., "An
+// Efficient Permissioned Blockchain with Provable Reputation
+// Mechanism" (ICDCS 2021; arXiv:2002.06852).
+//
+// A chain has three tiers. Providers sign transactions and broadcast
+// them to r linked collectors; collectors label each transaction ±1
+// and upload it to every governor; governors screen a tunable fraction
+// of uploads guided by per-collector reputation vectors, elect a
+// round leader through per-stake-unit VRFs, and replicate the block
+// chain. Providers that find a valid transaction recorded invalid
+// argue, and the transaction enters a later block.
+//
+// Quick start:
+//
+//	chain, err := repchain.New(
+//		repchain.WithTopology(8, 4, 2), // 8 providers, 4 collectors, 2 collectors/provider
+//		repchain.WithGovernors(3),
+//		repchain.WithValidator(myValidator),
+//	)
+//	...
+//	chain.Submit(0, "orders/v1", payload, true)
+//	summary, err := chain.RunRound()
+//
+// The reputation mechanism guarantees (paper, Theorem 1) that a
+// governor's accumulated expected loss on unchecked transactions
+// exceeds the best collector's loss by only O(√T), while checking as
+// little as a (1−f) fraction of -1-labeled transactions.
+package repchain
+
+import (
+	"errors"
+	"fmt"
+
+	"repchain/internal/core"
+	"repchain/internal/crypto"
+	"repchain/internal/identity"
+	"repchain/internal/ledger"
+	"repchain/internal/node"
+	"repchain/internal/reputation"
+	"repchain/internal/tx"
+)
+
+// ErrBadOption reports an invalid configuration option.
+var ErrBadOption = errors.New("repchain: invalid option")
+
+// Validator re-exports the validate(tx) contract: applications decide
+// what a valid transaction is.
+type Validator = tx.Validator
+
+// ValidatorFunc adapts a function to Validator.
+type ValidatorFunc = tx.ValidatorFunc
+
+// Transaction re-exports the transaction shape validators see.
+type Transaction = tx.Transaction
+
+// CollectorBehavior configures a collector's conduct — honest by
+// default; adversarial settings exist for experiments and testing.
+type CollectorBehavior struct {
+	// Misreport is the probability of flipping the honest label.
+	Misreport float64
+	// Conceal is the probability of not uploading a transaction.
+	Conceal float64
+	// Forge is the probability of injecting a forged transaction per
+	// round.
+	Forge float64
+}
+
+// Option configures a chain.
+type Option func(*options) error
+
+type options struct {
+	cfg       core.Config
+	behaviors []CollectorBehavior
+}
+
+// WithTopology sets l providers, n collectors, and r collectors per
+// provider (r·l must be divisible by n).
+func WithTopology(providers, collectors, degree int) Option {
+	return func(o *options) error {
+		o.cfg.Spec = identity.TopologySpec{
+			Providers:  providers,
+			Collectors: collectors,
+			Degree:     degree,
+		}
+		return nil
+	}
+}
+
+// WithLinks overrides the regular topology with explicit adjacency
+// lists (provider index → collector indices), for irregular networks.
+// Combine with WithTopology(providers, collectors, 0) — the degree is
+// ignored.
+func WithLinks(links [][]int) Option {
+	return func(o *options) error {
+		o.cfg.Links = make([][]int, len(links))
+		for i, l := range links {
+			o.cfg.Links[i] = append([]int(nil), l...)
+		}
+		return nil
+	}
+}
+
+// WithChainDir backs every governor's ledger replica with append-only
+// files in dir, surviving restarts. Call Chain.Close when done.
+func WithChainDir(dir string) Option {
+	return func(o *options) error {
+		if dir == "" {
+			return fmt.Errorf("empty chain dir: %w", ErrBadOption)
+		}
+		o.cfg.ChainDir = dir
+		return nil
+	}
+}
+
+// WithGovernors sets m, the number of governors.
+func WithGovernors(m int) Option {
+	return func(o *options) error {
+		if m <= 0 {
+			return fmt.Errorf("governors %d: %w", m, ErrBadOption)
+		}
+		o.cfg.Governors = m
+		return nil
+	}
+}
+
+// WithStakes sets each governor's initial stake units (defaults to one
+// unit each).
+func WithStakes(stakes ...uint64) Option {
+	return func(o *options) error {
+		o.cfg.Stakes = append([]uint64(nil), stakes...)
+		return nil
+	}
+}
+
+// WithReputationParams tunes the mechanism: β ∈ (0,1) weight decay,
+// f ∈ (0,1) efficiency, µ,ν > 1 revenue bases.
+func WithReputationParams(beta, f, mu, nu float64) Option {
+	return func(o *options) error {
+		o.cfg.Params = reputation.Params{Beta: beta, F: f, Mu: mu, Nu: nu}
+		return nil
+	}
+}
+
+// WithBlockLimit sets b_limit, the per-block transaction cap (0 =
+// unlimited; overflow carries to the next block).
+func WithBlockLimit(limit int) Option {
+	return func(o *options) error {
+		if limit < 0 {
+			return fmt.Errorf("block limit %d: %w", limit, ErrBadOption)
+		}
+		o.cfg.BlockLimit = limit
+		return nil
+	}
+}
+
+// WithArgueWindow sets U: an unchecked transaction may be argued until
+// U newer unchecked transactions from the same provider exist.
+func WithArgueWindow(u int) Option {
+	return func(o *options) error {
+		if u <= 0 {
+			return fmt.Errorf("argue window %d: %w", u, ErrBadOption)
+		}
+		o.cfg.ArgueWindow = u
+		return nil
+	}
+}
+
+// WithSeed fixes all randomness for reproducible runs.
+func WithSeed(seed int64) Option {
+	return func(o *options) error {
+		o.cfg.Seed = seed
+		return nil
+	}
+}
+
+// WithValidator installs the application's validate(tx).
+func WithValidator(v Validator) Option {
+	return func(o *options) error {
+		if v == nil {
+			return fmt.Errorf("nil validator: %w", ErrBadOption)
+		}
+		o.cfg.Validator = v
+		return nil
+	}
+}
+
+// WithNetworkDelay sets the synchronous bound Δ in logical ticks.
+func WithNetworkDelay(maxDelay int) Option {
+	return func(o *options) error {
+		if maxDelay < 0 {
+			return fmt.Errorf("delay %d: %w", maxDelay, ErrBadOption)
+		}
+		o.cfg.MaxDelay = maxDelay
+		return nil
+	}
+}
+
+// WithCollectorBehaviors assigns per-collector conduct, index-aligned
+// with the topology's collectors.
+func WithCollectorBehaviors(behaviors ...CollectorBehavior) Option {
+	return func(o *options) error {
+		o.behaviors = append([]CollectorBehavior(nil), behaviors...)
+		return nil
+	}
+}
+
+// Chain is a running alliance chain.
+type Chain struct {
+	engine *core.Engine
+}
+
+// New assembles a chain. Required options: WithTopology,
+// WithGovernors, WithValidator.
+func New(opts ...Option) (*Chain, error) {
+	o := options{
+		cfg: core.Config{
+			Params:      reputation.DefaultParams(),
+			ArgueWindow: 64,
+			MaxDelay:    1,
+		},
+	}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if o.behaviors != nil {
+		o.cfg.Behaviors = make([]node.Behavior, len(o.behaviors))
+		for i, b := range o.behaviors {
+			if b == (CollectorBehavior{}) {
+				o.cfg.Behaviors[i] = node.HonestBehavior{}
+				continue
+			}
+			o.cfg.Behaviors[i] = node.ProbBehavior{
+				Misreport: b.Misreport,
+				Conceal:   b.Conceal,
+				Forge:     b.Forge,
+			}
+		}
+	}
+	engine, err := core.New(o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Chain{engine: engine}, nil
+}
+
+// TxID identifies a submitted transaction.
+type TxID = crypto.Hash
+
+// Submit signs and broadcasts a transaction from provider k during the
+// collecting phase. isValid is the provider's own ground truth, used
+// to decide whether to argue a mislabeled transaction later.
+func (c *Chain) Submit(provider int, kind string, payload []byte, isValid bool) (TxID, error) {
+	signed, err := c.engine.SubmitTx(provider, kind, payload, isValid)
+	if err != nil {
+		return TxID{}, err
+	}
+	return signed.ID(), nil
+}
+
+// TransferStake queues a stake transfer between governors for the next
+// round's stake-transform block.
+func (c *Chain) TransferStake(from, to int, amount uint64) error {
+	return c.engine.SubmitStakeTransfer(from, to, amount)
+}
+
+// RoundSummary reports one committed round.
+type RoundSummary struct {
+	// Serial is the committed block's number.
+	Serial uint64
+	// Leader is the elected governor's index.
+	Leader int
+	// Records is the number of transactions in the block.
+	Records int
+	// Uploads counts collector uploads this round.
+	Uploads int
+	// Argues counts provider disputes raised by this block.
+	Argues int
+	// StakeCommitted reports whether a stake-transform block also
+	// committed.
+	StakeCommitted bool
+}
+
+// RunRound executes one full protocol round (uploading + processing
+// phases) over everything submitted since the previous round.
+func (c *Chain) RunRound() (RoundSummary, error) {
+	res, err := c.engine.RunRound()
+	if err != nil {
+		return RoundSummary{}, err
+	}
+	return RoundSummary{
+		Serial:         res.Serial,
+		Leader:         res.Leader,
+		Records:        len(res.Block.Records),
+		Uploads:        res.Uploads,
+		Argues:         res.Argues,
+		StakeCommitted: res.StakeBlock != nil,
+	}, nil
+}
+
+// Height returns the chain height.
+func (c *Chain) Height() uint64 {
+	return c.engine.Governor(0).Store().Height()
+}
+
+// RecordStatus is one committed transaction's judgment.
+type RecordStatus struct {
+	// ID is the transaction identifier.
+	ID TxID
+	// Provider is the authoring provider's node ID.
+	Provider string
+	// Kind is the application payload type.
+	Kind string
+	// Payload is the application data.
+	Payload []byte
+	// Valid reports the recorded status.
+	Valid bool
+	// Unchecked reports that the governor skipped verification.
+	Unchecked bool
+}
+
+// Block retrieves the records of block s (the paper's retrieve(s)).
+func (c *Chain) Block(s uint64) ([]RecordStatus, error) {
+	b, err := c.engine.Governor(0).Store().Get(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RecordStatus, 0, len(b.Records))
+	for _, r := range b.Records {
+		out = append(out, RecordStatus{
+			ID:        r.Signed.ID(),
+			Provider:  string(r.Signed.Tx.Provider),
+			Kind:      r.Signed.Tx.Kind,
+			Payload:   append([]byte(nil), r.Signed.Tx.Payload...),
+			Valid:     r.Status == tx.StatusValid,
+			Unchecked: r.Unchecked,
+		})
+	}
+	return out, nil
+}
+
+// VerifyChain audits the full replicated chain: serial ordering, hash
+// links, and transaction-root commitments.
+func (c *Chain) VerifyChain() error {
+	for j := 0; j < c.engine.Governors(); j++ {
+		if err := ledger.VerifyChain(c.engine.Governor(j).Store()); err != nil {
+			return fmt.Errorf("governor %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// RevenueShares returns the current revenue split across collectors
+// (governor 0's view), the incentive signal of §3.4.3.
+func (c *Chain) RevenueShares() ([]float64, error) {
+	return c.engine.Governor(0).Table().RevenueShares()
+}
+
+// CollectorReputation returns collector c's full reputation vector in
+// the paper's layout — s per-provider weights, then w_misreport and
+// w_forge — from governor 0's view.
+func (c *Chain) CollectorReputation(collector int) ([]float64, error) {
+	return c.engine.Governor(0).Table().Vector(collector)
+}
+
+// Stakes returns the governors' current stake vector.
+func (c *Chain) Stakes() []uint64 {
+	return c.engine.StakeLedger().Snapshot()
+}
+
+// PendingValid returns how many of provider k's valid transactions
+// have not yet been recorded valid — zero once the Validity property
+// has caught up.
+func (c *Chain) PendingValid(provider int) int {
+	return c.engine.Provider(provider).PendingValid()
+}
+
+// GovernorStats reports a governor's screening counters.
+type GovernorStats = node.GovernorStats
+
+// Stats returns governor j's screening counters.
+func (c *Chain) Stats(governor int) GovernorStats {
+	return c.engine.Governor(governor).Stats()
+}
+
+// Close releases any file-backed governor stores (WithChainDir).
+// Chains with in-memory replicas need no Close.
+func (c *Chain) Close() error { return c.engine.Close() }
+
+// Engine exposes the underlying engine for advanced use (experiments,
+// fault injection).
+func (c *Chain) Engine() *core.Engine { return c.engine }

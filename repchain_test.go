@@ -1,0 +1,304 @@
+package repchain
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+var testValidator = ValidatorFunc(func(t Transaction) bool {
+	return len(t.Payload) > 0 && t.Payload[0] == 1
+})
+
+func newTestChain(t *testing.T, extra ...Option) *Chain {
+	t.Helper()
+	opts := append([]Option{
+		WithTopology(4, 4, 2),
+		WithGovernors(3),
+		WithValidator(testValidator),
+		WithSeed(99),
+	}, extra...)
+	c, err := New(opts...)
+	if err != nil {
+		t.Fatalf("New() error = %v", err)
+	}
+	return c
+}
+
+func TestNewRequiresValidOptions(t *testing.T) {
+	tests := []struct {
+		name string
+		opts []Option
+	}{
+		{"no validator", []Option{WithTopology(2, 2, 1), WithGovernors(2)}},
+		{"no governors", []Option{WithTopology(2, 2, 1), WithValidator(testValidator)}},
+		{"bad topology", []Option{WithTopology(3, 2, 1), WithGovernors(2), WithValidator(testValidator)}},
+		{"nil validator option", []Option{WithValidator(nil)}},
+		{"bad governors", []Option{WithGovernors(-1)}},
+		{"bad limit", []Option{WithBlockLimit(-1)}},
+		{"bad window", []Option{WithArgueWindow(0)}},
+		{"bad delay", []Option{WithNetworkDelay(-1)}},
+		{"bad params", []Option{WithTopology(2, 2, 1), WithGovernors(2), WithValidator(testValidator), WithReputationParams(2, 0.5, 1.1, 2)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.opts...); err == nil {
+				t.Fatal("New() accepted invalid options")
+			}
+		})
+	}
+}
+
+func TestChainLifecycle(t *testing.T) {
+	c := newTestChain(t)
+	ids := make([]TxID, 0, 8)
+	for i := 0; i < 8; i++ {
+		valid := i%3 != 2
+		payload := []byte{0, byte(i)}
+		if valid {
+			payload[0] = 1
+		}
+		id, err := c.Submit(i%4, "test/tx", payload, valid)
+		if err != nil {
+			t.Fatalf("Submit() error = %v", err)
+		}
+		ids = append(ids, id)
+	}
+	sum, err := c.RunRound()
+	if err != nil {
+		t.Fatalf("RunRound() error = %v", err)
+	}
+	if sum.Serial != 1 {
+		t.Fatalf("Serial = %d", sum.Serial)
+	}
+	if c.Height() != 1 {
+		t.Fatalf("Height() = %d", c.Height())
+	}
+	records, err := c.Block(1)
+	if err != nil {
+		t.Fatalf("Block(1) error = %v", err)
+	}
+	if len(records) == 0 {
+		t.Fatal("block empty")
+	}
+	// Every record corresponds to a submitted transaction.
+	known := make(map[TxID]bool, len(ids))
+	for _, id := range ids {
+		known[id] = true
+	}
+	for _, r := range records {
+		if !known[r.ID] {
+			t.Fatalf("unknown transaction %v in block", r.ID)
+		}
+	}
+	if err := c.VerifyChain(); err != nil {
+		t.Fatalf("VerifyChain() error = %v", err)
+	}
+}
+
+func TestChainRevenueAndReputationAccessors(t *testing.T) {
+	c := newTestChain(t)
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 6; i++ {
+			if _, err := c.Submit(i%4, "t", []byte{1, byte(i)}, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shares, err := c.RevenueShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 4 {
+		t.Fatalf("shares = %v", shares)
+	}
+	vec, err := c.CollectorReputation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 providers × degree 2 over 4 collectors ⇒ s = 2; vector s+2.
+	if len(vec) != 4 {
+		t.Fatalf("reputation vector length = %d, want 4", len(vec))
+	}
+	st := c.Stats(0)
+	if st.ReportsReceived == 0 {
+		t.Fatal("no reports recorded")
+	}
+}
+
+func TestChainStakeTransfer(t *testing.T) {
+	c := newTestChain(t, WithStakes(4, 3, 3))
+	if err := c.TransferStake(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.StakeCommitted {
+		t.Fatal("stake block not committed")
+	}
+	stakes := c.Stakes()
+	if stakes[0] != 2 || stakes[1] != 5 {
+		t.Fatalf("stakes = %v", stakes)
+	}
+}
+
+func TestChainAdversarialBehaviors(t *testing.T) {
+	c := newTestChain(t,
+		WithReputationParams(0.9, 0.8, 1.1, 2),
+		WithCollectorBehaviors(
+			CollectorBehavior{},
+			CollectorBehavior{Misreport: 1},
+			CollectorBehavior{Misreport: 1},
+			CollectorBehavior{Misreport: 1},
+		),
+	)
+	for r := 0; r < 6; r++ {
+		for i := 0; i < 8; i++ {
+			if _, err := c.Submit(i%4, "t", []byte{1, byte(i), byte(r)}, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain rounds so argues settle.
+	for r := 0; r < 6; r++ {
+		if _, err := c.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 4; k++ {
+		if pending := c.PendingValid(k); pending != 0 {
+			t.Fatalf("provider %d has %d unsettled valid txs", k, pending)
+		}
+	}
+	shares, err := c.RevenueShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if shares[i] >= shares[0] {
+			t.Fatalf("liar %d share %.4f ≥ honest %.4f", i, shares[i], shares[0])
+		}
+	}
+}
+
+func TestBlockNotFound(t *testing.T) {
+	c := newTestChain(t)
+	if _, err := c.Block(1); err == nil {
+		t.Fatal("Block(1) on empty chain succeeded")
+	}
+}
+
+func TestSubmitBadProvider(t *testing.T) {
+	c := newTestChain(t)
+	if _, err := c.Submit(99, "t", []byte{1}, true); err == nil {
+		t.Fatal("Submit(99) succeeded")
+	}
+	var sentinel error = ErrBadOption
+	_ = sentinel
+	if !errors.Is(ErrBadOption, ErrBadOption) {
+		t.Fatal("sentinel identity broken")
+	}
+}
+
+func TestChainIrregularLinks(t *testing.T) {
+	c, err := New(
+		WithTopology(3, 2, 0),
+		WithLinks([][]int{{0, 1}, {0}, {1}}),
+		WithGovernors(2),
+		WithValidator(testValidator),
+		WithSeed(3),
+	)
+	if err != nil {
+		t.Fatalf("New() error = %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := c.Submit(i%3, "t", []byte{1, byte(i)}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := c.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records == 0 {
+		t.Fatal("irregular topology committed nothing")
+	}
+	if err := c.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainPersistence(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Chain {
+		c, err := New(
+			WithTopology(2, 2, 1),
+			WithGovernors(2),
+			WithValidator(testValidator),
+			WithSeed(4),
+			WithChainDir(dir),
+		)
+		if err != nil {
+			t.Fatalf("New() error = %v", err)
+		}
+		return c
+	}
+	c1 := open()
+	if _, err := c1.Submit(0, "t", []byte{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("Close() error = %v", err)
+	}
+
+	c2 := open()
+	defer func() {
+		if err := c2.Close(); err != nil {
+			t.Errorf("Close() error = %v", err)
+		}
+	}()
+	if c2.Height() != 1 {
+		t.Fatalf("reloaded height = %d, want 1", c2.Height())
+	}
+	if _, err := c2.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Height() != 2 {
+		t.Fatalf("post-restart height = %d, want 2", c2.Height())
+	}
+}
+
+func Example() {
+	chain, err := New(
+		WithTopology(2, 2, 1),
+		WithGovernors(2),
+		WithValidator(ValidatorFunc(func(t Transaction) bool { return len(t.Payload) > 0 && t.Payload[0] == 1 })),
+		WithSeed(1),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, err := chain.Submit(0, "demo", []byte{1}, true); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sum, err := chain.RunRound()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("block %d with %d record(s)\n", sum.Serial, sum.Records)
+	// Output: block 1 with 1 record(s)
+}
