@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench experiments examples demo clean
+.PHONY: all build test test-short race vet bench bench-round experiments examples demo clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,20 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-detector pass over the full tree — the parallel round pipeline
+# and the shared verification cache must stay clean under -race.
+race:
+	$(GO) test -race ./...
+
 # One testing.B benchmark per EXPERIMENTS.md table, plus micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# End-to-end round latency across worker counts, with the
+# signature-cache hit rate attached; raw tool output lands in
+# BENCH_round.json for dashboards and regression diffing.
+bench-round:
+	$(GO) test -json -run '^$$' -bench BenchmarkFullProtocolRound -benchmem . > BENCH_round.json
 
 # Regenerate every evaluation table (EXPERIMENTS.md source).
 experiments:

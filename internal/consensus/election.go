@@ -2,6 +2,8 @@ package consensus
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repchain/internal/codec"
 	"repchain/internal/crypto"
@@ -137,6 +139,7 @@ type Election struct {
 	remaining int
 	best      Ticket
 	haveBest  bool
+	workers   int
 }
 
 // NewElection starts an election for the given round over the given
@@ -157,6 +160,12 @@ func NewElection(round uint64, prevHash crypto.Hash, pubs []crypto.PublicKey, st
 		remaining: len(pubs),
 	}, nil
 }
+
+// SetWorkers bounds the goroutines Submit may use for VRF proof
+// verification. Values ≤ 1 keep Submit single-threaded (the default).
+// Parallelism changes only the wall time, never the outcome: structural
+// checks and the best-ticket scan stay in submission order.
+func (e *Election) SetWorkers(w int) { e.workers = w }
 
 // Submit records governor j's ticket batch, verifying every proof and
 // that exactly one ticket per stake unit was produced. A governor with
@@ -184,9 +193,13 @@ func (e *Election) Submit(j int, tickets []Ticket) error {
 			return fmt.Errorf("governor %d duplicate ticket for unit %d: %w", j, t.Unit, ErrBadTicket)
 		}
 		seen[t.Unit] = true
-		if err := VerifyTicket(e.pubs[j], e.prevHash, e.round, t); err != nil {
-			return err
-		}
+	}
+	if err := e.verifyTickets(j, tickets); err != nil {
+		return err
+	}
+	// Scan for the minimum in ticket order so ties (identical outputs)
+	// resolve exactly as the sequential path always has.
+	for _, t := range tickets {
 		if !e.haveBest || t.Output.Less(e.best.Output) {
 			e.best = t
 			e.haveBest = true
@@ -194,6 +207,48 @@ func (e *Election) Submit(j int, tickets []Ticket) error {
 	}
 	e.submitted[j] = true
 	e.remaining--
+	return nil
+}
+
+// verifyTickets checks every VRF proof of a batch, fanning the checks
+// across at most e.workers goroutines. The returned error is the one of
+// the lowest-indexed failing ticket, keeping error reporting
+// deterministic under any schedule.
+func (e *Election) verifyTickets(j int, tickets []Ticket) error {
+	if e.workers <= 1 || len(tickets) <= 1 {
+		for _, t := range tickets {
+			if err := VerifyTicket(e.pubs[j], e.prevHash, e.round, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := e.workers
+	if workers > len(tickets) {
+		workers = len(tickets)
+	}
+	errs := make([]error, len(tickets))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(tickets) {
+					return
+				}
+				errs[i] = VerifyTicket(e.pubs[j], e.prevHash, e.round, tickets[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -183,9 +183,10 @@ func SignStakeTx(from, to int, amount, nonce uint64, key crypto.PrivateKey) Stak
 }
 
 // Verify checks the transfer's signature against the paying
-// governor's public key.
+// governor's public key, through the shared verification cache (all m
+// governors verify the same broadcast transfer).
 func (t StakeTx) Verify(pub crypto.PublicKey) error {
-	if err := pub.Verify(t.signingBytes(), t.Sig); err != nil {
+	if err := crypto.CachedVerify(pub, t.signingBytes(), t.Sig); err != nil {
 		return fmt.Errorf("stake tx %d→%d: %w", t.From, t.To, ErrBadSignature)
 	}
 	return nil

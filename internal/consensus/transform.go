@@ -69,7 +69,7 @@ func ProposeState(round uint64, leader int, base []uint64, txs []StakeTx, key cr
 // error is grounds for expulsion evidence.
 func VerifyProposal(p StateProposal, leaderPub crypto.PublicKey, governorPubs []crypto.PublicKey, base []uint64) error {
 	msg := stateSigningBytes(p.Round, p.Leader, p.NewState, p.Txs)
-	if err := leaderPub.Verify(msg, p.Sig); err != nil {
+	if err := crypto.CachedVerify(leaderPub, msg, p.Sig); err != nil {
 		return fmt.Errorf("round %d proposal: %w", p.Round, ErrBadSignature)
 	}
 	for i, t := range p.Txs {
@@ -147,7 +147,7 @@ func VerifyEndorsement(en Endorsement, pub crypto.PublicKey, stateHash crypto.Ha
 			en.Round, en.Governor, en.StateHash.Short(), stateHash.Short(), ErrStateMismatch)
 	}
 	msg := endorsementSigningBytes(en.Round, en.Governor, en.StateHash)
-	if err := pub.Verify(msg, en.Sig); err != nil {
+	if err := crypto.CachedVerify(pub, msg, en.Sig); err != nil {
 		return fmt.Errorf("round %d endorsement by %d: %w", en.Round, en.Governor, ErrBadSignature)
 	}
 	return nil
@@ -269,7 +269,7 @@ func AccuseLeader(accuser int, p StateProposal, verifyErr error, key crypto.Priv
 // evidence is valid (the leader should be expelled).
 func VerifyEvidence(ev Evidence, accuserPub, leaderPub crypto.PublicKey, governorPubs []crypto.PublicKey, base []uint64) error {
 	msg := evidenceSigningBytes(ev.Accuser, ev.Proposal, ev.Reason)
-	if err := accuserPub.Verify(msg, ev.Sig); err != nil {
+	if err := crypto.CachedVerify(accuserPub, msg, ev.Sig); err != nil {
 		return fmt.Errorf("evidence by %d: %w", ev.Accuser, ErrBadSignature)
 	}
 	if err := VerifyProposal(ev.Proposal, leaderPub, governorPubs, base); err == nil {

@@ -26,6 +26,7 @@ import (
 	"repchain/internal/crypto"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
+	"repchain/internal/metrics"
 	"repchain/internal/network"
 	"repchain/internal/node"
 	"repchain/internal/reputation"
@@ -79,6 +80,15 @@ type Config struct {
 	// with an append-only file `governor-<j>.chain` in that directory,
 	// surviving restarts. Empty means in-memory replicas.
 	ChainDir string
+	// Workers bounds the goroutines used to fan out per-collector and
+	// per-governor round work. Zero (or negative) means one worker per
+	// logical CPU; 1 forces the fully sequential pipeline. Any value
+	// produces byte-identical rounds — per-node RNG streams are
+	// consumed only by their owning node, and buffered sends are
+	// replayed onto the bus in node order — so Workers trades only
+	// wall time, never determinism. When Workers != 1 the Validator
+	// must be safe for concurrent use (pure functions are).
+	Workers int
 }
 
 // Engine is a running alliance chain.
@@ -100,7 +110,19 @@ type Engine struct {
 	govPubs     []crypto.PublicKey
 
 	pendingStakeTxs []consensus.StakeTx
-	round           uint64
+	// stakeNonces are persistent per-governor counters so every signed
+	// stake transfer a governor ever issues carries a fresh nonce —
+	// nonces derived from the per-round pending queue length would
+	// repeat every round and make signed transfers replayable.
+	stakeNonces []uint64
+	round       uint64
+
+	// workers is the resolved fan-out bound (Config.Workers, with 0
+	// meaning GOMAXPROCS).
+	workers int
+	// reg collects engine-level operational metrics: protocol anomaly
+	// counters and snapshots of the shared signature-cache statistics.
+	reg *metrics.Registry
 
 	// stakeCorruptor is a test hook making the next stake proposal
 	// lie; see CorruptNextStakeProposal.
@@ -172,12 +194,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 
 	e := &Engine{
-		cfg:      cfg,
-		im:       im,
-		roster:   roster,
-		bus:      network.NewBus(cfg.MaxDelay),
-		stake:    consensus.NewStakeLedger(stakes),
-		expelled: make([]bool, cfg.Governors),
+		cfg:         cfg,
+		im:          im,
+		roster:      roster,
+		bus:         network.NewBus(cfg.MaxDelay),
+		stake:       consensus.NewStakeLedger(stakes),
+		expelled:    make([]bool, cfg.Governors),
+		stakeNonces: make([]uint64, cfg.Governors),
+		workers:     resolveWorkers(cfg.Workers),
+		reg:         metrics.NewRegistry(),
 	}
 	for _, g := range roster.Governors {
 		e.governorIDs = append(e.governorIDs, g.ID)
@@ -319,6 +344,26 @@ func (e *Engine) StakeLedger() *consensus.StakeLedger { return e.stake }
 // Round returns the number of completed rounds.
 func (e *Engine) Round() uint64 { return e.round }
 
+// Workers returns the engine's resolved fan-out bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Metrics exposes the engine's operational metrics registry:
+// "election.vrf_unknown_sender" counts dropped VRF messages from
+// undecodable senders; "sigcache.hits", "sigcache.misses", and
+// "sigcache.hit_rate" are per-round snapshots of the process-wide
+// signature-verification cache.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// publishCryptoMetrics snapshots the shared verification-cache
+// counters into the engine registry. The cache is process-wide, so
+// under several live engines the gauges reflect combined activity.
+func (e *Engine) publishCryptoMetrics() {
+	hits, misses := crypto.DefaultVerifyCache.Stats()
+	e.reg.Gauge("sigcache.hits").Set(float64(hits))
+	e.reg.Gauge("sigcache.misses").Set(float64(misses))
+	e.reg.Gauge("sigcache.hit_rate").Set(crypto.DefaultVerifyCache.HitRate())
+}
+
 // SubmitTx has provider k sign and broadcast a transaction during the
 // collecting phase. isValid is the provider's ground truth.
 func (e *Engine) SubmitTx(k int, kind string, payload []byte, isValid bool) (tx.SignedTx, error) {
@@ -329,12 +374,16 @@ func (e *Engine) SubmitTx(k int, kind string, payload []byte, isValid bool) (tx.
 }
 
 // SubmitStakeTransfer queues a signed stake transfer from governor
-// `from` for the next round's stake-transform block.
+// `from` for the next round's stake-transform block. The nonce comes
+// from a monotone per-governor counter, never reused across rounds, so
+// two transfers with identical (from, to, amount) still sign distinct
+// bytes and a captured transfer cannot be replayed later.
 func (e *Engine) SubmitStakeTransfer(from, to int, amount uint64) error {
 	if from < 0 || from >= len(e.governors) || to < 0 || to >= len(e.governors) {
 		return fmt.Errorf("transfer %d→%d: %w", from, to, ErrBadConfig)
 	}
-	nonce := uint64(len(e.pendingStakeTxs))
+	nonce := e.stakeNonces[from]
+	e.stakeNonces[from]++
 	stx := consensus.SignStakeTx(from, to, amount, nonce, e.roster.Governors[from].PrivateKey)
 	// "governors related to the transaction should broadcast the
 	// signed transaction to all governors"
@@ -350,18 +399,31 @@ func (e *Engine) SubmitStakeTransfer(from, to int, amount uint64) error {
 // remaining messages per governor. Draining all endpoints before the
 // caller processes anything guarantees that messages sent while
 // processing (same tick) are seen by the next pump, not lost.
+//
+// Governors are pumped in parallel: each drains only its own endpoint
+// (delivery order is fixed by bus sequence numbers, not by schedule)
+// and mutates only its own state, so per-governor results are
+// independent of the worker count. This is the round's hottest loop —
+// every governor verifies every upload's two signatures — and the
+// shared verification cache turns the m-fold duplicate checks into
+// hits.
 func (e *Engine) pumpGovernors() ([][]network.Message, error) {
 	rest := make([][]network.Message, len(e.governors))
-	for j, g := range e.governors {
+	err := runIndexed(e.workers, len(e.governors), func(j int) error {
+		g := e.governors[j]
 		for _, m := range g.Endpoint().Receive() {
 			consumed, err := g.HandleMessage(m)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !consumed {
 				rest[j] = append(rest[j], m)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rest, nil
 }
@@ -369,18 +431,34 @@ func (e *Engine) pumpGovernors() ([][]network.Message, error) {
 // RunRound executes the uploading and processing phases over whatever
 // the collecting phase submitted, commits one block, and resolves
 // provider argues triggered by the new block.
+//
+// Every fan-out below is deterministic at any Workers setting: nodes
+// own their RNG streams and state, parallel stages buffer their
+// outbound messages, and the engine replays the buffers onto the bus
+// in node-index order — the exact order the sequential pipeline sends
+// in. DESIGN.md §"Parallel round pipeline" carries the full argument.
 func (e *Engine) RunRound() (RoundResult, error) {
 	e.round++
 
 	// --- Uploading phase ---
 	e.bus.AdvancePastDelay() // provider broadcasts land
+	uploadsBy := make([]int, len(e.collectors))
+	outBy := make([]*sendBuffer, len(e.collectors))
+	err := runIndexed(e.workers, len(e.collectors), func(i int) error {
+		buf := &sendBuffer{}
+		n, err := e.collectors[i].ProcessRound(buf)
+		uploadsBy[i], outBy[i] = n, buf
+		return err
+	})
+	if err != nil {
+		return RoundResult{}, err
+	}
 	uploads := 0
-	for _, c := range e.collectors {
-		n, err := c.ProcessRound(e.bus)
-		if err != nil {
+	for i, buf := range outBy {
+		uploads += uploadsBy[i]
+		if err := buf.flush(e.bus); err != nil {
 			return RoundResult{}, err
 		}
-		uploads += n
 	}
 	e.bus.AdvancePastDelay() // collector uploads land
 
@@ -389,15 +467,20 @@ func (e *Engine) RunRound() (RoundResult, error) {
 		return RoundResult{}, err
 	}
 	recordsByGov := make([][]ledger.Record, len(e.governors))
-	for j, g := range e.governors {
+	err = runIndexed(e.workers, len(e.governors), func(j int) error {
+		g := e.governors[j]
 		if err := g.ProcessArgues(); err != nil {
-			return RoundResult{}, err
+			return err
 		}
 		recs, err := g.ScreenRound()
 		if err != nil {
-			return RoundResult{}, err
+			return err
 		}
 		recordsByGov[j] = recs
+		return nil
+	})
+	if err != nil {
+		return RoundResult{}, err
 	}
 
 	// --- Processing phase: leader election ---
@@ -420,12 +503,15 @@ func (e *Engine) RunRound() (RoundResult, error) {
 	}
 	e.bus.AdvancePastDelay()
 
-	// Every governor (leader included) verifies and appends.
+	// Every governor (leader included) verifies and appends. Replicas
+	// are independent; the shared cache makes the m identical proposer
+	// signature checks cost one.
 	rest, err := e.pumpGovernors()
 	if err != nil {
 		return RoundResult{}, err
 	}
-	for j, g := range e.governors {
+	err = runIndexed(e.workers, len(e.governors), func(j int) error {
+		g := e.governors[j]
 		accepted := false
 		for _, m := range rest[j] {
 			if m.Kind != network.KindBlock {
@@ -433,38 +519,59 @@ func (e *Engine) RunRound() (RoundResult, error) {
 			}
 			b, err := ledger.DecodeBlockBytes(m.Payload)
 			if err != nil {
-				return RoundResult{}, fmt.Errorf("governor %d block decode: %w", j, err)
+				return fmt.Errorf("governor %d block decode: %w", j, err)
 			}
 			if err := g.AcceptBlock(b, leaderID, e.govPubs[leader]); err != nil {
-				return RoundResult{}, err
+				return err
 			}
 			accepted = true
 		}
 		if !accepted {
-			return RoundResult{}, fmt.Errorf("governor %d missed block %d: %w", j, block.Serial, ErrDisagreement)
+			return fmt.Errorf("governor %d missed block %d: %w", j, block.Serial, ErrDisagreement)
 		}
+		return nil
+	})
+	if err != nil {
+		return RoundResult{}, err
 	}
 	// Agreement check across replicas.
 	if err := e.checkAgreement(block.Serial); err != nil {
 		return RoundResult{}, err
 	}
 
-	// Providers observe the block and argue.
-	argues := 0
-	for _, p := range e.providers {
+	// Providers observe the block and argue. Argues are buffered per
+	// provider and replayed in provider order so governors receive them
+	// in the same total order at any worker count.
+	arguesBy := make([]int, len(e.providers))
+	argueOut := make([]*sendBuffer, len(e.providers))
+	err = runIndexed(e.workers, len(e.providers), func(k int) error {
+		p := e.providers[k]
+		buf := &sendBuffer{}
+		argueOut[k] = buf
 		for _, m := range p.Endpoint().Receive() {
 			if m.Kind != network.KindBlock {
 				continue
 			}
 			b, err := ledger.DecodeBlockBytes(m.Payload)
 			if err != nil {
-				return RoundResult{}, fmt.Errorf("provider %s block decode: %w", p.ID(), err)
+				return fmt.Errorf("provider %s block decode: %w", p.ID(), err)
 			}
-			n, err := p.ObserveBlock(b, e.bus)
+			n, err := p.ObserveBlock(b, buf)
 			if err != nil {
-				return RoundResult{}, err
+				return err
 			}
-			argues += n
+			arguesBy[k] += n
+		}
+		return nil
+	})
+	if err != nil {
+		return RoundResult{}, err
+	}
+	argues := 0
+	for k, buf := range argueOut {
+		argues += arguesBy[k]
+		if err := buf.flush(e.bus); err != nil {
+			return RoundResult{}, err
 		}
 	}
 
@@ -485,6 +592,7 @@ func (e *Engine) RunRound() (RoundResult, error) {
 		result.StakeBlock = sb
 		e.pendingStakeTxs = nil
 	}
+	e.publishCryptoMetrics()
 	return result, nil
 }
 
@@ -503,49 +611,71 @@ func (e *Engine) electLeader() (int, error) {
 		}
 	}
 
-	// Each governor evaluates and broadcasts its tickets.
-	allTickets := make([][]consensus.Ticket, len(e.governors))
-	for j := range e.governors {
+	// Each governor evaluates its tickets; evaluation fans out across
+	// workers (the VRF costs one signature per stake unit) while the
+	// broadcasts replay in governor order so KindVRF sequence numbers
+	// match the sequential schedule.
+	payloads := make([][]byte, len(e.governors))
+	err := runIndexed(e.workers, len(e.governors), func(j int) error {
 		tickets := consensus.MakeTickets(e.roster.Governors[j].PrivateKey, prevHash, e.round, j, stakes[j])
-		allTickets[j] = tickets
-		if err := e.bus.Multicast(e.governorIDs[j], e.governorIDs, network.KindVRF, consensus.EncodeTickets(tickets)); err != nil {
+		payloads[j] = consensus.EncodeTickets(tickets)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for j := range e.governors {
+		if err := e.bus.Multicast(e.governorIDs[j], e.governorIDs, network.KindVRF, payloads[j]); err != nil {
 			return 0, err
 		}
 	}
 	e.bus.AdvancePastDelay()
 
-	// Each governor verifies every ticket and elects independently.
+	// Each governor verifies every ticket and elects independently. The
+	// elections are disjoint, so they run one per worker; remaining
+	// workers split each election's proof checks. Messages from senders
+	// that do not decode as governors are dropped — as the sequential
+	// code always did — but now counted, so an operator can see a
+	// misrouted or spoofed VRF stream instead of a silent skip.
 	rest, err := e.pumpGovernors()
 	if err != nil {
 		return 0, err
 	}
+	unknownSender := e.reg.Counter("election.vrf_unknown_sender")
+	wPer := (e.workers + len(e.governors) - 1) / len(e.governors)
 	leaders := make([]int, len(e.governors))
-	for j := range e.governors {
+	err = runIndexed(e.workers, len(e.governors), func(j int) error {
 		el, err := consensus.NewElection(e.round, prevHash, e.govPubs, stakes)
 		if err != nil {
-			return 0, err
+			return err
 		}
+		el.SetWorkers(wPer)
 		for _, m := range rest[j] {
 			if m.Kind != network.KindVRF {
 				continue
 			}
 			sender, err := decodeGovernorIndex(m.From)
 			if err != nil {
+				unknownSender.Inc()
 				continue
 			}
 			tickets, err := consensus.DecodeTickets(m.Payload)
 			if err != nil {
-				return 0, fmt.Errorf("governor %d tickets from %d: %w", j, sender, err)
+				return fmt.Errorf("governor %d tickets from %d: %w", j, sender, err)
 			}
 			if err := el.Submit(sender, tickets); err != nil {
-				return 0, err
+				return err
 			}
 		}
 		l, _, err := el.Leader()
 		if err != nil {
-			return 0, fmt.Errorf("governor %d election: %w", j, err)
+			return fmt.Errorf("governor %d election: %w", j, err)
 		}
 		leaders[j] = l
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	for j := 1; j < len(leaders); j++ {
 		if leaders[j] != leaders[0] {

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repchain/internal/crypto"
+)
+
+// roundTrace captures everything observable about one run that could
+// diverge under a schedule-dependent bug: per-round block hashes and
+// leaders, the final stake vector, and every governor's full reputation
+// snapshot.
+type roundTrace struct {
+	hashes    []crypto.Hash
+	leaders   []int
+	stakes    []uint64
+	snapshots [][]byte
+}
+
+// runTrace executes `rounds` rounds with mixed valid/invalid traffic
+// and one stake transfer, under the given seed and worker count.
+func runTrace(t *testing.T, seed int64, workers, rounds int) roundTrace {
+	t.Helper()
+	cfg := defaultConfig()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	cfg.Stakes = []uint64{3, 2, 1}
+	e := newTestEngine(t, cfg)
+	var tr roundTrace
+	for r := 0; r < rounds; r++ {
+		submitRound(t, e, 12, r, 3)
+		if r == 1 {
+			if err := e.SubmitStakeTransfer(0, 2, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := e.RunRound()
+		if err != nil {
+			t.Fatalf("seed %d workers %d round %d: %v", seed, workers, r, err)
+		}
+		tr.hashes = append(tr.hashes, res.Block.Hash())
+		tr.leaders = append(tr.leaders, res.Leader)
+	}
+	tr.stakes = e.StakeLedger().Snapshot()
+	for j := 0; j < e.Governors(); j++ {
+		tr.snapshots = append(tr.snapshots, e.Governor(j).Table().Snapshot())
+	}
+	return tr
+}
+
+// TestParallelMatchesSequential is the tentpole's determinism gate: the
+// pipeline must be byte-identical at every worker count. Block hashes
+// transitively commit to screening decisions and records; leaders to
+// the VRF election; reputation snapshots to every weight update.
+func TestParallelMatchesSequential(t *testing.T) {
+	const rounds = 5
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			want := runTrace(t, seed, 1, rounds)
+			for _, workers := range []int{4, 8} {
+				got := runTrace(t, seed, workers, rounds)
+				for r := range want.hashes {
+					if got.hashes[r] != want.hashes[r] {
+						t.Fatalf("workers=%d round %d block hash %s, sequential %s",
+							workers, r, got.hashes[r].Short(), want.hashes[r].Short())
+					}
+					if got.leaders[r] != want.leaders[r] {
+						t.Fatalf("workers=%d round %d leader %d, sequential %d",
+							workers, r, got.leaders[r], want.leaders[r])
+					}
+				}
+				for j := range want.stakes {
+					if got.stakes[j] != want.stakes[j] {
+						t.Fatalf("workers=%d stakes %v, sequential %v", workers, got.stakes, want.stakes)
+					}
+				}
+				for j := range want.snapshots {
+					if !bytes.Equal(got.snapshots[j], want.snapshots[j]) {
+						t.Fatalf("workers=%d governor %d reputation snapshot diverged from sequential", workers, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStakeNoncesSurviveRounds pins the nonce-reuse fix: identical
+// transfers issued in different rounds must sign distinct bytes.
+func TestStakeNoncesSurviveRounds(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Stakes = []uint64{6, 1, 1}
+	e := newTestEngine(t, cfg)
+	var nonces []uint64
+	var sigs [][]byte
+	for r := 0; r < 3; r++ {
+		if err := e.SubmitStakeTransfer(0, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		stx := e.pendingStakeTxs[len(e.pendingStakeTxs)-1]
+		nonces = append(nonces, stx.Nonce)
+		sigs = append(sigs, stx.Sig)
+		if _, err := e.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(nonces); i++ {
+		if nonces[i] == nonces[0] {
+			t.Fatalf("nonce %d of round %d repeats round 0's: replayable transfer", nonces[i], i)
+		}
+		if bytes.Equal(sigs[i], sigs[0]) {
+			t.Fatalf("round %d transfer signs the same bytes as round 0", i)
+		}
+	}
+}
+
+func TestRunIndexedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		var hits [n]int64
+		if err := runIndexed(workers, n, func(i int) error {
+			atomic.AddInt64(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunIndexedReturnsLowestIndexError(t *testing.T) {
+	errAt := func(bad ...int) func(int) error {
+		set := make(map[int]bool)
+		for _, b := range bad {
+			set[b] = true
+		}
+		return func(i int) error {
+			if set[i] {
+				return fmt.Errorf("index %d failed", i)
+			}
+			return nil
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		err := runIndexed(workers, 50, errAt(31, 7, 44))
+		if err == nil || err.Error() != "index 7 failed" {
+			t.Fatalf("workers=%d error = %v, want lowest failing index 7", workers, err)
+		}
+	}
+}
+
+func TestRunIndexedStopsEarlyOnFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int64
+	err := runIndexed(4, 10_000, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	if got := atomic.LoadInt64(&ran); got == 10_000 {
+		t.Fatal("pool kept claiming indices after a failure")
+	}
+}
+
+func TestRunIndexedEmptyAndSingle(t *testing.T) {
+	if err := runIndexed(8, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatalf("n=0 error = %v", err)
+	}
+	ran := 0
+	if err := runIndexed(8, 1, func(i int) error { ran++; return nil }); err != nil || ran != 1 {
+		t.Fatalf("n=1 ran %d times, err %v", ran, err)
+	}
+}
+
+func TestWorkersAccessorAndResolve(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Workers = 3
+	e := newTestEngine(t, cfg)
+	if e.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", e.Workers())
+	}
+	if resolveWorkers(0) < 1 || resolveWorkers(-5) < 1 {
+		t.Fatal("resolveWorkers must return at least one worker")
+	}
+	if resolveWorkers(7) != 7 {
+		t.Fatal("resolveWorkers must pass positive values through")
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repchain/internal/identity"
@@ -127,6 +131,93 @@ func TestReputationSurvivesRestart(t *testing.T) {
 		if vecAfter[i] != vecBefore[i] {
 			t.Fatalf("reputation vector[%d] = %v after restart, want %v", i, vecAfter[i], vecBefore[i])
 		}
+	}
+}
+
+// TestRoundCounterAndSnapshotSurviveRestart pins the full restart
+// contract: after Close and reopen, the round counter resumes from the
+// persisted height (so VRF election inputs stay unique) and every
+// governor's reputation snapshot is byte-identical to what was saved.
+func TestRoundCounterAndSnapshotSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := defaultConfig()
+	cfg.ChainDir = dir
+
+	e1 := newTestEngine(t, cfg)
+	const rounds = 5
+	for r := 0; r < rounds; r++ {
+		submitRound(t, e1, 8, r, 3)
+		if _, err := e1.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e1.Round() != rounds {
+		t.Fatalf("Round() = %d before restart, want %d", e1.Round(), rounds)
+	}
+	snapsBefore := make([][]byte, e1.Governors())
+	for j := range snapsBefore {
+		snapsBefore[j] = e1.Governor(j).Table().Snapshot()
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newTestEngine(t, cfg)
+	defer func() {
+		if err := e2.Close(); err != nil {
+			t.Errorf("Close() error = %v", err)
+		}
+	}()
+	if e2.Round() != rounds {
+		t.Fatalf("Round() = %d after restart, want %d", e2.Round(), rounds)
+	}
+	for j := range snapsBefore {
+		if !bytes.Equal(e2.Governor(j).Table().Snapshot(), snapsBefore[j]) {
+			t.Fatalf("governor %d reputation snapshot changed across restart", j)
+		}
+	}
+	res, err := e2.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Serial != rounds+1 {
+		t.Fatalf("first post-restart serial = %d, want %d", res.Serial, rounds+1)
+	}
+}
+
+// TestCorruptReputationFileFailsRestart: a truncated or garbled
+// governor-<j>.rep file must fail engine construction with a wrapped
+// error naming the governor, not silently reset its learned weights.
+func TestCorruptReputationFileFailsRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := defaultConfig()
+	cfg.ChainDir = dir
+
+	e1 := newTestEngine(t, cfg)
+	for r := 0; r < 3; r++ {
+		submitRound(t, e1, 8, r, 3)
+		if _, err := e1.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	repPath := filepath.Join(dir, "governor-1.rep")
+	if _, err := os.Stat(repPath); err != nil {
+		t.Fatalf("expected persisted reputation file: %v", err)
+	}
+	if err := os.WriteFile(repPath, []byte("not a reputation snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := New(cfg)
+	if err == nil {
+		t.Fatal("New() accepted a corrupted reputation snapshot")
+	}
+	if !strings.Contains(err.Error(), "governor 1") {
+		t.Fatalf("error %q does not name the corrupt governor", err)
 	}
 }
 

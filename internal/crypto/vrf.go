@@ -46,12 +46,15 @@ func VRFEval(priv PrivateKey, alpha []byte) VRFOutput {
 
 // VRFVerify checks that out was produced by the holder of pub at input
 // alpha. It returns ErrBadProof if the proof does not verify or the
-// output does not match the proof.
+// output does not match the proof. The underlying signature check runs
+// through the shared verification cache: every governor verifies every
+// other governor's tickets, so each proof is re-checked m−1 times per
+// round with identical inputs.
 func VRFVerify(pub PublicKey, alpha []byte, out VRFOutput) error {
 	msg := make([]byte, 0, len(vrfDomainTag)+len(alpha))
 	msg = append(msg, vrfDomainTag...)
 	msg = append(msg, alpha...)
-	if err := pub.Verify(msg, out.Proof); err != nil {
+	if err := CachedVerify(pub, msg, out.Proof); err != nil {
 		return fmt.Errorf("vrf proof: %w", ErrBadProof)
 	}
 	if Sum(out.Proof) != out.Output {

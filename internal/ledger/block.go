@@ -164,10 +164,12 @@ func (b *Block) SignAs(proposer identity.NodeID, key crypto.PrivateKey) {
 	b.Signature = key.Sign(h[:])
 }
 
-// VerifyProposer checks the proposer signature against pub.
+// VerifyProposer checks the proposer signature against pub. The check
+// runs through the shared verification cache because every replica
+// verifies the same proposer signature on the same block.
 func (b Block) VerifyProposer(pub crypto.PublicKey) error {
 	h := b.Hash()
-	if err := pub.Verify(h[:], b.Signature); err != nil {
+	if err := crypto.CachedVerify(pub, h[:], b.Signature); err != nil {
 		return fmt.Errorf("block %d proposer signature: %w", b.Serial, err)
 	}
 	return nil

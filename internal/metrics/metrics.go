@@ -39,6 +39,36 @@ func (c *Counter) Value() int64 {
 	return c.v
 }
 
+// Gauge is a point-in-time level that can move both ways — the shape
+// for republished snapshots of external state (cache sizes, hit rates,
+// queue depths). The zero value is ready to use. Safe for concurrent
+// use.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge by delta (either sign).
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
 // Series accumulates ordered float64 observations. The zero value is
 // ready to use. Safe for concurrent use.
 type Series struct {
@@ -152,6 +182,7 @@ func (s Summary) String() string {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	series   map[string]*Series
 }
 
@@ -159,6 +190,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		series:   make(map[string]*Series),
 	}
 }
@@ -173,6 +205,18 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Series returns the named series, creating it on first use.
@@ -191,9 +235,12 @@ func (r *Registry) Series(name string) *Series {
 func (r *Registry) Dump() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counters)+len(r.series))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.series))
 	for n := range r.counters {
 		names = append(names, "c:"+n)
+	}
+	for n := range r.gauges {
+		names = append(names, "g:"+n)
 	}
 	for n := range r.series {
 		names = append(names, "s:"+n)
@@ -205,6 +252,8 @@ func (r *Registry) Dump() string {
 		switch kind {
 		case "c":
 			fmt.Fprintf(&b, "%-40s %d\n", name, r.counters[name].Value())
+		case "g":
+			fmt.Fprintf(&b, "%-40s %g\n", name, r.gauges[name].Value())
 		case "s":
 			fmt.Fprintf(&b, "%-40s %s\n", name, r.series[name].Summary())
 		}

@@ -216,12 +216,20 @@ func (c *Collector) ForgeRound(sender Sender) (int, error) {
 }
 
 // ProcessRound drains the collector's bus inbox, uploads labeled
-// transactions, and injects the round's forgeries. It returns the
-// number of uploads (including forgeries).
-func (c *Collector) ProcessRound(bus *network.Bus) (int, error) {
+// transactions through sender, and injects the round's forgeries. It
+// returns the number of uploads (including forgeries).
+//
+// Distinct collectors may run ProcessRound concurrently: each touches
+// only its own endpoint, RNG, and counters. The engine exploits this
+// by handing every collector a private buffering sender and replaying
+// the buffered uploads onto the bus in collector order, so the wire
+// ordering — and therefore every downstream screening decision — is
+// identical at any worker count. A single collector is not safe for
+// concurrent invocation.
+func (c *Collector) ProcessRound(sender Sender) (int, error) {
 	uploads := 0
 	for _, m := range c.ep.Receive() {
-		sent, err := c.HandleProviderTx(m, bus)
+		sent, err := c.HandleProviderTx(m, sender)
 		if err != nil {
 			return uploads, err
 		}
@@ -229,7 +237,7 @@ func (c *Collector) ProcessRound(bus *network.Bus) (int, error) {
 			uploads++
 		}
 	}
-	forged, err := c.ForgeRound(bus)
+	forged, err := c.ForgeRound(sender)
 	if err != nil {
 		return uploads, err
 	}

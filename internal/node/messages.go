@@ -64,7 +64,7 @@ func (a ArgueMsg) Verify(pub crypto.PublicKey) error {
 	if err := a.Signed.VerifyProvider(pub); err != nil {
 		return fmt.Errorf("argue inner tx: %w", err)
 	}
-	if err := pub.Verify(argueSigningBytes(a.Signed.ID(), a.Serial), a.Sig); err != nil {
+	if err := crypto.CachedVerify(pub, argueSigningBytes(a.Signed.ID(), a.Serial), a.Sig); err != nil {
 		return fmt.Errorf("argue for %s: %w", a.Signed.ID().Short(), ErrBadMessage)
 	}
 	return nil

@@ -177,9 +177,12 @@ func Sign(t Transaction, key crypto.PrivateKey) SignedTx {
 }
 
 // VerifyProvider checks the provider signature against pub. This is
-// the provider half of the paper's verify(d, m).
+// the provider half of the paper's verify(d, m). It runs through the
+// shared verification cache: every governor re-verifies the same inner
+// provider signature on every upload, and the first check pays for
+// all m.
 func (s SignedTx) VerifyProvider(pub crypto.PublicKey) error {
-	if err := pub.Verify(s.Tx.SigningBytes(), s.Sig); err != nil {
+	if err := crypto.CachedVerify(pub, s.Tx.SigningBytes(), s.Sig); err != nil {
 		return fmt.Errorf("provider signature on %s: %w", s.Tx.ID().Short(), ErrBadSignature)
 	}
 	return nil
@@ -277,7 +280,7 @@ func (lt LabeledTx) VerifyCollector(pub crypto.PublicKey) error {
 		return fmt.Errorf("label %d on %s: %w", lt.Label, lt.ID().Short(), ErrBadLabel)
 	}
 	msg := labelSigningBytes(lt.Signed, lt.Label, lt.Collector)
-	if err := pub.Verify(msg, lt.Sig); err != nil {
+	if err := crypto.CachedVerify(pub, msg, lt.Sig); err != nil {
 		return fmt.Errorf("collector signature on %s: %w", lt.ID().Short(), ErrBadSignature)
 	}
 	return nil

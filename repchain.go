@@ -175,6 +175,22 @@ func WithSeed(seed int64) Option {
 	}
 }
 
+// WithWorkers bounds the goroutines used to fan out per-collector and
+// per-governor round work. Zero means one worker per logical CPU (the
+// default); 1 forces the fully sequential pipeline. Every setting
+// produces byte-identical rounds — parallelism trades only wall time.
+// With workers != 1 the Validator must be safe for concurrent use
+// (pure functions are).
+func WithWorkers(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("workers %d: %w", n, ErrBadOption)
+		}
+		o.cfg.Workers = n
+		return nil
+	}
+}
+
 // WithValidator installs the application's validate(tx).
 func WithValidator(v Validator) Option {
 	return func(o *options) error {
@@ -389,6 +405,11 @@ func (c *Chain) Stats(governor int) GovernorStats {
 // Close releases any file-backed governor stores (WithChainDir).
 // Chains with in-memory replicas need no Close.
 func (c *Chain) Close() error { return c.engine.Close() }
+
+// Metrics renders the chain's operational metrics — protocol anomaly
+// counters and signature-cache statistics — one per line, sorted by
+// name.
+func (c *Chain) Metrics() string { return c.engine.Metrics().Dump() }
 
 // Engine exposes the underlying engine for advanced use (experiments,
 // fault injection).
