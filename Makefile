@@ -1,16 +1,25 @@
 # RepChain build and verification targets. Pure Go, stdlib only.
 
 GO ?= go
+BENCHTIME ?= 1s
 
-.PHONY: all build test test-short race vet bench bench-round experiments examples demo clean
+.PHONY: all ci build test test-short race vet fmt-check bench bench-round experiments examples demo clean
 
 all: build vet test race
+
+# Mirrors .github/workflows/ci.yml so contributors can reproduce a CI
+# failure locally before pushing.
+ci: build vet fmt-check test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fails when any file is not gofmt-clean (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -31,7 +40,7 @@ bench:
 # signature-cache hit rate attached; raw tool output lands in
 # BENCH_round.json for dashboards and regression diffing.
 bench-round:
-	$(GO) test -json -run '^$$' -bench BenchmarkFullProtocolRound -benchmem . > BENCH_round.json
+	$(GO) test -json -run '^$$' -bench BenchmarkFullProtocolRound -benchtime $(BENCHTIME) -benchmem . > BENCH_round.json
 
 # Regenerate every evaluation table (EXPERIMENTS.md source).
 experiments:

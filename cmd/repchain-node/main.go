@@ -42,16 +42,29 @@ func main() {
 		txPerRound = flag.Int("tx", 4, "transactions per provider per round")
 		seed       = flag.Int64("seed", 1, "seed for workload randomness")
 		stateDir   = flag.String("state", "", "directory persisting governor chain + reputation state across restarts")
+
+		retryMax     = flag.Int("retry-max", 0, "delivery attempts per frame (0 = default)")
+		retryBase    = flag.Duration("retry-base", 0, "backoff before the first retry (0 = default)")
+		retryCap     = flag.Duration("retry-cap", 0, "backoff ceiling (0 = default)")
+		dialTimeout  = flag.Duration("dial-timeout", 0, "per-dial timeout (0 = default)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-write timeout (0 = default)")
 	)
 	flag.Parse()
 
-	if err := run(*rosterPath, *id, *demo, *rounds, *roundDur, *epoch, *txPerRound, *seed, *stateDir); err != nil {
+	retry := transport.RetryPolicy{
+		MaxAttempts:  *retryMax,
+		BaseBackoff:  *retryBase,
+		MaxBackoff:   *retryCap,
+		DialTimeout:  *dialTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+	if err := run(*rosterPath, *id, *demo, *rounds, *roundDur, *epoch, *txPerRound, *seed, *stateDir, retry); err != nil {
 		fmt.Fprintln(os.Stderr, "repchain-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, epochStr string, txPerRound int, seed int64, stateDir string) error {
+func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, epochStr string, txPerRound int, seed int64, stateDir string, retry transport.RetryPolicy) error {
 	var deployment *transport.Deployment
 	if demo {
 		d, err := demoDeployment(seed)
@@ -86,6 +99,7 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 		ValidFrac:  0.75,
 		Seed:       seed,
 		StateDir:   stateDir,
+		Retry:      retry,
 	}
 
 	if !demo {
@@ -147,6 +161,9 @@ func printReport(id string, r transport.Report) {
 	case "governor":
 		fmt.Printf("%-14s %d rounds, height %d, %d checked, %d unchecked, %d argues accepted\n",
 			id, r.Rounds, r.Height, r.Stats.Checked, r.Stats.Unchecked, r.Stats.ArguesAccepted)
+	}
+	if r.SendFailures > 0 {
+		fmt.Printf("%-14s %d multicasts degraded (some peers unreachable after retries)\n", id, r.SendFailures)
 	}
 }
 

@@ -1,0 +1,272 @@
+// Package chaos is the seeded fault-injection harness: it drives the
+// network.Bus fault hooks and the engine's crash–restart API from a
+// declarative Plan, so a test (or an experiment) can subject a chain
+// to message loss, duplication, reordering, partitions, and node
+// crashes and still replay the exact same fault schedule on demand.
+//
+// Every per-message decision is a pure hash of (seed, message
+// sequence number, recipient, fault kind). Sequence numbers are
+// assigned on the engine goroutine in a fixed order regardless of the
+// worker count — PR 1's determinism argument — so a (seed, plan) pair
+// produces byte-identical faults, chains, and reputation tables at
+// workers=1 and workers=8. The chaos test suite holds the protocol to
+// exactly that.
+//
+// Faults fall into the two classes engine/degrade.go distinguishes:
+// crashes and partitions are *detected* (the Injector tells the engine,
+// which excludes the node and proceeds with the quorum), while drop,
+// duplicate, and reorder faults are *undetected* (the engine either
+// absorbs them or aborts the round recoverably).
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repchain/internal/core"
+	"repchain/internal/identity"
+	"repchain/internal/network"
+)
+
+// Plan is one deterministic fault schedule. Probabilistic faults
+// (Drop, Duplicate) and Reorder apply to every message sent while the
+// round counter is inside [FaultFrom, FaultUntil); structural faults
+// (partition, crashes) are applied entering FaultFrom and reverted
+// entering FaultUntil.
+type Plan struct {
+	// Name labels the plan in tests and metrics.
+	Name string
+	// Drop is the per-delivery probability of losing a message.
+	Drop float64
+	// Duplicate is the per-delivery probability of delivering one
+	// extra copy.
+	Duplicate float64
+	// Reorder, when set, perturbs delivery order within each Receive
+	// drain by a seeded hash of the message, deliberately breaking the
+	// bus's total-order guarantee.
+	Reorder bool
+	// FaultFrom and FaultUntil bound the fault window in rounds:
+	// active while FaultFrom ≤ round < FaultUntil.
+	FaultFrom  uint64
+	FaultUntil uint64
+	// PartitionGovernors are governor indices isolated in their own
+	// island for the window; everyone else stays connected.
+	PartitionGovernors []int
+	// CrashCollectors are collector indices crashed at FaultFrom and
+	// restarted at FaultUntil.
+	CrashCollectors []int
+	// CrashGovernors are governor indices crashed at FaultFrom and
+	// restarted at FaultUntil.
+	CrashGovernors []int
+}
+
+// Window reports whether round r falls inside the fault window.
+func (p Plan) Window(r uint64) bool { return r >= p.FaultFrom && r < p.FaultUntil }
+
+// The standard plan set of the chaos suite: one plan per fault family,
+// all faulting rounds [2, 5) of an 8-round run.
+
+// Drop10 loses 10% of all deliveries.
+func Drop10() Plan {
+	return Plan{Name: "drop10", Drop: 0.10, FaultFrom: 2, FaultUntil: 5}
+}
+
+// DupReorder duplicates 20% of deliveries and perturbs drain order.
+func DupReorder() Plan {
+	return Plan{Name: "dup+reorder", Duplicate: 0.20, Reorder: true, FaultFrom: 2, FaultUntil: 5}
+}
+
+// PartitionThenHeal cuts governor 2 off from the rest of the network,
+// then heals.
+func PartitionThenHeal() Plan {
+	return Plan{Name: "partition-then-heal", PartitionGovernors: []int{2}, FaultFrom: 2, FaultUntil: 5}
+}
+
+// CrashOneCollector crashes collector 1 mid-run and restarts it.
+func CrashOneCollector() Plan {
+	return Plan{Name: "crash-1-collector", CrashCollectors: []int{1}, FaultFrom: 2, FaultUntil: 5}
+}
+
+// CrashOneGovernor crashes governor 1 mid-run and restarts it.
+func CrashOneGovernor() Plan {
+	return Plan{Name: "crash-1-governor", CrashGovernors: []int{1}, FaultFrom: 2, FaultUntil: 5}
+}
+
+// Plans returns the standard suite.
+func Plans() []Plan {
+	return []Plan{Drop10(), DupReorder(), PartitionThenHeal(), CrashOneCollector(), CrashOneGovernor()}
+}
+
+// Injector installs a Plan's hooks on an engine's bus and applies its
+// structural transitions at round boundaries. Probabilistic hooks read
+// only atomics plus pure message data, so they are safe under the
+// engine's parallel Receive fan-out.
+type Injector struct {
+	e    *core.Engine
+	plan Plan
+	seed int64
+
+	// active gates the probabilistic hooks; structural faults are
+	// applied directly to the engine/bus in BeginRound.
+	active atomic.Bool
+}
+
+// Salt values separating the decision streams of the different fault
+// kinds: the drop coin of a message must not correlate with its
+// duplicate coin.
+const (
+	saltDrop = 0x9e3779b97f4a7c15
+	saltDup  = 0xc2b2ae3d27d4eb4f
+	saltOrd  = 0x165667b19e3779f9
+)
+
+// New installs plan's hooks on e's bus and returns the injector.
+// Callers drive it with BeginRound before every engine round.
+func New(e *core.Engine, plan Plan, seed int64) *Injector {
+	in := &Injector{e: e, plan: plan, seed: seed}
+	bus := e.Bus()
+	if plan.Drop > 0 {
+		bus.SetDropFunc(func(m network.Message, to identity.NodeID) bool {
+			return in.active.Load() && coin(seed, m.Seq, to, saltDrop) < plan.Drop
+		})
+	}
+	if plan.Duplicate > 0 {
+		bus.SetDupFunc(func(m network.Message, to identity.NodeID) int {
+			if in.active.Load() && coin(seed, m.Seq, to, saltDup) < plan.Duplicate {
+				return 1
+			}
+			return 0
+		})
+	}
+	if plan.Reorder {
+		bus.SetOrderFunc(func(m network.Message, to identity.NodeID) uint64 {
+			if !in.active.Load() {
+				return m.Seq
+			}
+			return hash64(uint64(seed), m.Seq, idHash(to), saltOrd)
+		})
+	}
+	return in
+}
+
+// BeginRound applies the plan's transitions for round r: entering
+// FaultFrom arms the probabilistic hooks, crashes the listed nodes,
+// and installs the partition; entering FaultUntil reverts all of it.
+// Rounds are the caller's counter (0-based), matching Plan.Window.
+func (in *Injector) BeginRound(r uint64) error {
+	if r == in.plan.FaultFrom {
+		in.active.Store(true)
+		for _, c := range in.plan.CrashCollectors {
+			if err := in.e.CrashCollector(c); err != nil {
+				return fmt.Errorf("plan %s: %w", in.plan.Name, err)
+			}
+		}
+		for _, j := range in.plan.CrashGovernors {
+			if err := in.e.CrashGovernor(j); err != nil {
+				return fmt.Errorf("plan %s: %w", in.plan.Name, err)
+			}
+		}
+		if len(in.plan.PartitionGovernors) > 0 {
+			if err := in.partition(); err != nil {
+				return err
+			}
+		}
+	}
+	if r == in.plan.FaultUntil {
+		in.active.Store(false)
+		for _, c := range in.plan.CrashCollectors {
+			if err := in.e.RestartCollector(c); err != nil {
+				return fmt.Errorf("plan %s: %w", in.plan.Name, err)
+			}
+		}
+		for _, j := range in.plan.CrashGovernors {
+			if err := in.e.RestartGovernor(j); err != nil {
+				return fmt.Errorf("plan %s: %w", in.plan.Name, err)
+			}
+		}
+		if len(in.plan.PartitionGovernors) > 0 {
+			in.e.Bus().SetPartitions()
+			for _, j := range in.plan.PartitionGovernors {
+				if err := in.e.ReconnectGovernor(j); err != nil {
+					return fmt.Errorf("plan %s: %w", in.plan.Name, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// partition puts each listed governor in its own island and everyone
+// else in a majority island, then records the failure-detector verdict
+// with the engine.
+func (in *Injector) partition() error {
+	isolated := make(map[int]bool, len(in.plan.PartitionGovernors))
+	for _, j := range in.plan.PartitionGovernors {
+		isolated[j] = true
+	}
+	roster := in.e.Roster()
+	var islands [][]identity.NodeID
+	var rest []identity.NodeID
+	for _, p := range roster.Providers {
+		rest = append(rest, p.ID)
+	}
+	for _, c := range roster.Collectors {
+		rest = append(rest, c.ID)
+	}
+	for j, g := range roster.Governors {
+		if isolated[j] {
+			islands = append(islands, []identity.NodeID{g.ID})
+		} else {
+			rest = append(rest, g.ID)
+		}
+	}
+	islands = append(islands, rest)
+	in.e.Bus().SetPartitions(islands...)
+	for _, j := range in.plan.PartitionGovernors {
+		if err := in.e.IsolateGovernor(j); err != nil {
+			return fmt.Errorf("plan %s: %w", in.plan.Name, err)
+		}
+	}
+	return nil
+}
+
+// coin maps (seed, seq, recipient, salt) to a uniform float in [0, 1).
+// It is the only source of randomness in the harness: no global RNG,
+// no time, no iteration order — replaying the same messages yields the
+// same faults.
+func coin(seed int64, seq uint64, to identity.NodeID, salt uint64) float64 {
+	h := hash64(uint64(seed), seq, idHash(to), salt)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// hash64 is an FNV-1a style mix over four words.
+func hash64(a, b, c, d uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range [4]uint64{a, b, c, d} {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	// Final avalanche (splitmix64 tail) so low bits are well mixed.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func idHash(id identity.NodeID) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime
+	}
+	return h
+}

@@ -43,6 +43,16 @@ var (
 	// ErrExpelled reports that the round's leader was expelled for a
 	// provably bad stake proposal.
 	ErrExpelled = errors.New("core: leader expelled")
+	// ErrRoundAborted reports a round that could not commit a block
+	// because message loss left the live governors without a complete
+	// election or any copy of the proposed block. The abort is
+	// recoverable: no replica appended anything, so callers simply run
+	// the next round — throughput degrades, safety holds.
+	ErrRoundAborted = errors.New("core: round aborted under faults")
+	// ErrNodeDown reports an operation on a crashed node, or a crash or
+	// restart that does not apply (already down, already live, index out
+	// of range).
+	ErrNodeDown = errors.New("core: node down")
 )
 
 // Config assembles an alliance chain.
@@ -89,6 +99,11 @@ type Config struct {
 	// wall time, never determinism. When Workers != 1 the Validator
 	// must be safe for concurrent use (pure functions are).
 	Workers int
+	// SilenceDecay makes every governor β-decay linked collectors that
+	// stayed silent on a checked transaction, so silence costs
+	// reputation on both disclosure paths instead of only at unchecked
+	// reveals. See node.GovernorConfig.SilenceDecay.
+	SilenceDecay bool
 }
 
 // Engine is a running alliance chain.
@@ -116,6 +131,12 @@ type Engine struct {
 	// repeat every round and make signed transfers replayable.
 	stakeNonces []uint64
 	round       uint64
+
+	// collectorDown and governorDown are the engine's failure-detector
+	// view: a down node is excluded from round fan-outs and quorums
+	// until restarted (see CrashCollector and friends in degrade.go).
+	collectorDown []bool
+	governorDown  []bool
 
 	// workers is the resolved fan-out bound (Config.Workers, with 0
 	// meaning GOMAXPROCS).
@@ -204,6 +225,8 @@ func New(cfg Config) (*Engine, error) {
 		workers:     resolveWorkers(cfg.Workers),
 		reg:         metrics.NewRegistry(),
 	}
+	e.collectorDown = make([]bool, topo.Collectors())
+	e.governorDown = make([]bool, cfg.Governors)
 	for _, g := range roster.Governors {
 		e.governorIDs = append(e.governorIDs, g.ID)
 		e.govPubs = append(e.govPubs, g.Cert.PublicKey)
@@ -252,16 +275,17 @@ func New(cfg Config) (*Engine, error) {
 			store = fs
 		}
 		gov, err := node.NewGovernor(node.GovernorConfig{
-			Member:      mem,
-			Endpoint:    ep,
-			IM:          im,
-			Topology:    topo,
-			Params:      cfg.Params,
-			Validator:   cfg.Validator,
-			BlockLimit:  cfg.BlockLimit,
-			ArgueWindow: cfg.ArgueWindow,
-			Seed:        cfg.Seed + int64(2000+j),
-			Store:       store,
+			Member:       mem,
+			Endpoint:     ep,
+			IM:           im,
+			Topology:     topo,
+			Params:       cfg.Params,
+			Validator:    cfg.Validator,
+			BlockLimit:   cfg.BlockLimit,
+			ArgueWindow:  cfg.ArgueWindow,
+			Seed:         cfg.Seed + int64(2000+j),
+			Store:        store,
+			SilenceDecay: cfg.SilenceDecay,
 		})
 		if err != nil {
 			return nil, err
@@ -394,11 +418,13 @@ func (e *Engine) SubmitStakeTransfer(from, to int, amount uint64) error {
 	return nil
 }
 
-// pumpGovernors drains every governor endpoint, routing collector
+// pumpGovernors drains every live governor endpoint, routing collector
 // uploads and provider argues into the governors, and returns the
 // remaining messages per governor. Draining all endpoints before the
 // caller processes anything guarantees that messages sent while
-// processing (same tick) are seen by the next pump, not lost.
+// processing (same tick) are seen by the next pump, not lost. Down
+// governors are skipped — their inbox was purged at crash time and the
+// bus drops anything new while they stay down.
 //
 // Governors are pumped in parallel: each drains only its own endpoint
 // (delivery order is fixed by bus sequence numbers, not by schedule)
@@ -410,6 +436,9 @@ func (e *Engine) SubmitStakeTransfer(from, to int, amount uint64) error {
 func (e *Engine) pumpGovernors() ([][]network.Message, error) {
 	rest := make([][]network.Message, len(e.governors))
 	err := runIndexed(e.workers, len(e.governors), func(j int) error {
+		if e.governorDown[j] {
+			return nil
+		}
 		g := e.governors[j]
 		for _, m := range g.Endpoint().Receive() {
 			consumed, err := g.HandleMessage(m)
@@ -437,14 +466,41 @@ func (e *Engine) pumpGovernors() ([][]network.Message, error) {
 // outbound messages, and the engine replays the buffers onto the bus
 // in node-index order — the exact order the sequential pipeline sends
 // in. DESIGN.md §"Parallel round pipeline" carries the full argument.
+//
+// Under injected faults the round degrades instead of wedging: down
+// nodes are excluded (see degrade.go), a governor that misses the
+// block is resynced at the next round start, and a round that loses
+// its election or every copy of the block fails with the recoverable
+// ErrRoundAborted, leaving all replicas unchanged.
 func (e *Engine) RunRound() (RoundResult, error) {
+	res, err := e.runRound()
+	if abortable(err) {
+		e.reg.Counter("chaos.rounds_aborted").Inc()
+	}
+	return res, err
+}
+
+func (e *Engine) runRound() (RoundResult, error) {
+	// Bring every live replica to a common head first: a governor that
+	// rejoined after a crash or partition (or missed a block to drops)
+	// catches up here, so this round's election and proposal build on
+	// one prev-hash.
+	if err := e.resyncGovernors(); err != nil {
+		return RoundResult{}, err
+	}
 	e.round++
 
 	// --- Uploading phase ---
 	e.bus.AdvancePastDelay() // provider broadcasts land
+	missedRounds := e.reg.Counter("chaos.collector_missed_rounds")
 	uploadsBy := make([]int, len(e.collectors))
 	outBy := make([]*sendBuffer, len(e.collectors))
 	err := runIndexed(e.workers, len(e.collectors), func(i int) error {
+		if e.collectorDown[i] {
+			missedRounds.Inc()
+			outBy[i] = &sendBuffer{}
+			return nil
+		}
 		buf := &sendBuffer{}
 		n, err := e.collectors[i].ProcessRound(buf)
 		uploadsBy[i], outBy[i] = n, buf
@@ -468,6 +524,9 @@ func (e *Engine) RunRound() (RoundResult, error) {
 	}
 	recordsByGov := make([][]ledger.Record, len(e.governors))
 	err = runIndexed(e.workers, len(e.governors), func(j int) error {
+		if e.governorDown[j] {
+			return nil
+		}
 		g := e.governors[j]
 		if err := g.ProcessArgues(); err != nil {
 			return err
@@ -503,16 +562,23 @@ func (e *Engine) RunRound() (RoundResult, error) {
 	}
 	e.bus.AdvancePastDelay()
 
-	// Every governor (leader included) verifies and appends. Replicas
-	// are independent; the shared cache makes the m identical proposer
-	// signature checks cost one.
+	// Every live governor (leader included) verifies and appends.
+	// Replicas are independent; the shared cache makes the m identical
+	// proposer signature checks cost one. A governor whose copy of the
+	// block was lost to drops is not an error: it is counted, left one
+	// block behind, and resynced at the next round start. Only a round
+	// where no replica at all holds the block aborts.
 	rest, err := e.pumpGovernors()
 	if err != nil {
 		return RoundResult{}, err
 	}
+	missedBlock := e.reg.Counter("chaos.governor_missed_block")
+	acceptedBy := make([]bool, len(e.governors))
 	err = runIndexed(e.workers, len(e.governors), func(j int) error {
+		if e.governorDown[j] {
+			return nil
+		}
 		g := e.governors[j]
-		accepted := false
 		for _, m := range rest[j] {
 			if m.Kind != network.KindBlock {
 				continue
@@ -524,17 +590,24 @@ func (e *Engine) RunRound() (RoundResult, error) {
 			if err := g.AcceptBlock(b, leaderID, e.govPubs[leader]); err != nil {
 				return err
 			}
-			accepted = true
+			acceptedBy[j] = true
 		}
-		if !accepted {
-			return fmt.Errorf("governor %d missed block %d: %w", j, block.Serial, ErrDisagreement)
+		if !acceptedBy[j] {
+			missedBlock.Inc()
 		}
 		return nil
 	})
 	if err != nil {
 		return RoundResult{}, err
 	}
-	// Agreement check across replicas.
+	anyAccepted := false
+	for _, ok := range acceptedBy {
+		anyAccepted = anyAccepted || ok
+	}
+	if !anyAccepted {
+		return RoundResult{}, fmt.Errorf("block %d reached no replica: %w", block.Serial, ErrRoundAborted)
+	}
+	// Agreement check across the replicas that hold the block.
 	if err := e.checkAgreement(block.Serial); err != nil {
 		return RoundResult{}, err
 	}
@@ -593,30 +666,46 @@ func (e *Engine) RunRound() (RoundResult, error) {
 		e.pendingStakeTxs = nil
 	}
 	e.publishCryptoMetrics()
+	e.publishChaosMetrics()
 	return result, nil
 }
 
-// electLeader runs the per-stake-unit VRF election of §3.4.3. Every
-// governor broadcasts tickets; every governor independently verifies
-// all tickets and computes the winner; the engine checks they agree.
+// electLeader runs the per-stake-unit VRF election of §3.4.3 over the
+// live governors. Every live governor broadcasts tickets; every live
+// governor independently verifies all tickets and computes the winner;
+// the engine checks they agree. Down governors are treated as holding
+// zero stake for the round — the paper's election already defines the
+// zero-stake case (an empty batch), so the quorum's elections complete
+// without them. A live governor whose VRF batch was lost to drops
+// leaves every election incomplete; that is an ErrRoundAborted, not a
+// disagreement.
 func (e *Engine) electLeader() (int, error) {
+	live := e.liveGovernors()
+	if len(live) == 0 {
+		return 0, fmt.Errorf("no live governor: %w", ErrRoundAborted)
+	}
+	// resyncGovernors brought all live replicas to one head, so the
+	// first live governor's head is the common prev-hash.
 	prevHash := crypto.ZeroHash
-	if head, err := e.governors[0].Store().Head(); err == nil {
+	if head, err := e.governors[live[0]].Store().Head(); err == nil {
 		prevHash = head.Hash()
 	}
 	stakes := e.stake.Snapshot()
-	for j, ex := range e.expelled {
-		if ex {
+	for j := range stakes {
+		if e.expelled[j] || e.governorDown[j] {
 			stakes[j] = 0
 		}
 	}
 
-	// Each governor evaluates its tickets; evaluation fans out across
-	// workers (the VRF costs one signature per stake unit) while the
-	// broadcasts replay in governor order so KindVRF sequence numbers
-	// match the sequential schedule.
+	// Each live governor evaluates its tickets; evaluation fans out
+	// across workers (the VRF costs one signature per stake unit) while
+	// the broadcasts replay in governor order so KindVRF sequence
+	// numbers match the sequential schedule.
 	payloads := make([][]byte, len(e.governors))
 	err := runIndexed(e.workers, len(e.governors), func(j int) error {
+		if e.governorDown[j] {
+			return nil
+		}
 		tickets := consensus.MakeTickets(e.roster.Governors[j].PrivateKey, prevHash, e.round, j, stakes[j])
 		payloads[j] = consensus.EncodeTickets(tickets)
 		return nil
@@ -625,31 +714,42 @@ func (e *Engine) electLeader() (int, error) {
 		return 0, err
 	}
 	for j := range e.governors {
+		if e.governorDown[j] {
+			continue
+		}
 		if err := e.bus.Multicast(e.governorIDs[j], e.governorIDs, network.KindVRF, payloads[j]); err != nil {
 			return 0, err
 		}
 	}
 	e.bus.AdvancePastDelay()
 
-	// Each governor verifies every ticket and elects independently. The
-	// elections are disjoint, so they run one per worker; remaining
-	// workers split each election's proof checks. Messages from senders
-	// that do not decode as governors are dropped — as the sequential
-	// code always did — but now counted, so an operator can see a
-	// misrouted or spoofed VRF stream instead of a silent skip.
+	// Each live governor verifies every ticket and elects
+	// independently. The elections are disjoint, so they run one per
+	// worker; remaining workers split each election's proof checks.
+	// Messages from senders that do not decode as governors are dropped
+	// — as the sequential code always did — but counted, so an operator
+	// can see a misrouted or spoofed VRF stream instead of a silent
+	// skip. Redelivered batches (duplication faults) and stale batches
+	// from now-down governors are skipped the same way.
 	rest, err := e.pumpGovernors()
 	if err != nil {
 		return 0, err
 	}
 	unknownSender := e.reg.Counter("election.vrf_unknown_sender")
-	wPer := (e.workers + len(e.governors) - 1) / len(e.governors)
+	duplicateBatch := e.reg.Counter("election.vrf_duplicate_batch")
+	wPer := (e.workers + len(live) - 1) / len(live)
 	leaders := make([]int, len(e.governors))
+	incomplete := make([]bool, len(e.governors))
 	err = runIndexed(e.workers, len(e.governors), func(j int) error {
+		if e.governorDown[j] {
+			return nil
+		}
 		el, err := consensus.NewElection(e.round, prevHash, e.govPubs, stakes)
 		if err != nil {
 			return err
 		}
 		el.SetWorkers(wPer)
+		submitted := make([]bool, len(e.governors))
 		for _, m := range rest[j] {
 			if m.Kind != network.KindVRF {
 				continue
@@ -659,6 +759,14 @@ func (e *Engine) electLeader() (int, error) {
 				unknownSender.Inc()
 				continue
 			}
+			if sender < 0 || sender >= len(e.governors) || e.governorDown[sender] {
+				unknownSender.Inc()
+				continue
+			}
+			if submitted[sender] {
+				duplicateBatch.Inc()
+				continue
+			}
 			tickets, err := consensus.DecodeTickets(m.Payload)
 			if err != nil {
 				return fmt.Errorf("governor %d tickets from %d: %w", j, sender, err)
@@ -666,8 +774,22 @@ func (e *Engine) electLeader() (int, error) {
 			if err := el.Submit(sender, tickets); err != nil {
 				return err
 			}
+			submitted[sender] = true
+		}
+		// Down governors hold zero stake this round; submit their empty
+		// batches locally so the election over the live set completes.
+		for d := range e.governors {
+			if e.governorDown[d] && !submitted[d] {
+				if err := el.Submit(d, nil); err != nil {
+					return err
+				}
+			}
 		}
 		l, _, err := el.Leader()
+		if errors.Is(err, consensus.ErrIncompleteElection) {
+			incomplete[j] = true
+			return nil
+		}
 		if err != nil {
 			return fmt.Errorf("governor %d election: %w", j, err)
 		}
@@ -677,31 +799,45 @@ func (e *Engine) electLeader() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	for j := 1; j < len(leaders); j++ {
-		if leaders[j] != leaders[0] {
-			return 0, fmt.Errorf("governor %d elected %d, governor 0 elected %d: %w",
-				j, leaders[j], leaders[0], ErrDisagreement)
+	for _, j := range live {
+		if incomplete[j] {
+			return 0, fmt.Errorf("governor %d election incomplete (VRF batch lost): %w", j, ErrRoundAborted)
 		}
 	}
-	return leaders[0], nil
+	for _, j := range live[1:] {
+		if leaders[j] != leaders[live[0]] {
+			return 0, fmt.Errorf("governor %d elected %d, governor %d elected %d: %w",
+				j, leaders[j], live[0], leaders[live[0]], ErrDisagreement)
+		}
+	}
+	return leaders[live[0]], nil
 }
 
-// checkAgreement asserts all replicas stored identical blocks at
-// serial s (the Agreement property).
+// checkAgreement asserts that every replica holding a block at serial
+// s stored the identical block (the Agreement property). Replicas that
+// have not reached s — down, or a block behind after a drop — are
+// resynced later and checked then by AcceptBlock's fork detection.
 func (e *Engine) checkAgreement(s uint64) error {
-	ref, err := e.governors[0].Store().Get(s)
-	if err != nil {
-		return err
-	}
-	refHash := ref.Hash()
-	for j := 1; j < len(e.governors); j++ {
+	ref := -1
+	var refHash crypto.Hash
+	for j := range e.governors {
+		if e.governors[j].Store().Height() < s {
+			continue
+		}
 		b, err := e.governors[j].Store().Get(s)
 		if err != nil {
 			return err
 		}
-		if b.Hash() != refHash {
-			return fmt.Errorf("block %d differs at governor %d: %w", s, j, ErrDisagreement)
+		if ref < 0 {
+			ref, refHash = j, b.Hash()
+			continue
 		}
+		if b.Hash() != refHash {
+			return fmt.Errorf("block %d differs between governors %d and %d: %w", s, ref, j, ErrDisagreement)
+		}
+	}
+	if ref < 0 {
+		return fmt.Errorf("block %d on no replica: %w", s, ErrRoundAborted)
 	}
 	return nil
 }

@@ -1,0 +1,106 @@
+// Fault-injection extensions of the Bus beyond the original drop and
+// delay hooks: message duplication, delivery reordering, network
+// partitions, and per-node down states (crash–restart). All hooks
+// default to off; a bus with no hooks installed behaves exactly as
+// before.
+//
+// Every hook is a pure function of the message and recipient, so a
+// deterministic fault plan (package chaos derives decisions from a
+// seed and the message's global sequence number) reproduces the same
+// faults at any worker count and across runs.
+package network
+
+import "repchain/internal/identity"
+
+// DupFunc decides how many extra copies of a message to deliver to one
+// recipient. Negative returns are treated as zero.
+type DupFunc func(m Message, to identity.NodeID) int
+
+// OrderFunc perturbs delivery order: Receive sorts due messages by the
+// returned key (ties broken by sequence number) instead of by sequence
+// number alone. Returning m.Seq preserves the total order; anything
+// else deliberately breaks the atomic-broadcast guarantee for
+// adversarial experiments — the protocol must not depend on
+// within-drain arrival order for agreement.
+type OrderFunc func(m Message, to identity.NodeID) uint64
+
+// SetDupFunc installs a duplication hook. Extra copies share the
+// original's sequence number and delivery tick, modelling a transport
+// that retransmits an already-delivered message.
+func (b *Bus) SetDupFunc(f DupFunc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dupFn = f
+}
+
+// SetOrderFunc installs a delivery-order hook.
+func (b *Bus) SetOrderFunc(f OrderFunc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.orderFn = f
+}
+
+// SetPartitions splits the network into islands: a message whose
+// sender and recipient sit in different islands is dropped and counted
+// in Stats.PartitionDropped. Nodes absent from every island reach (and
+// are reached by) everyone. Passing no islands heals the partition.
+func (b *Bus) SetPartitions(islands ...[]identity.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(islands) == 0 {
+		b.island = nil
+		return
+	}
+	b.island = make(map[identity.NodeID]int)
+	for i, members := range islands {
+		for _, id := range members {
+			b.island[id] = i
+		}
+	}
+}
+
+// SetDown marks a node crashed (true) or restarted (false). Messages
+// to or from a down node are dropped and counted in Stats.DownDropped;
+// the node's endpoint stays registered, modelling a process crash
+// rather than a membership change.
+func (b *Bus) SetDown(id identity.NodeID, down bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.down == nil {
+		b.down = make(map[identity.NodeID]bool)
+	}
+	if down {
+		b.down[id] = true
+	} else {
+		delete(b.down, id)
+	}
+}
+
+// Down reports whether a node is currently marked down.
+func (b *Bus) Down(id identity.NodeID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.down[id]
+}
+
+// partitioned reports whether from→to crosses an island boundary.
+// Caller holds b.mu.
+func (b *Bus) partitioned(from, to identity.NodeID) bool {
+	if b.island == nil {
+		return false
+	}
+	fi, okFrom := b.island[from]
+	ti, okTo := b.island[to]
+	return okFrom && okTo && fi != ti
+}
+
+// Purge discards every queued message (deliverable or not) and returns
+// how many were dropped — the inbox of a crashed process does not
+// survive its restart.
+func (e *Endpoint) Purge() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := len(e.inbox)
+	e.inbox = nil
+	return n
+}

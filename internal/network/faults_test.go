@@ -1,0 +1,171 @@
+package network
+
+import (
+	"testing"
+
+	"repchain/internal/identity"
+)
+
+func TestDupFuncDeliversExtraCopies(t *testing.T) {
+	b, eps := newBusWith(t, 0, 2)
+	b.SetDupFunc(func(m Message, to identity.NodeID) int { return 2 })
+	if err := b.Send(id(0), id(1), "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got := eps[1].Receive()
+	if len(got) != 3 {
+		t.Fatalf("got %d deliveries, want original + 2 duplicates", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[0].Seq || string(got[i].Payload) != "x" {
+			t.Fatalf("duplicate %d differs from original: %+v vs %+v", i, got[i], got[0])
+		}
+	}
+	if st := b.Stats(); st.Duplicated != 2 || st.Delivered != 3 {
+		t.Fatalf("Stats() = %+v", st)
+	}
+}
+
+func TestDupFuncNegativeIgnored(t *testing.T) {
+	b, eps := newBusWith(t, 0, 2)
+	b.SetDupFunc(func(m Message, to identity.NodeID) int { return -3 })
+	if err := b.Send(id(0), id(1), "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := eps[1].Receive(); len(got) != 1 {
+		t.Fatalf("got %d deliveries, want exactly the original", len(got))
+	}
+	if st := b.Stats(); st.Duplicated != 0 {
+		t.Fatalf("Duplicated = %d, want 0", st.Duplicated)
+	}
+}
+
+func TestOrderFuncReordersWithinDrain(t *testing.T) {
+	b, eps := newBusWith(t, 0, 2)
+	// Reverse the delivery order of the five queued messages.
+	b.SetOrderFunc(func(m Message, to identity.NodeID) uint64 {
+		return ^m.Seq
+	})
+	for i := 0; i < 5; i++ {
+		if err := b.Send(id(0), id(1), "k", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := eps[1].Receive()
+	if len(got) != 5 {
+		t.Fatalf("got %d messages, want 5", len(got))
+	}
+	for i, m := range got {
+		if want := byte(4 - i); m.Payload[0] != want {
+			t.Fatalf("position %d has payload %d, want %d (reversed)", i, m.Payload[0], want)
+		}
+	}
+	// Removing the hook restores sequence order for later traffic.
+	b.SetOrderFunc(nil)
+	for i := 0; i < 3; i++ {
+		if err := b.Send(id(0), id(1), "k", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got = eps[1].Receive()
+	for i, m := range got {
+		if m.Payload[0] != byte(i) {
+			t.Fatal("order hook removal did not restore sequence order")
+		}
+	}
+}
+
+func TestOrderFuncTiesBreakBySeq(t *testing.T) {
+	b, eps := newBusWith(t, 0, 2)
+	b.SetOrderFunc(func(m Message, to identity.NodeID) uint64 { return 0 })
+	for i := 0; i < 10; i++ {
+		if err := b.Send(id(0), id(1), "k", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := eps[1].Receive()
+	for i, m := range got {
+		if m.Payload[0] != byte(i) {
+			t.Fatalf("constant key must fall back to sequence order; position %d got %d", i, m.Payload[0])
+		}
+	}
+}
+
+func TestPartitionsDropAcrossIslands(t *testing.T) {
+	b, eps := newBusWith(t, 0, 4)
+	b.SetPartitions([]identity.NodeID{id(0), id(1)}, []identity.NodeID{id(2)})
+	all := []identity.NodeID{id(1), id(2), id(3)}
+	if err := b.Multicast(id(0), all, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(eps[1].Receive()) != 1 {
+		t.Fatal("same-island recipient missed message")
+	}
+	if len(eps[2].Receive()) != 0 {
+		t.Fatal("cross-island recipient received message")
+	}
+	if len(eps[3].Receive()) != 1 {
+		t.Fatal("unassigned node must stay reachable from every island")
+	}
+	if st := b.Stats(); st.PartitionDropped != 1 {
+		t.Fatalf("PartitionDropped = %d, want 1", st.PartitionDropped)
+	}
+	// Healing restores full connectivity.
+	b.SetPartitions()
+	if err := b.Multicast(id(0), all, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(eps[2].Receive()) != 1 {
+		t.Fatal("healed partition still dropping")
+	}
+}
+
+func TestDownNodeSendsAndReceivesNothing(t *testing.T) {
+	b, eps := newBusWith(t, 0, 3)
+	b.SetDown(id(1), true)
+	if !b.Down(id(1)) {
+		t.Fatal("Down(1) = false after SetDown(true)")
+	}
+	if err := b.Send(id(0), id(1), "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(id(1), id(2), "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(eps[1].Receive()) != 0 {
+		t.Fatal("down node received a message")
+	}
+	if len(eps[2].Receive()) != 0 {
+		t.Fatal("down node's send was delivered")
+	}
+	if st := b.Stats(); st.DownDropped != 2 {
+		t.Fatalf("DownDropped = %d, want 2", st.DownDropped)
+	}
+	b.SetDown(id(1), false)
+	if b.Down(id(1)) {
+		t.Fatal("Down(1) = true after restart")
+	}
+	if err := b.Send(id(0), id(1), "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(eps[1].Receive()) != 1 {
+		t.Fatal("restarted node still unreachable")
+	}
+}
+
+func TestPurgeDiscardsQueuedMessages(t *testing.T) {
+	b, eps := newBusWith(t, 5, 2)
+	b.SetDelayFunc(func(m Message, to identity.NodeID) int { return 3 })
+	for i := 0; i < 4; i++ {
+		if err := b.Send(id(0), id(1), "k", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := eps[1].Purge(); n != 4 {
+		t.Fatalf("Purge() = %d, want 4", n)
+	}
+	b.AdvancePastDelay()
+	if got := eps[1].Receive(); len(got) != 0 {
+		t.Fatalf("purged inbox still delivered %d messages", len(got))
+	}
+}

@@ -107,6 +107,13 @@ type Stats struct {
 	Delivered int64
 	// Dropped counts messages removed by the drop hook.
 	Dropped int64
+	// Duplicated counts extra copies injected by the duplication hook.
+	Duplicated int64
+	// PartitionDropped counts messages lost to an island boundary.
+	PartitionDropped int64
+	// DownDropped counts messages lost because the sender or the
+	// recipient was marked down.
+	DownDropped int64
 	// SentByKind breaks Sent down per message kind.
 	SentByKind map[string]int64
 	// BytesByKind sums payload bytes sent per message kind (payload
@@ -147,6 +154,10 @@ type Bus struct {
 	maxDelay  int
 	delayFn   DelayFunc
 	dropFn    DropFunc
+	dupFn     DupFunc
+	orderFn   OrderFunc
+	island    map[identity.NodeID]int
+	down      map[identity.NodeID]bool
 	stats     Stats
 	closed    bool
 }
@@ -278,6 +289,14 @@ func (b *Bus) multicast(from identity.NodeID, to []identity.NodeID, kind string,
 			return fmt.Errorf("send to %q: %w", dst, ErrUnknownEndpoint)
 		}
 		b.stats.recordSend(kind, len(payload))
+		if b.down[from] || b.down[dst] {
+			b.stats.DownDropped++
+			continue
+		}
+		if b.partitioned(from, dst) {
+			b.stats.PartitionDropped++
+			continue
+		}
 		if b.dropFn != nil && b.dropFn(m, dst) {
 			b.stats.Dropped++
 			continue
@@ -295,6 +314,12 @@ func (b *Bus) multicast(from identity.NodeID, to []identity.NodeID, kind string,
 		dm := m
 		dm.DeliverAt = b.now + delay
 		ep.enqueue(dm)
+		if b.dupFn != nil {
+			for extra := b.dupFn(m, dst); extra > 0; extra-- {
+				b.stats.Duplicated++
+				ep.enqueue(dm)
+			}
+		}
 	}
 	return nil
 }
@@ -333,10 +358,31 @@ func (e *Endpoint) Receive() []Message {
 	e.inbox = later
 	e.mu.Unlock()
 
-	sort.Slice(due, func(i, j int) bool { return due[i].Seq < due[j].Seq })
 	e.bus.mu.Lock()
+	orderFn := e.bus.orderFn
 	e.bus.stats.Delivered += int64(len(due))
 	e.bus.mu.Unlock()
+	if orderFn == nil {
+		sort.Slice(due, func(i, j int) bool { return due[i].Seq < due[j].Seq })
+		return due
+	}
+	type keyed struct {
+		key uint64
+		m   Message
+	}
+	ks := make([]keyed, len(due))
+	for i, m := range due {
+		ks[i] = keyed{key: orderFn(m, e.id), m: m}
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].key != ks[j].key {
+			return ks[i].key < ks[j].key
+		}
+		return ks[i].m.Seq < ks[j].m.Seq
+	})
+	for i, k := range ks {
+		due[i] = k.m
+	}
 	return due
 }
 

@@ -33,6 +33,13 @@ type GovernorConfig struct {
 	ArgueWindow int
 	// Seed drives the governor's local screening randomness.
 	Seed int64
+	// SilenceDecay, when set, applies the β decay to linked collectors
+	// that stayed silent on a checked transaction (Table.RecordSilence)
+	// so silence costs reputation on both disclosure paths. Unchecked
+	// transactions already decay absent collectors at reveal time
+	// (case 3), so no double penalty arises. Off by default to preserve
+	// the paper's exact update rule.
+	SilenceDecay bool
 	// Store overrides the governor's ledger replica; nil means a
 	// fresh in-memory store. Pass a ledger.FileStore for a persistent
 	// replica that survives restarts.
@@ -64,6 +71,10 @@ type GovernorStats struct {
 	// recorded invalid status was wrong — the governor's realized
 	// mistakes that Theorem 4 bounds.
 	Mistakes int
+	// SilentReports counts (transaction, linked collector) pairs where
+	// the collector uploaded nothing — silence, as distinct from the
+	// misreports counted through the reputation table.
+	SilentReports int
 }
 
 // uncheckedEntry tracks one (tx, invalid, unchecked) record awaiting
@@ -355,6 +366,9 @@ func (g *Governor) ScreenRound() ([]ledger.Record, error) {
 		if grp == nil {
 			continue
 		}
+		if silent := len(g.cfg.Topology.CollectorsOf(grp.provider)) - len(grp.reports); silent > 0 {
+			g.stats.SilentReports += silent
+		}
 		dec, err := g.table.Screen(g.rng, grp.provider, grp.reports)
 		if err != nil {
 			return nil, fmt.Errorf("governor %s screen: %w", g.cfg.Member.ID, err)
@@ -365,6 +379,11 @@ func (g *Governor) ScreenRound() ([]ledger.Record, error) {
 			status := tx.StatusFor(valid)
 			if err := g.table.RecordChecked(grp.provider, grp.reports, status); err != nil {
 				return nil, fmt.Errorf("governor %s checked update: %w", g.cfg.Member.ID, err)
+			}
+			if g.cfg.SilenceDecay {
+				if err := g.table.RecordSilence(grp.provider, grp.reports); err != nil {
+					return nil, fmt.Errorf("governor %s silence update: %w", g.cfg.Member.ID, err)
+				}
 			}
 			if valid {
 				records = append(records, ledger.Record{
@@ -480,7 +499,10 @@ func (g *Governor) StashRecords(records []ledger.Record) {
 // AcceptBlock verifies and appends a proposed block: the proposer must
 // be the elected leader, the signature must verify, and the chain
 // links must hold (the store enforces serial order and the previous
-// hash).
+// hash). A redelivery of an already-committed block (same serial, same
+// hash — a duplicated network message) is accepted idempotently; a
+// different block at a committed serial is a fork and fails with
+// ErrFork.
 func (g *Governor) AcceptBlock(b ledger.Block, leader identity.NodeID, leaderPub crypto.PublicKey) error {
 	if b.Proposer != leader {
 		return fmt.Errorf("governor %s: block %d proposed by %s, leader is %s: %w",
@@ -488,6 +510,17 @@ func (g *Governor) AcceptBlock(b ledger.Block, leader identity.NodeID, leaderPub
 	}
 	if err := b.VerifyProposer(leaderPub); err != nil {
 		return fmt.Errorf("governor %s: %w", g.cfg.Member.ID, err)
+	}
+	if b.Serial >= 1 && b.Serial <= g.store.Height() {
+		committed, err := g.store.Get(b.Serial)
+		if err != nil {
+			return fmt.Errorf("governor %s: %w", g.cfg.Member.ID, err)
+		}
+		if committed.Hash() == b.Hash() {
+			return nil
+		}
+		return fmt.Errorf("governor %s: block %d hash %s, committed %s: %w",
+			g.cfg.Member.ID, b.Serial, b.Hash().Short(), committed.Hash().Short(), ErrFork)
 	}
 	if err := g.store.Append(b); err != nil {
 		return fmt.Errorf("governor %s: %w", g.cfg.Member.ID, err)

@@ -22,6 +22,10 @@ var (
 	ErrBadMessage = errors.New("node: bad message")
 	// ErrUnknownSender reports a message from an unregistered node.
 	ErrUnknownSender = errors.New("node: unknown sender")
+	// ErrFork reports a block whose serial is already occupied by a
+	// different block — a safety violation, never expected under any
+	// injected fault.
+	ErrFork = errors.New("node: conflicting block at committed serial")
 )
 
 // ArgueMsg is the provider's argue(tx, s) invocation (§3.1): the

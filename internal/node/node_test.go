@@ -31,6 +31,13 @@ var oracle = tx.ValidatorFunc(func(t tx.Transaction) bool {
 
 func newFixture(t *testing.T, behaviors []Behavior) *fixture {
 	t.Helper()
+	return newFixtureOpts(t, behaviors, nil)
+}
+
+// newFixtureOpts is newFixture with a hook to adjust the governor's
+// configuration before construction.
+func newFixtureOpts(t *testing.T, behaviors []Behavior, mutate func(*GovernorConfig)) *fixture {
+	t.Helper()
 	seed := make([]byte, crypto.SeedSize)
 	seed[0] = 0x77
 	im, err := identity.NewManagerFromSeed(seed)
@@ -76,7 +83,7 @@ func newFixture(t *testing.T, behaviors []Behavior) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gov, err := NewGovernor(GovernorConfig{
+	cfg := GovernorConfig{
 		Member:      roster.Governors[0],
 		Endpoint:    ep,
 		IM:          im,
@@ -85,7 +92,11 @@ func newFixture(t *testing.T, behaviors []Behavior) *fixture {
 		Validator:   oracle,
 		ArgueWindow: 4,
 		Seed:        7,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gov, err := NewGovernor(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,117 @@
+package node
+
+import (
+	"errors"
+	"testing"
+
+	"repchain/internal/ledger"
+	"repchain/internal/tx"
+)
+
+// silentFixture gives collector 1 a conceal-everything behavior, so
+// every transaction reaches the governor with exactly one of its two
+// linked collectors reporting.
+func silentFixture(t *testing.T, silenceDecay bool) *fixture {
+	t.Helper()
+	behaviors := []Behavior{HonestBehavior{}, ProbBehavior{Conceal: 1}}
+	return newFixtureOpts(t, behaviors, func(cfg *GovernorConfig) {
+		cfg.SilenceDecay = silenceDecay
+	})
+}
+
+func TestGovernorCountsSilentReports(t *testing.T) {
+	fx := silentFixture(t, false)
+	for i := 0; i < 3; i++ {
+		fx.runUpload(t, 0, true)
+	}
+	if _, err := fx.governor.ScreenRound(); err != nil {
+		t.Fatal(err)
+	}
+	st := fx.governor.Stats()
+	if st.SilentReports != 3 {
+		t.Fatalf("SilentReports = %d, want 3 (one silent collector × 3 txs)", st.SilentReports)
+	}
+	// Silence is not misreporting: the silent collector's misreport
+	// score must be untouched.
+	if got := fx.governor.Table().Misreport(1); got != 0 {
+		t.Fatalf("silent collector misreport score = %v, want 0", got)
+	}
+}
+
+func TestSilenceDecayOnCheckedTransaction(t *testing.T) {
+	// A valid transaction reported +1 by the only reporter is always
+	// checked, so the silent collector hits the RecordSilence path.
+	fx := silentFixture(t, true)
+	fx.runUpload(t, 0, true)
+	if _, err := fx.governor.ScreenRound(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fx.governor.Stats().Checked; got != 1 {
+		t.Fatalf("Checked = %d, want 1", got)
+	}
+	beta := fx.governor.Table().Params().Beta
+	wSilent, err := fx.governor.Table().Weight(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wSilent != beta {
+		t.Fatalf("silent collector weight = %v, want β = %v", wSilent, beta)
+	}
+	wReporter, err := fx.governor.Table().Weight(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wReporter != 1 {
+		t.Fatalf("reporting collector weight = %v, want 1", wReporter)
+	}
+}
+
+func TestSilenceDecayOffByDefault(t *testing.T) {
+	fx := silentFixture(t, false)
+	fx.runUpload(t, 0, true)
+	if _, err := fx.governor.ScreenRound(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := fx.governor.Table().Weight(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 {
+		t.Fatalf("silent collector weight = %v, want 1 with decay disabled", w)
+	}
+}
+
+func TestAcceptBlockIdempotentOnRedelivery(t *testing.T) {
+	fx := newFixture(t, nil)
+	gov := fx.governor
+	govMem := fx.roster.Governors[0]
+	blk, err := ledger.NewBlock(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk.SignAs(govMem.ID, govMem.PrivateKey)
+	if err := gov.AcceptBlock(blk, govMem.ID, govMem.Cert.PublicKey); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicated delivery of the committed block is a no-op.
+	if err := gov.AcceptBlock(blk, govMem.ID, govMem.Cert.PublicKey); err != nil {
+		t.Fatalf("redelivered block error = %v, want idempotent accept", err)
+	}
+	if h := gov.Store().Height(); h != 1 {
+		t.Fatalf("height = %d after redelivery, want 1", h)
+	}
+	// A different block at the committed serial is a fork.
+	signed, err := fx.providers[0].Submit("test", []byte{1}, true, 0, fx.bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ledger.Record{Signed: signed, Label: tx.LabelValid, Status: tx.StatusValid}
+	fork, err := ledger.NewBlock(nil, []ledger.Record{rec}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork.SignAs(govMem.ID, govMem.PrivateKey)
+	if err := gov.AcceptBlock(fork, govMem.ID, govMem.Cert.PublicKey); !errors.Is(err, ErrFork) {
+		t.Fatalf("conflicting block error = %v, want ErrFork", err)
+	}
+}

@@ -1,0 +1,113 @@
+package reputation
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repchain/internal/tx"
+)
+
+// TestRecordSilenceDecaysAbsentOnly pins the silence rule: on a
+// checked transaction, a linked collector that uploaded nothing loses
+// a factor β of its weight for that provider, reporters keep theirs,
+// and — unlike a case-3 reveal — no loss is accrued and no RWM round
+// is counted.
+func TestRecordSilenceDecaysAbsentOnly(t *testing.T) {
+	params := DefaultParams()
+	tab := fullTable(t, 4, params)
+	reports := []Report{
+		{Collector: 0, Label: tx.LabelValid},
+		{Collector: 2, Label: tx.LabelInvalid},
+	}
+	if err := tab.RecordSilence(0, reports); err != nil {
+		t.Fatalf("RecordSilence() error = %v", err)
+	}
+	for c := 0; c < 4; c++ {
+		w, err := tab.Weight(0, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1.0
+		if c == 1 || c == 3 {
+			want = params.Beta
+		}
+		if math.Abs(w-want) > 1e-12 {
+			t.Fatalf("collector %d weight = %v, want %v", c, w, want)
+		}
+		if tab.Misreport(c) != 0 || tab.Forge(c) != 0 {
+			t.Fatalf("collector %d scores moved on silence", c)
+		}
+	}
+	loss, err := tab.GovernorLoss(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != 0 {
+		t.Fatalf("GovernorLoss = %v, want 0: silence must not accrue loss", loss)
+	}
+	in, err := tab.Instance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Rounds() != 0 {
+		t.Fatalf("Rounds = %d, want 0: silence is not a reveal", in.Rounds())
+	}
+}
+
+func TestRecordSilenceRepeatedCompounds(t *testing.T) {
+	params := DefaultParams()
+	tab := fullTable(t, 3, params)
+	reports := []Report{{Collector: 0, Label: tx.LabelValid}}
+	for i := 0; i < 3; i++ {
+		if err := tab.RecordSilence(0, reports); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := tab.Weight(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Pow(params.Beta, 3); math.Abs(w-want) > 1e-12 {
+		t.Fatalf("weight after 3 silences = %v, want β³ = %v", w, want)
+	}
+}
+
+func TestRecordSilenceValidatesReports(t *testing.T) {
+	tab := fullTable(t, 3, DefaultParams())
+	if err := tab.RecordSilence(0, nil); !errors.Is(err, ErrNoReports) {
+		t.Fatalf("empty reports error = %v, want ErrNoReports", err)
+	}
+	if err := tab.RecordSilence(9, []Report{{Collector: 0, Label: tx.LabelValid}}); !errors.Is(err, ErrUnknownProvider) {
+		t.Fatalf("bad provider error = %v, want ErrUnknownProvider", err)
+	}
+}
+
+// TestSilenceMatchesRevealAbsentDecay checks the symmetry claim: the
+// per-transaction weight cost of silence equals the absent-collector
+// decay of a case-3 reveal.
+func TestSilenceMatchesRevealAbsentDecay(t *testing.T) {
+	params := DefaultParams()
+	silent := fullTable(t, 3, params)
+	revealed := fullTable(t, 3, params)
+	reports := []Report{{Collector: 0, Label: tx.LabelValid}}
+	if err := silent.RecordSilence(0, reports); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := revealed.RecordRevealed(0, reports, tx.StatusValid); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []int{1, 2} {
+		ws, err := silent.Weight(0, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := revealed.Weight(0, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ws-wr) > 1e-12 {
+			t.Fatalf("collector %d: silence decay %v != reveal absent decay %v", c, ws, wr)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"repchain/internal/identity"
+)
+
+// TestDownWindowCountsSilence: a collector crashed for a fixed window
+// contributes exactly DownFor silent non-reports and resumes reporting
+// afterwards.
+func TestDownWindowCountsSilence(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Models = make([]CollectorModel, cfg.Spec.Collectors)
+	cfg.Models[0] = CollectorModel{DownAfter: 10, DownFor: 25}
+	s := mustSim(t, cfg)
+	res, err := s.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Silent != 25 {
+		t.Fatalf("Silent = %d, want 25", res.Silent)
+	}
+	// With 7 of 8 experts still honest, the run stays mistake-free.
+	if res.Mistakes != 0 {
+		t.Fatalf("Mistakes = %d under a single crashed collector", res.Mistakes)
+	}
+}
+
+// TestDownWindowDecaysWithoutMisreportScore: crash silence costs RWM
+// weight (β-decay at reveals) but never moves the misreport score —
+// the mechanism's silence/misreport distinction at policy level.
+func TestDownWindowDecaysWithoutMisreportScore(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Spec = identity.TopologySpec{Providers: 1, Collectors: 4, Degree: 4}
+	cfg.ValidFrac = 0 // all invalid: every tx can go unchecked and reveal
+	cfg.Models = []CollectorModel{
+		{DownAfter: 0, DownFor: 100000}, // permanently down
+		{}, {}, {},
+	}
+	s := mustSim(t, cfg)
+	if _, err := s.Run(3000); err != nil {
+		t.Fatal(err)
+	}
+	table := s.Table()
+	wDown, err := table.Weight(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLive, err := table.Weight(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wDown >= wLive {
+		t.Fatalf("down collector weight %v not below live %v", wDown, wLive)
+	}
+	if got := table.Misreport(0); got != 0 {
+		t.Fatalf("Misreport(0) = %v for a silent collector, want 0", got)
+	}
+}
+
+// TestDownWindowValidation rejects negative windows.
+func TestDownWindowValidation(t *testing.T) {
+	for _, m := range []CollectorModel{{DownAfter: -1}, {DownFor: -2}} {
+		cfg := baseConfig()
+		cfg.Models = make([]CollectorModel, cfg.Spec.Collectors)
+		cfg.Models[0] = m
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("New() accepted model %+v", m)
+		}
+	}
+}

@@ -42,6 +42,15 @@ type CollectorModel struct {
 	// then always misreport — the classic whitewashing attack where an
 	// adversary first builds reputation, then cashes it in.
 	TurncoatAfter int
+	// DownAfter and DownFor model a crash–restart window at the policy
+	// level: when DownFor is positive the collector is silent on the
+	// DownFor transactions after its first DownAfter observations, then
+	// reports normally again. Silence is the fault the full engine
+	// injects with CrashCollector; here it measures how the mechanism's
+	// β-decay treats a node that says nothing, as opposed to one that
+	// lies (Misreport).
+	DownAfter int
+	DownFor   int
 }
 
 // Honest is the all-zero model.
@@ -93,6 +102,11 @@ func (c Config) validate() error {
 	if c.Models != nil && len(c.Models) != c.Spec.Collectors {
 		return fmt.Errorf("%d models for %d collectors: %w", len(c.Models), c.Spec.Collectors, ErrBadConfig)
 	}
+	for i, m := range c.Models {
+		if m.DownAfter < 0 || m.DownFor < 0 {
+			return fmt.Errorf("collector %d down window (%d, %d): %w", i, m.DownAfter, m.DownFor, ErrBadConfig)
+		}
+	}
 	return nil
 }
 
@@ -106,6 +120,10 @@ type Result struct {
 	Unchecked int
 	// Unreported counts transactions every collector concealed.
 	Unreported int
+	// Silent counts reports withheld because the collector was inside
+	// its down window — crash silence, distinct from strategic
+	// concealment.
+	Silent int
 	// Mistakes counts unchecked transactions that were actually valid
 	// — the governor's realized mistakes, the quantity Theorem 4
 	// bounds by S + O(√((f+δ)N)).
@@ -214,6 +232,10 @@ func (s *Sim) Step() error {
 			model = s.cfg.Models[c]
 		}
 		s.seen[c]++
+		if model.DownFor > 0 && s.seen[c] > model.DownAfter && s.seen[c] <= model.DownAfter+model.DownFor {
+			s.res.Silent++
+			continue
+		}
 		if model.TurncoatAfter > 0 && s.seen[c] > model.TurncoatAfter {
 			// Whitewashing: reputation built, now always lie.
 			reports = append(reports, reputation.Report{Collector: c, Label: honest.Opposite()})

@@ -2,14 +2,17 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repchain/internal/codec"
 	"repchain/internal/crypto"
 	"repchain/internal/identity"
+	"repchain/internal/metrics"
 )
 
 // Frame is one signed application message on the wire.
@@ -87,6 +90,7 @@ const maxFrameSize = 8 << 20 // 8 MiB
 type Endpoint struct {
 	self identity.NodeID
 	key  crypto.PrivateKey
+	reg  *metrics.Registry
 
 	mu       sync.Mutex
 	peers    map[identity.NodeID]NodeSpec
@@ -95,6 +99,7 @@ type Endpoint struct {
 	inbound  []net.Conn
 	lastCtr  map[identity.NodeID]uint64
 	counter  uint64
+	policy   RetryPolicy
 	closed   bool
 	listener net.Listener
 
@@ -118,10 +123,12 @@ func NewEndpoint(d *Deployment, id identity.NodeID) (*Endpoint, error) {
 	ep := &Endpoint{
 		self:    id,
 		key:     key,
+		reg:     metrics.NewRegistry(),
 		peers:   make(map[identity.NodeID]NodeSpec, len(d.Nodes)),
 		pubs:    make(map[identity.NodeID]crypto.PublicKey, len(d.Nodes)),
 		conns:   make(map[identity.NodeID]net.Conn),
 		lastCtr: make(map[identity.NodeID]uint64),
+		policy:  DefaultRetryPolicy(),
 	}
 	for _, n := range d.Nodes {
 		pub, err := n.PublicKeyOf()
@@ -143,6 +150,18 @@ func NewEndpoint(d *Deployment, id identity.NodeID) (*Endpoint, error) {
 
 // ID returns the endpoint's node ID.
 func (ep *Endpoint) ID() identity.NodeID { return ep.self }
+
+// Metrics exposes the endpoint's transport.* counters: frames_sent,
+// frames_received, dials, retries, send_failures, auth_failures.
+func (ep *Endpoint) Metrics() *metrics.Registry { return ep.reg }
+
+// SetRetryPolicy replaces the delivery policy (zero fields fall back
+// to the default). Call before the first Send.
+func (ep *Endpoint) SetRetryPolicy(p RetryPolicy) {
+	ep.mu.Lock()
+	ep.policy = p.normalized()
+	ep.mu.Unlock()
+}
 
 // Addr returns the bound listen address (useful with port 0).
 func (ep *Endpoint) Addr() string { return ep.listener.Addr().String() }
@@ -185,11 +204,14 @@ func (ep *Endpoint) readLoop(conn net.Conn) {
 		}
 		frame, err := decodeFrame(buf)
 		if err != nil {
+			ep.reg.Counter("transport.auth_failures").Inc()
 			continue
 		}
 		if err := ep.authenticate(frame); err != nil {
+			ep.reg.Counter("transport.auth_failures").Inc()
 			continue
 		}
+		ep.reg.Counter("transport.frames_received").Inc()
 		ep.inboxMu.Lock()
 		ep.inbox = append(ep.inbox, frame)
 		ep.inboxMu.Unlock()
@@ -215,8 +237,11 @@ func (ep *Endpoint) authenticate(f Frame) error {
 	return nil
 }
 
-// Send delivers one signed frame to a peer, dialing lazily and
-// retrying once on a stale connection.
+// Send delivers one signed frame to a peer, dialing lazily with a
+// bounded timeout, writing under a deadline, and retrying with capped
+// exponential backoff per the endpoint's RetryPolicy. A flapping peer
+// costs the sender bounded time per frame; a dead one fails the frame
+// after MaxAttempts without wedging the caller.
 //
 // Concurrency: the endpoint's bookkeeping is mutex-guarded, but
 // concurrent Sends to the *same* peer may interleave partial TCP
@@ -236,7 +261,7 @@ func (ep *Endpoint) Send(to identity.NodeID, kind string, payload []byte) error 
 	ep.counter++
 	frame := Frame{From: ep.self, Kind: kind, Payload: payload, Counter: ep.counter}
 	frame.Sig = ep.key.Sign(frameSigningBytes(frame.From, frame.Kind, frame.Payload, frame.Counter))
-	conn := ep.conns[to]
+	pol := ep.policy
 	ep.mu.Unlock()
 
 	enc := encodeFrame(frame)
@@ -244,15 +269,48 @@ func (ep *Endpoint) Send(to identity.NodeID, kind string, payload []byte) error 
 	binary.BigEndian.PutUint32(msg, uint32(len(enc)))
 	copy(msg[4:], enc)
 
+	var lastErr error
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			ep.reg.Counter("transport.retries").Inc()
+			time.Sleep(pol.Backoff(attempt - 1))
+		}
+		if err := ep.sendOnce(to, spec, msg, pol); err != nil {
+			if errors.Is(err, ErrClosed) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		ep.reg.Counter("transport.frames_sent").Inc()
+		return nil
+	}
+	ep.reg.Counter("transport.send_failures").Inc()
+	return fmt.Errorf("send to %q after %d attempts: %w", to, pol.MaxAttempts, lastErr)
+}
+
+// sendOnce makes a single delivery attempt: reuse the cached
+// connection if any, else dial fresh. Either path writes under
+// WriteTimeout; a failed cached connection is discarded so the next
+// attempt redials.
+func (ep *Endpoint) sendOnce(to identity.NodeID, spec NodeSpec, msg []byte, pol RetryPolicy) error {
 	write := func(c net.Conn) error {
+		if err := c.SetWriteDeadline(time.Now().Add(pol.WriteTimeout)); err != nil {
+			return err
+		}
 		_, err := c.Write(msg)
 		return err
 	}
+	ep.mu.Lock()
+	conn := ep.conns[to]
+	ep.mu.Unlock()
 	if conn != nil {
 		if err := write(conn); err == nil {
 			return nil
 		}
-		// Stale connection: drop and redial.
+		// Stale connection: drop it and dial fresh within the same
+		// attempt — a half-dead cached socket should not consume a
+		// whole retry.
 		ep.mu.Lock()
 		if ep.conns[to] == conn {
 			delete(ep.conns, to)
@@ -260,7 +318,8 @@ func (ep *Endpoint) Send(to identity.NodeID, kind string, payload []byte) error 
 		ep.mu.Unlock()
 		_ = conn.Close()
 	}
-	fresh, err := net.Dial("tcp", spec.Addr)
+	ep.reg.Counter("transport.dials").Inc()
+	fresh, err := net.DialTimeout("tcp", spec.Addr, pol.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("dial %q: %w", to, err)
 	}
@@ -282,8 +341,12 @@ func (ep *Endpoint) Send(to identity.NodeID, kind string, payload []byte) error 
 	return nil
 }
 
-// Multicast sends one frame to each recipient.
+// Multicast sends one frame to each recipient, best-effort: every
+// recipient gets its attempts even when an earlier one fails, and the
+// per-recipient errors come back joined. One dead peer therefore
+// never blocks delivery to the rest of the alliance.
 func (ep *Endpoint) Multicast(to []identity.NodeID, kind string, payload []byte) error {
+	var errs []error
 	for _, dst := range to {
 		if dst == ep.self {
 			// Local delivery without the network.
@@ -297,10 +360,10 @@ func (ep *Endpoint) Multicast(to []identity.NodeID, kind string, payload []byte)
 			continue
 		}
 		if err := ep.Send(dst, kind, payload); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Receive drains the inbox.

@@ -60,15 +60,31 @@ func sleepUntil(t time.Time) {
 	}
 }
 
-// frameSender adapts an Endpoint to the node.Sender interface.
-type frameSender struct{ ep *Endpoint }
+// frameSender adapts an Endpoint to the node.Sender interface. With a
+// failure counter attached it is tolerant: delivery errors are counted
+// and swallowed instead of aborting the node's round loop, so an
+// unreachable peer degrades throughput rather than wedging the
+// alliance (the endpoint has already retried per its RetryPolicy, and
+// Multicast is best-effort across recipients).
+type frameSender struct {
+	ep       *Endpoint
+	failures *int
+}
 
 var _ node.Sender = frameSender{}
 
 // Multicast implements node.Sender; the from argument is implied by
 // the endpoint's identity (frames are signed with its key).
 func (s frameSender) Multicast(_ identity.NodeID, to []identity.NodeID, kind string, payload []byte) error {
-	return s.ep.Multicast(to, kind, payload)
+	err := s.ep.Multicast(to, kind, payload)
+	if err == nil {
+		return nil
+	}
+	if s.failures != nil {
+		*s.failures++
+		return nil
+	}
+	return err
 }
 
 func toNetworkMessages(frames []Frame) []network.Message {
@@ -104,6 +120,9 @@ type RuntimeConfig struct {
 	// (<id>.chain) and reputation state (<id>.rep) under this
 	// directory across restarts.
 	StateDir string
+	// Retry tunes frame delivery; zero fields fall back to
+	// DefaultRetryPolicy.
+	Retry RetryPolicy
 }
 
 // Report summarizes a node's run.
@@ -122,6 +141,9 @@ type Report struct {
 	Submitted    int
 	SettledValid int
 	PendingValid int
+	// SendFailures counts multicasts that exhausted their delivery
+	// attempts to at least one recipient (all roles).
+	SendFailures int
 }
 
 // RunNode runs one node to completion of cfg.Rounds rounds.
@@ -206,10 +228,11 @@ func runProvider(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 	}
 	governorIDs := idsOf(cfg.Deployment.NodesByRole("governor"))
 	prov := node.NewProvider(mem, nil, linked, governorIDs)
-	sender := frameSender{ep: ep}
+	ep.SetRetryPolicy(cfg.Retry)
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(spec.Index)))
 
 	report := Report{Role: "provider"}
+	sender := frameSender{ep: ep, failures: &report.SendFailures}
 	for round := uint64(1); round <= uint64(cfg.Rounds); round++ {
 		sleepUntil(cfg.Clock.at(round, 0))
 		for i := 0; i < cfg.TxPerRound; i++ {
@@ -261,9 +284,10 @@ func runCollector(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 	}
 	governorIDs := idsOf(cfg.Deployment.NodesByRole("governor"))
 	coll := node.NewCollector(mem, nil, im, cfg.Validator, node.HonestBehavior{}, governorIDs, cfg.Seed+int64(100+spec.Index))
-	sender := frameSender{ep: ep}
+	ep.SetRetryPolicy(cfg.Retry)
 
 	report := Report{Role: "collector"}
+	sender := frameSender{ep: ep, failures: &report.SendFailures}
 	for round := uint64(1); round <= uint64(cfg.Rounds); round++ {
 		sleepUntil(cfg.Clock.at(round, phaseUpload))
 		for _, m := range toNetworkMessages(ep.Receive()) {
@@ -354,12 +378,13 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			stakes[i] = 1
 		}
 	}
-	sender := frameSender{ep: ep}
+	ep.SetRetryPolicy(cfg.Retry)
 
 	// Resume round numbering from a persisted chain (all governors in
 	// a deployment must restart together so their heights agree).
 	baseRound := gov.Store().Height()
 	report := Report{Role: "governor"}
+	sender := frameSender{ep: ep, failures: &report.SendFailures}
 	for r := uint64(1); r <= uint64(cfg.Rounds); r++ {
 		round := baseRound + r
 		// Screen the round's uploads and argues.
@@ -406,7 +431,7 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			prevHash = head.Hash()
 		}
 		myTickets := consensus.MakeTickets(mem.PrivateKey, prevHash, round, spec.Index, stakes[spec.Index])
-		if err := ep.Multicast(governorIDs, network.KindVRF, encodeRoundTickets(round, myTickets)); err != nil {
+		if err := sender.Multicast(mem.ID, governorIDs, network.KindVRF, encodeRoundTickets(round, myTickets)); err != nil {
 			return report, err
 		}
 

@@ -191,6 +191,18 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithSilenceDecay makes governors β-decay linked collectors that
+// stayed silent on a checked transaction, so withholding a report
+// costs reputation on both disclosure paths (checked and unchecked)
+// instead of only at unchecked reveals. Silence never moves the
+// misreport score — only an actively wrong label does.
+func WithSilenceDecay() Option {
+	return func(o *options) error {
+		o.cfg.SilenceDecay = true
+		return nil
+	}
+}
+
 // WithValidator installs the application's validate(tx).
 func WithValidator(v Validator) Option {
 	return func(o *options) error {
