@@ -9,6 +9,7 @@
 package repchain_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"testing"
@@ -166,6 +167,25 @@ func BenchmarkFullProtocolRound(b *testing.B) {
 				b.ReportMetric(dh/(dh+dm), "cache-hit-rate")
 			}
 			b.ReportMetric(txPerRound, "tx/round")
+
+			// Embed the engine's final metrics snapshot so the
+			// `make bench-round` JSON artifact carries the sigcache
+			// hit rate, check fraction, and per-stage latency
+			// quantiles alongside the timing numbers.
+			snap := chain.MetricsSnapshot()
+			if cf, ok := snap.Gauges["screen.check_fraction"]; ok {
+				b.ReportMetric(cf, "check-fraction")
+			}
+			for _, stage := range []string{"upload", "screen", "elect", "pack", "commit"} {
+				key := `round.stage_seconds{stage="` + stage + `"}`
+				if h, ok := snap.Histograms[key]; ok && h.Count > 0 {
+					b.ReportMetric(h.Quantile(0.5)*1e9, stage+"-p50-ns")
+					b.ReportMetric(h.Quantile(0.95)*1e9, stage+"-p95-ns")
+				}
+			}
+			if data, err := json.Marshal(snap); err == nil {
+				b.Logf("metrics-snapshot workers=%d %s", workers, data)
+			}
 		})
 	}
 }

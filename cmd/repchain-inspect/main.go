@@ -2,12 +2,15 @@
 // (the `governor-<j>.chain` files written under WithChainDir /
 // Config.ChainDir). It replays the append-only file, verifies serial
 // ordering, hash links, transaction-root commitments, and provider
-// signatures, and prints a block-by-block summary.
+// signatures, and prints a block-by-block summary. It can also scrape
+// a running node's admin endpoint (repchain-node -admin-addr).
 //
 // Usage:
 //
 //	repchain-inspect -chain data/governor-0.chain
 //	repchain-inspect -chain data/governor-0.chain -block 7   # one block in detail
+//	repchain-inspect metrics -admin 127.0.0.1:9180           # live metrics snapshot
+//	repchain-inspect trace -admin 127.0.0.1:9180 <txhash>    # tx lifecycle spans
 package main
 
 import (
@@ -20,6 +23,23 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "metrics":
+			if err := runMetrics(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "repchain-inspect metrics:", err)
+				os.Exit(1)
+			}
+			return
+		case "trace":
+			if err := runTrace(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "repchain-inspect trace:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+
 	var (
 		chainPath = flag.String("chain", "", "path to a governor-<j>.chain file")
 		blockNum  = flag.Uint64("block", 0, "print one block in detail (0 = summary of all)")

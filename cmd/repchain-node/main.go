@@ -17,12 +17,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
+	"repchain/internal/admin"
 	"repchain/internal/crypto"
 	"repchain/internal/identity"
+	"repchain/internal/metrics"
 	"repchain/internal/reputation"
+	"repchain/internal/trace"
 	"repchain/internal/transport"
 	"repchain/internal/tx"
 )
@@ -42,6 +46,8 @@ func main() {
 		txPerRound = flag.Int("tx", 4, "transactions per provider per round")
 		seed       = flag.Int64("seed", 1, "seed for workload randomness")
 		stateDir   = flag.String("state", "", "directory persisting governor chain + reputation state across restarts")
+		adminAddr  = flag.String("admin-addr", "", "serve /metrics, /healthz, /readyz, /traces, and pprof on this address (e.g. 127.0.0.1:9180; empty = off)")
+		traceCap   = flag.Int("trace-cap", 8192, "lifecycle span ring-buffer capacity behind /traces (0 = tracing off)")
 
 		retryMax     = flag.Int("retry-max", 0, "delivery attempts per frame (0 = default)")
 		retryBase    = flag.Duration("retry-base", 0, "backoff before the first retry (0 = default)")
@@ -58,13 +64,13 @@ func main() {
 		DialTimeout:  *dialTimeout,
 		WriteTimeout: *writeTimeout,
 	}
-	if err := run(*rosterPath, *id, *demo, *rounds, *roundDur, *epoch, *txPerRound, *seed, *stateDir, retry); err != nil {
+	if err := run(*rosterPath, *id, *demo, *rounds, *roundDur, *epoch, *txPerRound, *seed, *stateDir, *adminAddr, *traceCap, retry); err != nil {
 		fmt.Fprintln(os.Stderr, "repchain-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, epochStr string, txPerRound int, seed int64, stateDir string, retry transport.RetryPolicy) error {
+func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, epochStr string, txPerRound int, seed int64, stateDir, adminAddr string, traceCap int, retry transport.RetryPolicy) error {
 	var deployment *transport.Deployment
 	if demo {
 		d, err := demoDeployment(seed)
@@ -100,6 +106,46 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 		Seed:       seed,
 		StateDir:   stateDir,
 		Retry:      retry,
+	}
+
+	if adminAddr != "" {
+		// One shared registry/tracer/health for the process. In demo
+		// mode that aggregates the whole alliance; in single-node mode
+		// readiness only tracks what this process can see — its own
+		// governor height, if it is a governor at all.
+		governors := 0
+		if demo {
+			for _, spec := range deployment.Nodes {
+				if spec.Role == "governor" {
+					governors++
+				}
+			}
+		} else if strings.HasPrefix(id, "governor/") {
+			governors = 1
+		}
+		reg := metrics.NewRegistry()
+		rec := trace.NewRecorder(traceCap)
+		rec.EnableWallClock()
+		var health *transport.Health
+		var ready func() (bool, string)
+		if governors > 0 {
+			health = transport.NewHealth(governors)
+			ready = health.Ready
+		}
+		base.Metrics = reg
+		base.Tracer = rec
+		base.Health = health
+		srv, err := admin.Start(admin.Config{
+			Addr:       adminAddr,
+			Registries: []*metrics.Registry{reg},
+			Tracer:     rec,
+			Ready:      ready,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("admin endpoint on http://%s (/metrics /healthz /readyz /traces /debug/pprof)\n", srv.Addr())
 	}
 
 	if !demo {

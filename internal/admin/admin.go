@@ -1,0 +1,108 @@
+// Package admin serves a node's live telemetry over HTTP: Prometheus
+// text metrics, a JSON metrics snapshot, health and readiness probes,
+// transaction traces, and net/http/pprof. It is read-only and
+// stdlib-only; repchain-node binds it behind -admin-addr and
+// repchain-inspect scrapes it.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repchain/internal/metrics"
+	"repchain/internal/trace"
+)
+
+// Config assembles an admin server.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9180". A ":0" port
+	// picks a free one; read it back from Server.Addr.
+	Addr string
+	// Registries are merged into one exposition. Counters and
+	// histogram buckets with identical names sum across registries;
+	// in practice registries carry disjoint name families.
+	Registries []*metrics.Registry
+	// Tracer backs /traces; nil serves an empty trace set.
+	Tracer *trace.Recorder
+	// Ready backs /readyz: return ok plus a short status line. Nil
+	// means always ready.
+	Ready func() (ok bool, detail string)
+}
+
+// Server is a running admin endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start binds cfg.Addr and serves in a background goroutine.
+func Start(cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin: listen %s: %w", cfg.Addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheusSnapshot(w, mergedSnapshot(cfg.Registries))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(mergedSnapshot(cfg.Registries))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ok, detail := true, "ok"
+		if cfg.Ready != nil {
+			ok, detail = cfg.Ready()
+		}
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, detail)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		cfg.Tracer.WriteJSONL(w, r.URL.Query().Get("tx"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with a ":0" port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func mergedSnapshot(regs []*metrics.Registry) metrics.Snapshot {
+	var snap metrics.Snapshot
+	snap.Merge(metrics.Snapshot{}) // allocate maps
+	for _, r := range regs {
+		if r != nil {
+			snap.Merge(r.Snapshot())
+		}
+	}
+	return snap
+}

@@ -1,0 +1,99 @@
+package admin
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repchain/internal/metrics"
+	"repchain/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("engine.rounds_total").Add(3)
+	reg.CounterVec("screen.checked_total", "collector").With("0").Inc()
+	rec := trace.NewRecorder(16)
+	rec.Emit(trace.Span{Trace: "aaaabbbbcccc", Stage: trace.StageSign, Node: "provider/0"})
+	var ready atomic.Bool
+
+	srv, err := Start(Config{
+		Addr:       "127.0.0.1:0",
+		Registries: []*metrics.Registry{reg},
+		Tracer:     rec,
+		Ready:      func() (bool, string) { return ready.Load(), "waiting for quorum" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	if code, body := get(t, base+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "waiting for quorum") {
+		t.Fatalf("not-ready /readyz = %d %q", code, body)
+	}
+	ready.Store(true)
+	if code, _ := get(t, base+"/readyz"); code != 200 {
+		t.Fatalf("ready /readyz = %d", code)
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{"engine_rounds_total 3", `screen_checked_total{collector="0"} 1`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	if code, body := get(t, base+"/metrics.json"); code != 200 || !strings.Contains(body, `"engine.rounds_total":3`) {
+		t.Fatalf("/metrics.json = %d %q", code, body)
+	}
+
+	if code, body := get(t, base+"/traces?tx=aaaabbbb"); code != 200 || !strings.Contains(body, `"stage":"sign"`) {
+		t.Fatalf("/traces = %d %q", code, body)
+	}
+
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof = %d", code)
+	}
+}
+
+func TestServerNilTracerAndReady(t *testing.T) {
+	srv, err := Start(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/readyz"); code != 200 {
+		t.Fatalf("nil Ready should default to ready, got %d", code)
+	}
+	if code, body := get(t, base+"/traces"); code != 200 || strings.TrimSpace(body) != "" {
+		t.Fatalf("nil tracer /traces = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/metrics"); code != 200 {
+		t.Fatal("empty registries should still expose /metrics")
+	}
+}

@@ -34,6 +34,9 @@ func config(seed int64, workers int) core.Config {
 		Seed:        seed,
 		Validator:   oracle,
 		Workers:     workers,
+		// Tracing stays on through the whole fault matrix: spans must
+		// never perturb recovery or determinism.
+		TraceCapacity: 2048,
 	}
 }
 

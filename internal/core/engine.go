@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"time"
 
 	"repchain/internal/consensus"
 	"repchain/internal/crypto"
@@ -30,6 +32,7 @@ import (
 	"repchain/internal/network"
 	"repchain/internal/node"
 	"repchain/internal/reputation"
+	"repchain/internal/trace"
 	"repchain/internal/tx"
 )
 
@@ -104,6 +107,13 @@ type Config struct {
 	// reputation on both disclosure paths instead of only at unchecked
 	// reveals. See node.GovernorConfig.SilenceDecay.
 	SilenceDecay bool
+	// TraceCapacity, when positive, enables end-to-end transaction
+	// tracing: every node emits lifecycle spans into a shared ring
+	// buffer holding the most recent TraceCapacity spans. Tracing is
+	// purely observational — it consumes no protocol randomness and
+	// changes no ordering — so any run stays byte-identical with it on
+	// or off. Zero disables tracing at zero hot-path cost.
+	TraceCapacity int
 }
 
 // Engine is a running alliance chain.
@@ -144,6 +154,13 @@ type Engine struct {
 	// reg collects engine-level operational metrics: protocol anomaly
 	// counters and snapshots of the shared signature-cache statistics.
 	reg *metrics.Registry
+	// tracer is the shared lifecycle span ring buffer; nil when
+	// Config.TraceCapacity is zero.
+	tracer *trace.Recorder
+	// stageSeconds is the per-stage round latency histogram family
+	// (label "stage"). Wall-clock observations only — never fed back
+	// into protocol decisions, so determinism is untouched.
+	stageSeconds *metrics.HistogramVec
 
 	// stakeCorruptor is a test hook making the next stake proposal
 	// lie; see CorruptNextStakeProposal.
@@ -224,7 +241,9 @@ func New(cfg Config) (*Engine, error) {
 		stakeNonces: make([]uint64, cfg.Governors),
 		workers:     resolveWorkers(cfg.Workers),
 		reg:         metrics.NewRegistry(),
+		tracer:      trace.NewRecorder(cfg.TraceCapacity),
 	}
+	e.stageSeconds = e.reg.HistogramVec("round.stage_seconds", metrics.DefBuckets, "stage")
 	e.collectorDown = make([]bool, topo.Collectors())
 	e.governorDown = make([]bool, cfg.Governors)
 	for _, g := range roster.Governors {
@@ -245,7 +264,9 @@ func New(cfg Config) (*Engine, error) {
 		for _, c := range topo.CollectorsOf(k) {
 			collectorIDs = append(collectorIDs, roster.Collectors[c].ID)
 		}
-		e.providers = append(e.providers, node.NewProvider(mem, ep, collectorIDs, e.governorIDs))
+		p := node.NewProvider(mem, ep, collectorIDs, e.governorIDs)
+		p.SetTracer(e.tracer)
+		e.providers = append(e.providers, p)
 	}
 	// Collectors.
 	for c, mem := range roster.Collectors {
@@ -257,8 +278,10 @@ func New(cfg Config) (*Engine, error) {
 		if cfg.Behaviors != nil {
 			behavior = cfg.Behaviors[c]
 		}
-		e.collectors = append(e.collectors, node.NewCollector(
-			mem, ep, im, cfg.Validator, behavior, e.governorIDs, cfg.Seed+int64(1000+c)))
+		col := node.NewCollector(
+			mem, ep, im, cfg.Validator, behavior, e.governorIDs, cfg.Seed+int64(1000+c))
+		col.SetTracer(e.tracer)
+		e.collectors = append(e.collectors, col)
 	}
 	// Governors.
 	for j, mem := range roster.Governors {
@@ -286,6 +309,8 @@ func New(cfg Config) (*Engine, error) {
 			Seed:         cfg.Seed + int64(2000+j),
 			Store:        store,
 			SilenceDecay: cfg.SilenceDecay,
+			Metrics:      e.reg,
+			Tracer:       e.tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -295,6 +320,10 @@ func New(cfg Config) (*Engine, error) {
 	// Resume the round counter from a persisted chain so leader
 	// election inputs stay unique across restarts.
 	e.round = e.governors[0].Store().Height()
+	// Transactions submitted now will be processed by the next round.
+	for _, p := range e.providers {
+		p.SetRound(e.round + 1)
+	}
 
 	// Reload persisted reputation state, if present, so a restarted
 	// governor keeps its learned weights instead of re-trusting every
@@ -370,6 +399,67 @@ func (e *Engine) Round() uint64 { return e.round }
 
 // Workers returns the engine's resolved fan-out bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// Tracer exposes the engine's lifecycle span recorder; nil when
+// Config.TraceCapacity is zero.
+func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
+
+// observeStage records the wall-clock duration of one round stage into
+// the "round.stage_seconds" histogram family and returns a fresh stage
+// start. Purely observational — stage durations never feed back into
+// protocol decisions.
+func (e *Engine) observeStage(stage string, start time.Time) time.Time {
+	now := time.Now()
+	e.stageSeconds.With(stage).Observe(now.Sub(start).Seconds())
+	return now
+}
+
+// publishRoundMetrics updates the per-round operational gauges and
+// counters after a committed round.
+func (e *Engine) publishRoundMetrics(res *RoundResult) {
+	e.reg.Counter("engine.rounds_total").Inc()
+	e.reg.Counter("block.records_total").Add(int64(len(res.Block.Records)))
+	height := uint64(0)
+	for _, g := range e.governors {
+		if h := g.Store().Height(); h > height {
+			height = h
+		}
+	}
+	e.reg.Gauge("chain.height").Set(float64(height))
+	checked, unchecked := 0, 0
+	for _, g := range e.governors {
+		st := g.Stats()
+		checked += st.Checked
+		unchecked += st.Unchecked
+	}
+	if total := checked + unchecked; total > 0 {
+		e.reg.Gauge("screen.check_fraction").Set(float64(checked) / float64(total))
+	}
+}
+
+// Health summarizes the engine's liveness view for readiness probes:
+// the failure detector's live-governor count against the majority
+// quorum, and the tallest replica height.
+type Health struct {
+	Round     uint64 `json:"round"`
+	Height    uint64 `json:"height"`
+	Governors int    `json:"governors"`
+	Live      int    `json:"live"`
+	QuorumOK  bool   `json:"quorum_ok"`
+}
+
+// Health reports the engine's current degradation state.
+func (e *Engine) Health() Health {
+	h := Health{Round: e.round, Governors: len(e.governors)}
+	for _, g := range e.governors {
+		if height := g.Store().Height(); height > h.Height {
+			h.Height = height
+		}
+	}
+	h.Live = len(e.liveGovernors())
+	h.QuorumOK = h.Live > len(e.governors)/2
+	return h
+}
 
 // Metrics exposes the engine's operational metrics registry:
 // "election.vrf_unknown_sender" counts dropped VRF messages from
@@ -485,10 +575,23 @@ func (e *Engine) runRound() (RoundResult, error) {
 	// rejoined after a crash or partition (or missed a block to drops)
 	// catches up here, so this round's election and proposal build on
 	// one prev-hash.
+	stageStart := time.Now()
 	if err := e.resyncGovernors(); err != nil {
 		return RoundResult{}, err
 	}
+	stageStart = e.observeStage("resync", stageStart)
 	e.round++
+	// Round attribution for spans only: setters touch one plain field
+	// per node, before any fan-out starts.
+	for _, g := range e.governors {
+		g.SetRound(e.round)
+	}
+	for _, c := range e.collectors {
+		c.SetRound(e.round)
+	}
+	for _, p := range e.providers {
+		p.SetRound(e.round + 1)
+	}
 
 	// --- Uploading phase ---
 	e.bus.AdvancePastDelay() // provider broadcasts land
@@ -517,6 +620,7 @@ func (e *Engine) runRound() (RoundResult, error) {
 		}
 	}
 	e.bus.AdvancePastDelay() // collector uploads land
+	stageStart = e.observeStage("upload", stageStart)
 
 	// --- Processing phase: screening ---
 	if _, err := e.pumpGovernors(); err != nil {
@@ -541,11 +645,20 @@ func (e *Engine) runRound() (RoundResult, error) {
 	if err != nil {
 		return RoundResult{}, err
 	}
+	stageStart = e.observeStage("screen", stageStart)
 
 	// --- Processing phase: leader election ---
 	leader, err := e.electLeader()
 	if err != nil {
 		return RoundResult{}, err
+	}
+	stageStart = e.observeStage("elect", stageStart)
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Span{
+			Stage: trace.StageElect,
+			Round: e.round,
+			Attrs: []trace.Attr{{Key: "leader", Value: strconv.Itoa(leader)}},
+		})
 	}
 
 	// --- Processing phase: block proposal ---
@@ -561,6 +674,7 @@ func (e *Engine) runRound() (RoundResult, error) {
 		return RoundResult{}, err
 	}
 	e.bus.AdvancePastDelay()
+	stageStart = e.observeStage("pack", stageStart)
 
 	// Every live governor (leader included) verifies and appends.
 	// Replicas are independent; the shared cache makes the m identical
@@ -611,6 +725,7 @@ func (e *Engine) runRound() (RoundResult, error) {
 	if err := e.checkAgreement(block.Serial); err != nil {
 		return RoundResult{}, err
 	}
+	stageStart = e.observeStage("commit", stageStart)
 
 	// Providers observe the block and argue. Argues are buffered per
 	// provider and replayed in provider order so governors receive them
@@ -647,6 +762,7 @@ func (e *Engine) runRound() (RoundResult, error) {
 			return RoundResult{}, err
 		}
 	}
+	e.observeStage("argue", stageStart)
 
 	result := RoundResult{
 		Serial:  block.Serial,
@@ -667,6 +783,7 @@ func (e *Engine) runRound() (RoundResult, error) {
 	}
 	e.publishCryptoMetrics()
 	e.publishChaosMetrics()
+	e.publishRoundMetrics(&result)
 	return result, nil
 }
 

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time JSON-ready view of a registry. Labeled
+// children are flattened into `name{k="v",...}` keys so the snapshot
+// stays a flat map consumers can diff.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Series     map[string]Summary           `json:"series,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric in the registry. Like Dump, the
+// registry lock is released before individual metrics are read.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	series := make(map[string]*Series, len(r.series))
+	for n, s := range r.series {
+		series[n] = s
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		histograms[n] = h
+	}
+	counterVecs := make(map[string]*CounterVec, len(r.counterVecs))
+	for n, v := range r.counterVecs {
+		counterVecs[n] = v
+	}
+	histogramVecs := make(map[string]*HistogramVec, len(r.histogramVecs))
+	for n, v := range r.histogramVecs {
+		histogramVecs[n] = v
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Series:     make(map[string]Summary, len(series)),
+		Histograms: make(map[string]HistogramSnapshot, len(histograms)),
+	}
+	for n, c := range counters {
+		snap.Counters[n] = c.Value()
+	}
+	for n, g := range gauges {
+		snap.Gauges[n] = g.Value()
+	}
+	for n, s := range series {
+		snap.Series[n] = s.Summary()
+	}
+	for n, h := range histograms {
+		snap.Histograms[n] = h.Snapshot()
+	}
+	for n, v := range counterVecs {
+		for _, child := range v.children() {
+			snap.Counters[n+"{"+child.labels+"}"] = child.counter.Value()
+		}
+	}
+	for n, v := range histogramVecs {
+		for _, child := range v.children() {
+			snap.Histograms[n+"{"+child.labels+"}"] = child.hist.Snapshot()
+		}
+	}
+	return snap
+}
+
+// Merge folds other into s: counters and histogram buckets with the
+// same name are summed, gauges are overwritten, series summaries are
+// kept from the first snapshot that defined them. Used by the admin
+// endpoint when a process hosts several registries.
+func (s *Snapshot) Merge(other Snapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64)
+	}
+	if s.Series == nil {
+		s.Series = make(map[string]Summary)
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	for n, v := range other.Counters {
+		s.Counters[n] += v
+	}
+	for n, v := range other.Gauges {
+		s.Gauges[n] = v
+	}
+	for n, v := range other.Series {
+		if _, ok := s.Series[n]; !ok {
+			s.Series[n] = v
+		}
+	}
+	for n, v := range other.Histograms {
+		cur, ok := s.Histograms[n]
+		if !ok || len(cur.Bounds) != len(v.Bounds) {
+			s.Histograms[n] = v
+			continue
+		}
+		merged := HistogramSnapshot{
+			Bounds: cur.Bounds,
+			Counts: make([]int64, len(cur.Counts)),
+			Count:  cur.Count + v.Count,
+			Sum:    cur.Sum + v.Sum,
+		}
+		copy(merged.Counts, cur.Counts)
+		for i := range v.Counts {
+			if i < len(merged.Counts) {
+				merged.Counts[i] += v.Counts[i]
+			}
+		}
+		s.Histograms[n] = merged
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Metric names are sanitized
+// (`.` and `-` become `_`); histograms emit cumulative `_bucket{le=}`
+// lines plus `_sum`/`_count`; series emit quantile lines in summary
+// style.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writePrometheusSnapshot(w, r.Snapshot())
+}
+
+// WritePrometheusSnapshot renders an already-captured (possibly
+// merged) snapshot in the Prometheus text format.
+func WritePrometheusSnapshot(w io.Writer, s Snapshot) error {
+	return writePrometheusSnapshot(w, s)
+}
+
+func writePrometheusSnapshot(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	counterNames := sortedKeys(s.Counters)
+	for _, n := range counterNames {
+		base, labels := splitLabels(n)
+		fmt.Fprintf(&b, "%s%s %d\n", promName(base), labels, s.Counters[n])
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		base, labels := splitLabels(n)
+		fmt.Fprintf(&b, "%s%s %g\n", promName(base), labels, s.Gauges[n])
+	}
+	for _, n := range sortedKeys(s.Series) {
+		sum := s.Series[n]
+		name := promName(n)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %g\n", name, sum.P50)
+		fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %g\n", name, sum.P95)
+		fmt.Fprintf(&b, "%s_sum %g\n", name, sum.Mean*float64(sum.Count))
+		fmt.Fprintf(&b, "%s_count %d\n", name, sum.Count)
+	}
+	for _, n := range sortedKeys(s.Histograms) {
+		h := s.Histograms[n]
+		base, labels := splitLabels(n)
+		name := promName(base)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", name, withLE(labels, fmt.Sprintf("%g", bound)), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", name, withLE(labels, "+Inf"), h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %g\n", name, labels, h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", name, labels, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// splitLabels separates a flattened `name{...}` key into the bare name
+// and its `{...}` label block (empty when unlabeled).
+func splitLabels(n string) (base, labels string) {
+	if i := strings.IndexByte(n, '{'); i >= 0 {
+		return n[:i], n[i:]
+	}
+	return n, ""
+}
+
+// withLE appends an `le` label to an existing (possibly empty) label
+// block.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// promName maps a registry metric name to a legal Prometheus name:
+// letters, digits, underscores, and colons; everything else becomes an
+// underscore, and a leading digit gains an underscore prefix.
+func promName(n string) string {
+	var b strings.Builder
+	for i, r := range n {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,7 +1,9 @@
-// Package metrics provides the lightweight counters and series the
-// simulation harness and benchmark runners record. It is deliberately
-// small: experiments need deterministic, dependency-free accounting,
-// not a full telemetry stack.
+// Package metrics provides the lightweight counters, gauges, series,
+// histograms, and labeled metric families the protocol engine,
+// transport, and benchmark runners record. It is deliberately small
+// and dependency-free: experiments need deterministic accounting, the
+// live node needs a Prometheus text exposition and a JSON snapshot,
+// and neither needs a full telemetry stack.
 package metrics
 
 import (
@@ -10,13 +12,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing count. The zero value is ready
-// to use. Safe for concurrent use.
+// to use. Safe for concurrent use; updates are a single atomic add, so
+// counters can sit on hot paths (per-verification, per-frame).
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Inc adds one.
@@ -27,47 +30,37 @@ func (c *Counter) Add(delta int64) {
 	if delta < 0 {
 		return
 	}
-	c.mu.Lock()
-	c.v += delta
-	c.mu.Unlock()
+	c.v.Add(delta)
 }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is a point-in-time level that can move both ways — the shape
 // for republished snapshots of external state (cache sizes, hit rates,
 // queue depths). The zero value is ready to use. Safe for concurrent
-// use.
+// use; the float64 value is stored as atomic bits, so Set and Value
+// are lock-free and Add is a CAS loop.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Set replaces the gauge's value.
-func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
-}
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add shifts the gauge by delta (either sign).
 func (g *Gauge) Add(delta float64) {
-	g.mu.Lock()
-	g.v += delta
-	g.mu.Unlock()
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
 }
 
 // Value returns the current level.
-func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
-}
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Series accumulates ordered float64 observations. The zero value is
 // ready to use. Safe for concurrent use.
@@ -106,22 +99,29 @@ func (s *Series) Summary() Summary {
 
 // Summary holds descriptive statistics of a sample.
 type Summary struct {
-	Count  int
-	Mean   float64
-	Stddev float64
-	Min    float64
-	P50    float64
-	P95    float64
-	Max    float64
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	Max    float64 `json:"max"`
 }
 
-// Summarize computes descriptive statistics of vs.
+// Summarize computes descriptive statistics of vs. NaN observations
+// are ignored — a single poisoned sample must not turn every moment
+// into NaN.
 func Summarize(vs []float64) Summary {
-	if len(vs) == 0 {
+	sorted := make([]float64, 0, len(vs))
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			continue
+		}
+		sorted = append(sorted, v)
+	}
+	if len(sorted) == 0 {
 		return Summary{}
 	}
-	sorted := make([]float64, len(vs))
-	copy(sorted, vs)
 	sort.Float64s(sorted)
 
 	var sum float64
@@ -150,10 +150,14 @@ func Summarize(vs []float64) Summary {
 }
 
 // Quantile returns the q-quantile of an ascending-sorted sample using
-// linear interpolation. q is clamped to [0, 1].
+// linear interpolation. q is clamped to [0, 1]; a NaN q yields NaN
+// rather than an arbitrary element.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if math.IsNaN(q) {
+		return math.NaN()
 	}
 	if q <= 0 {
 		return sorted[0]
@@ -177,21 +181,31 @@ func (s Summary) String() string {
 		s.Count, s.Mean, s.Stddev, s.Min, s.P50, s.P95, s.Max)
 }
 
-// Registry is a named collection of counters and series. The zero
-// value is not usable; call NewRegistry. Safe for concurrent use.
+// Registry is a named collection of counters, gauges, series,
+// histograms, and labeled families. The zero value is not usable; call
+// NewRegistry. Safe for concurrent use. The registry lock guards only
+// the name → metric maps; each metric synchronizes its own updates, so
+// hot-path Inc/Observe calls on an already-created metric never touch
+// the registry lock.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	series   map[string]*Series
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	series        map[string]*Series
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		series:   make(map[string]*Series),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		series:        make(map[string]*Series),
+		histograms:    make(map[string]*Histogram),
+		counterVecs:   make(map[string]*CounterVec),
+		histogramVecs: make(map[string]*HistogramVec),
 	}
 }
 
@@ -231,19 +245,91 @@ func (r *Registry) Series(name string) *Series {
 	return s
 }
 
-// Dump renders every metric in sorted name order, one per line.
-func (r *Registry) Dump() string {
+// Histogram returns the named fixed-bucket histogram, creating it with
+// the given ascending upper bounds on first use. Later calls return
+// the existing histogram regardless of bounds — first registration
+// wins, as bucket layouts cannot change mid-flight.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.series))
-	for n := range r.counters {
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// CounterVec returns the named labeled counter family, creating it
+// with the given label names on first use. Later calls return the
+// existing family regardless of label names — first registration wins.
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = newCounterVec(name, labels)
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named labeled histogram family, creating it
+// with the given bounds and label names on first use.
+func (r *Registry) HistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histogramVecs[name]
+	if !ok {
+		v = newHistogramVec(name, bounds, labels)
+		r.histogramVecs[name] = v
+	}
+	return v
+}
+
+// Dump renders every metric in sorted name order, one per line. The
+// registry lock is held only long enough to snapshot the metric maps —
+// formatting (which walks every series) happens outside it, so a slow
+// dump can never stall hot-path metric creation.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	series := make(map[string]*Series, len(r.series))
+	for n, s := range r.series {
+		series[n] = s
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		histograms[n] = h
+	}
+	counterVecs := make(map[string]*CounterVec, len(r.counterVecs))
+	for n, v := range r.counterVecs {
+		counterVecs[n] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(counters)+len(gauges)+len(series)+len(histograms)+len(counterVecs))
+	for n := range counters {
 		names = append(names, "c:"+n)
 	}
-	for n := range r.gauges {
+	for n := range gauges {
 		names = append(names, "g:"+n)
 	}
-	for n := range r.series {
+	for n := range series {
 		names = append(names, "s:"+n)
+	}
+	for n := range histograms {
+		names = append(names, "h:"+n)
+	}
+	for n := range counterVecs {
+		names = append(names, "v:"+n)
 	}
 	sort.Strings(names)
 	var b strings.Builder
@@ -251,11 +337,19 @@ func (r *Registry) Dump() string {
 		kind, name := n[:1], n[2:]
 		switch kind {
 		case "c":
-			fmt.Fprintf(&b, "%-40s %d\n", name, r.counters[name].Value())
+			fmt.Fprintf(&b, "%-40s %d\n", name, counters[name].Value())
 		case "g":
-			fmt.Fprintf(&b, "%-40s %g\n", name, r.gauges[name].Value())
+			fmt.Fprintf(&b, "%-40s %g\n", name, gauges[name].Value())
 		case "s":
-			fmt.Fprintf(&b, "%-40s %s\n", name, r.series[name].Summary())
+			fmt.Fprintf(&b, "%-40s %s\n", name, series[name].Summary())
+		case "h":
+			snap := histograms[name].Snapshot()
+			fmt.Fprintf(&b, "%-40s n=%d sum=%.4g p50=%.4g p95=%.4g\n",
+				name, snap.Count, snap.Sum, snap.Quantile(0.50), snap.Quantile(0.95))
+		case "v":
+			for _, child := range counterVecs[name].children() {
+				fmt.Fprintf(&b, "%-40s %d\n", name+"{"+child.labels+"}", child.counter.Value())
+			}
 		}
 	}
 	return b.String()

@@ -3,9 +3,11 @@ package node
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repchain/internal/identity"
 	"repchain/internal/network"
+	"repchain/internal/trace"
 	"repchain/internal/tx"
 )
 
@@ -102,7 +104,18 @@ type Collector struct {
 	discarded int
 	forged    int
 	forgeSeq  uint64
+
+	// tracer and round feed lifecycle spans (label, upload); optional.
+	tracer *trace.Recorder
+	round  uint64
 }
+
+// SetTracer attaches a span recorder; nil detaches.
+func (c *Collector) SetTracer(r *trace.Recorder) { c.tracer = r }
+
+// SetRound tells the collector which round is executing, for span
+// attribution only.
+func (c *Collector) SetRound(r uint64) { c.round = r }
 
 // NewCollector wires a collector node to the bus.
 func NewCollector(
@@ -174,8 +187,29 @@ func (c *Collector) HandleProviderTx(m network.Message, sender Sender) (bool, er
 	if err != nil {
 		return false, fmt.Errorf("collector %s label: %w", c.member.ID, err)
 	}
+	if c.tracer != nil {
+		c.tracer.Emit(trace.Span{
+			Trace: signed.ID().String(),
+			Stage: trace.StageLabel,
+			Node:  string(c.member.ID),
+			Round: c.round,
+			Attrs: []trace.Attr{
+				{Key: "label", Value: strconv.Itoa(int(reaction.Label))},
+				{Key: "honest", Value: strconv.Itoa(int(honest))},
+			},
+		})
+	}
 	if err := sender.Multicast(c.member.ID, c.governorIDs, network.KindCollectorTx, labeled.EncodeBytes()); err != nil {
 		return false, fmt.Errorf("collector %s upload: %w", c.member.ID, err)
+	}
+	if c.tracer != nil {
+		c.tracer.Emit(trace.Span{
+			Trace: signed.ID().String(),
+			Stage: trace.StageUpload,
+			Node:  string(c.member.ID),
+			Round: c.round,
+			Attrs: []trace.Attr{{Key: "governors", Value: strconv.Itoa(len(c.governorIDs))}},
+		})
 	}
 	c.uploaded++
 	return true, nil

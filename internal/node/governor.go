@@ -3,14 +3,22 @@ package node
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repchain/internal/crypto"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
+	"repchain/internal/metrics"
 	"repchain/internal/network"
 	"repchain/internal/reputation"
+	"repchain/internal/trace"
 	"repchain/internal/tx"
 )
+
+// drawWeightBuckets bound the screening draw-weight histogram. RWM
+// weights start at 1 and only decay multiplicatively, so the mass of
+// interest is (0, 1] with resolution near the top.
+var drawWeightBuckets = []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
 
 // GovernorConfig assembles a governor's dependencies.
 type GovernorConfig struct {
@@ -44,6 +52,14 @@ type GovernorConfig struct {
 	// fresh in-memory store. Pass a ledger.FileStore for a persistent
 	// replica that survives restarts.
 	Store ledger.Store
+	// Metrics, when non-nil, receives screening and reputation-delta
+	// metrics. All governors of one engine share a registry, so the
+	// per-collector counters aggregate alliance-wide.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives lifecycle spans (screen, pack,
+	// commit, argue, reputation). A nil tracer is free: every emission
+	// site guards on it before building a span.
+	Tracer *trace.Recorder
 }
 
 // GovernorStats counts a governor's screening activity.
@@ -127,6 +143,19 @@ type Governor struct {
 	processedArgues map[crypto.Hash]bool
 
 	stats GovernorStats
+
+	// tracer and round feed lifecycle spans; the engine advances round
+	// via SetRound at each round start.
+	tracer *trace.Recorder
+	round  uint64
+
+	// Pre-resolved per-collector screening counters (indexed by global
+	// collector index) and the draw-weight histogram; nil when no
+	// registry is configured, so the hot screening loop pays only a nil
+	// check with metrics off.
+	scrChecked   []*metrics.Counter
+	scrUnchecked []*metrics.Counter
+	drawWeight   *metrics.Histogram
 }
 
 // NewGovernor builds a governor from its configuration.
@@ -142,7 +171,7 @@ func NewGovernor(cfg GovernorConfig) (*Governor, error) {
 	if store == nil {
 		store = ledger.NewMemoryStore()
 	}
-	return &Governor{
+	g := &Governor{
 		cfg:             cfg,
 		table:           table,
 		store:           store,
@@ -152,8 +181,27 @@ func NewGovernor(cfg GovernorConfig) (*Governor, error) {
 		uncheckedByID:   make(map[crypto.Hash]*uncheckedEntry),
 		committedValid:  make(map[crypto.Hash]bool),
 		processedArgues: make(map[crypto.Hash]bool),
-	}, nil
+		tracer:          cfg.Tracer,
+	}
+	if cfg.Metrics != nil {
+		table.SetMetrics(cfg.Metrics)
+		checked := cfg.Metrics.CounterVec("screen.checked_total", "collector")
+		unchecked := cfg.Metrics.CounterVec("screen.unchecked_total", "collector")
+		n := cfg.Topology.Collectors()
+		g.scrChecked = make([]*metrics.Counter, n)
+		g.scrUnchecked = make([]*metrics.Counter, n)
+		for c := 0; c < n; c++ {
+			g.scrChecked[c] = checked.With(strconv.Itoa(c))
+			g.scrUnchecked[c] = unchecked.With(strconv.Itoa(c))
+		}
+		g.drawWeight = cfg.Metrics.Histogram("screen.draw_weight", drawWeightBuckets)
+	}
+	return g, nil
 }
+
+// SetRound tells the governor which protocol round is executing, for
+// span attribution only.
+func (g *Governor) SetRound(r uint64) { g.round = r }
 
 // ID returns the governor's node ID.
 func (g *Governor) ID() identity.NodeID { return g.cfg.Member.ID }
@@ -319,6 +367,15 @@ func (g *Governor) ProcessArgues() error {
 			continue
 		}
 		g.processedArgues[id] = true
+		if g.tracer != nil {
+			g.tracer.Emit(trace.Span{
+				Trace: id.String(),
+				Stage: trace.StageArgue,
+				Node:  string(g.cfg.Member.ID),
+				Round: g.round,
+				Attrs: []trace.Attr{{Key: "serial", Value: strconv.FormatUint(a.Serial, 10)}},
+			})
+		}
 
 		status := tx.StatusInvalid
 		if g.cfg.Validator.Validate(a.Signed.Tx) {
@@ -337,8 +394,22 @@ func (g *Governor) ProcessArgues() error {
 		// unchecked entry (it knows who reported what).
 		if entry, ok := g.uncheckedByID[id]; ok && !entry.revealed {
 			if len(entry.reports) > 0 {
-				if _, err := g.table.RecordRevealed(entry.provider, entry.reports, status); err != nil {
+				res, err := g.table.RecordRevealed(entry.provider, entry.reports, status)
+				if err != nil {
 					return fmt.Errorf("governor %s argue reveal: %w", g.cfg.Member.ID, err)
+				}
+				if g.tracer != nil {
+					g.tracer.Emit(trace.Span{
+						Trace: id.String(),
+						Stage: trace.StageReputation,
+						Node:  string(g.cfg.Member.ID),
+						Round: g.round,
+						Attrs: []trace.Attr{
+							{Key: "kind", Value: "reveal"},
+							{Key: "gamma", Value: strconv.FormatFloat(res.Gamma, 'g', 6, 64)},
+							{Key: "loss", Value: strconv.FormatFloat(res.Loss, 'g', 6, 64)},
+						},
+					})
 				}
 			}
 			entry.revealed = true
@@ -373,12 +444,49 @@ func (g *Governor) ScreenRound() ([]ledger.Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("governor %s screen: %w", g.cfg.Member.ID, err)
 		}
+		if g.drawWeight != nil {
+			if w, werr := g.table.Weight(grp.provider, dec.Collector); werr == nil {
+				g.drawWeight.Observe(w)
+			}
+			if dec.Check {
+				g.scrChecked[dec.Collector].Inc()
+			} else {
+				g.scrUnchecked[dec.Collector].Inc()
+			}
+		}
+		if g.tracer != nil {
+			g.tracer.Emit(trace.Span{
+				Trace: grp.signed.ID().String(),
+				Stage: trace.StageScreen,
+				Node:  string(g.cfg.Member.ID),
+				Round: g.round,
+				Attrs: []trace.Attr{
+					{Key: "collector", Value: strconv.Itoa(dec.Collector)},
+					{Key: "checked", Value: strconv.FormatBool(dec.Check)},
+					{Key: "prob", Value: strconv.FormatFloat(dec.Prob, 'g', 6, 64)},
+					{Key: "label", Value: strconv.Itoa(int(dec.Label))},
+				},
+			})
+		}
 		if dec.Check {
 			g.stats.Checked++
 			valid := g.cfg.Validator.Validate(grp.signed.Tx)
 			status := tx.StatusFor(valid)
 			if err := g.table.RecordChecked(grp.provider, grp.reports, status); err != nil {
 				return nil, fmt.Errorf("governor %s checked update: %w", g.cfg.Member.ID, err)
+			}
+			if g.tracer != nil {
+				g.tracer.Emit(trace.Span{
+					Trace: grp.signed.ID().String(),
+					Stage: trace.StageReputation,
+					Node:  string(g.cfg.Member.ID),
+					Round: g.round,
+					Attrs: []trace.Attr{
+						{Key: "kind", Value: "checked"},
+						{Key: "status", Value: strconv.Itoa(int(status))},
+						{Key: "reports", Value: strconv.Itoa(len(grp.reports))},
+					},
+				})
 			}
 			if g.cfg.SilenceDecay {
 				if err := g.table.RecordSilence(grp.provider, grp.reports); err != nil {
@@ -481,6 +589,21 @@ func (g *Governor) BuildBlock(records []ledger.Record) (ledger.Block, error) {
 		return ledger.Block{}, fmt.Errorf("governor %s build block: %w", g.cfg.Member.ID, err)
 	}
 	b.SignAs(g.cfg.Member.ID, g.cfg.Member.PrivateKey)
+	if g.tracer != nil {
+		for _, rec := range b.Records {
+			g.tracer.Emit(trace.Span{
+				Trace: rec.Signed.ID().String(),
+				Stage: trace.StagePack,
+				Node:  string(g.cfg.Member.ID),
+				Round: g.round,
+				Attrs: []trace.Attr{
+					{Key: "serial", Value: strconv.FormatUint(b.Serial, 10)},
+					{Key: "status", Value: strconv.Itoa(int(rec.Status))},
+					{Key: "unchecked", Value: strconv.FormatBool(rec.Unchecked)},
+				},
+			})
+		}
+	}
 	return b, nil
 }
 
@@ -528,6 +651,18 @@ func (g *Governor) AcceptBlock(b ledger.Block, leader identity.NodeID, leaderPub
 	for _, rec := range b.Records {
 		if rec.Status == tx.StatusValid {
 			g.committedValid[rec.Signed.ID()] = true
+		}
+		if g.tracer != nil {
+			g.tracer.Emit(trace.Span{
+				Trace: rec.Signed.ID().String(),
+				Stage: trace.StageCommit,
+				Node:  string(g.cfg.Member.ID),
+				Round: g.round,
+				Attrs: []trace.Attr{
+					{Key: "serial", Value: strconv.FormatUint(b.Serial, 10)},
+					{Key: "status", Value: strconv.Itoa(int(rec.Status))},
+				},
+			})
 		}
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
 	"repchain/internal/network"
+	"repchain/internal/trace"
 	"repchain/internal/tx"
 )
 
@@ -44,7 +45,18 @@ type Provider struct {
 	// status (valid, or invalid-and-confirmed).
 	settledValid   int
 	settledInvalid int
+
+	// tracer and round feed lifecycle spans (sign); both are optional.
+	tracer *trace.Recorder
+	round  uint64
 }
+
+// SetTracer attaches a span recorder; nil detaches.
+func (p *Provider) SetTracer(r *trace.Recorder) { p.tracer = r }
+
+// SetRound tells the provider which round its next submissions belong
+// to, for span attribution only.
+func (p *Provider) SetRound(r uint64) { p.round = r }
 
 // NewProvider wires a provider node to the bus.
 func NewProvider(member identity.Member, ep *network.Endpoint, collectors, governors []identity.NodeID) *Provider {
@@ -82,6 +94,15 @@ func (p *Provider) Submit(kind string, payload []byte, isValid bool, timestamp i
 	id := signed.ID()
 	p.truth[id] = isValid
 	p.pending[id] = signed
+	if p.tracer != nil {
+		p.tracer.Emit(trace.Span{
+			Trace: id.String(),
+			Stage: trace.StageSign,
+			Node:  string(p.member.ID),
+			Round: p.round,
+			Attrs: []trace.Attr{{Key: "kind", Value: kind}},
+		})
+	}
 	if err := sender.Multicast(p.member.ID, p.collectorIDs, network.KindProviderTx, signed.EncodeBytes()); err != nil {
 		return tx.SignedTx{}, fmt.Errorf("provider %s submit: %w", p.member.ID, err)
 	}

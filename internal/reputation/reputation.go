@@ -31,6 +31,7 @@ import (
 	"math/rand"
 
 	"repchain/internal/identity"
+	"repchain/internal/metrics"
 	"repchain/internal/rwm"
 	"repchain/internal/tx"
 )
@@ -128,6 +129,44 @@ type Table struct {
 
 	misreport []float64
 	forge     []float64
+
+	m tableMetrics
+}
+
+// tableMetrics holds the optional pre-resolved delta counters a table
+// reports through. All fields nil when no registry is attached; every
+// update site guards with a single nil check, so the paper-exact
+// update rules run identically with metrics on or off.
+type tableMetrics struct {
+	forgePenalties *metrics.Counter
+	misreportUp    *metrics.Counter
+	misreportDown  *metrics.Counter
+	reveals        *metrics.Counter
+	betaDecays     *metrics.Counter
+	gammaDecays    *metrics.Counter
+	revealLoss     *metrics.Series
+	revealGamma    *metrics.Series
+}
+
+// SetMetrics attaches delta counters for every Algorithm 3 update to
+// reg. Counters aggregate across all tables sharing the registry (one
+// per governor), giving the alliance-wide reputation movement. Purely
+// observational: no update rule changes.
+func (t *Table) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		t.m = tableMetrics{}
+		return
+	}
+	t.m = tableMetrics{
+		forgePenalties: reg.Counter("reputation.forge_penalties_total"),
+		misreportUp:    reg.Counter("reputation.misreport_up_total"),
+		misreportDown:  reg.Counter("reputation.misreport_down_total"),
+		reveals:        reg.Counter("reputation.reveals_total"),
+		betaDecays:     reg.Counter("reputation.beta_decays_total"),
+		gammaDecays:    reg.Counter("reputation.gamma_decays_total"),
+		revealLoss:     reg.Series("reputation.reveal_loss"),
+		revealGamma:    reg.Series("reputation.reveal_gamma"),
+	}
 }
 
 // NewTable creates the reputation state for a governor observing the
@@ -303,6 +342,9 @@ func (t *Table) RecordForgery(c int) error {
 		return fmt.Errorf("collector %d: %w", c, ErrUnknownCollector)
 	}
 	t.forge[c]--
+	if t.m.forgePenalties != nil {
+		t.m.forgePenalties.Inc()
+	}
 	return nil
 }
 
@@ -317,8 +359,14 @@ func (t *Table) RecordChecked(k int, reports []Report, status tx.Status) error {
 	for _, r := range reports {
 		if r.Label.Matches(status) {
 			t.misreport[r.Collector]++
+			if t.m.misreportUp != nil {
+				t.m.misreportUp.Inc()
+			}
 		} else {
 			t.misreport[r.Collector]--
+			if t.m.misreportDown != nil {
+				t.m.misreportDown.Inc()
+			}
 		}
 	}
 	return nil
@@ -348,6 +396,9 @@ func (t *Table) RecordSilence(k int, reports []Report) error {
 	for pos := range reported {
 		if !reported[pos] {
 			in.SetWeight(pos, in.Weight(pos)*t.params.Beta)
+			if t.m.betaDecays != nil {
+				t.m.betaDecays.Inc()
+			}
 		}
 	}
 	return nil
@@ -386,6 +437,19 @@ func (t *Table) RecordRevealed(k int, reports []Report, status tx.Status) (Revea
 	res, err := in.Reveal(outcomes)
 	if err != nil {
 		return RevealResult{}, fmt.Errorf("provider %d reveal: %w", k, err)
+	}
+	if t.m.reveals != nil {
+		t.m.reveals.Inc()
+		for _, o := range outcomes {
+			switch o {
+			case rwm.OutcomeWrong:
+				t.m.gammaDecays.Inc()
+			case rwm.OutcomeAbsent:
+				t.m.betaDecays.Inc()
+			}
+		}
+		t.m.revealLoss.Observe(res.Loss)
+		t.m.revealGamma.Observe(res.Gamma)
 	}
 	return RevealResult{Loss: res.Loss, Gamma: res.Gamma}, nil
 }

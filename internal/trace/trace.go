@@ -1,0 +1,186 @@
+// Package trace records end-to-end transaction lifecycle spans in a
+// fixed-capacity ring buffer. A trace ID is the hex hash of the signed
+// transaction, so the same transaction can be followed across the
+// provider → collector → governor hops without any coordination: each
+// node derives the ID locally from the bytes it already has.
+//
+// The recorder is deliberately passive. It never consumes protocol
+// randomness, never blocks, and in deterministic mode never reads the
+// wall clock — spans carry (round, seq) for ordering instead — so
+// enabling tracing cannot perturb the byte-identical replay guarantees
+// the parallel pipeline and the chaos matrix depend on.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Lifecycle stage names. The set mirrors the protocol's data path:
+// a provider signs, a collector labels and uploads, governors screen,
+// the leader is elected, records are packed into a block, replicas
+// commit it, and reputation updates land.
+const (
+	StageSign       = "sign"
+	StageLabel      = "label"
+	StageUpload     = "upload"
+	StageScreen     = "screen"
+	StageElect      = "elect"
+	StagePack       = "pack"
+	StageCommit     = "commit"
+	StageArgue      = "argue"
+	StageReputation = "reputation"
+)
+
+// Attr is one key/value annotation on a span. A slice (not a map)
+// keeps JSON output order deterministic.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Span is one recorded lifecycle event. Trace is the hex transaction
+// hash ("" for round-scoped spans such as elect). Seq is a recorder-
+// assigned monotone sequence number; Wall is unix nanoseconds and
+// stays 0 in deterministic mode.
+type Span struct {
+	Trace string `json:"trace,omitempty"`
+	Stage string `json:"stage"`
+	Node  string `json:"node,omitempty"`
+	Round uint64 `json:"round"`
+	Seq   uint64 `json:"seq"`
+	Wall  int64  `json:"wall_ns,omitempty"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Recorder is a fixed-capacity ring buffer of spans. A nil *Recorder
+// is a valid disabled recorder: every method is nil-safe and Emit on
+// nil is a single branch, so instrumented code needs no guards.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Span
+	start   int // index of oldest span
+	n       int // live spans
+	seq     uint64
+	dropped uint64
+	wall    bool
+}
+
+// NewRecorder returns a recorder holding at most capacity spans;
+// older spans are evicted as new ones arrive. capacity <= 0 yields a
+// nil (disabled) recorder.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Recorder{buf: make([]Span, capacity)}
+}
+
+// EnableWallClock makes subsequent spans carry wall-clock timestamps.
+// Only the TCP runtime turns this on; deterministic simulations leave
+// it off so traces replay byte-identically.
+func (r *Recorder) EnableWallClock() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.wall = true
+	r.mu.Unlock()
+}
+
+// Emit records one span, assigning its sequence number. Safe to call
+// on a nil recorder (no-op).
+func (r *Recorder) Emit(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	s.Seq = r.seq
+	if r.wall {
+		s.Wall = time.Now().UnixNano()
+	}
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = s
+		r.n++
+	} else {
+		r.buf[r.start] = s
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of buffered spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many spans were evicted by ring wraparound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Spans returns a copy of the buffered spans, oldest first.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// ByTrace returns the buffered spans whose trace ID matches id
+// exactly, or — when id is at least 8 hex chars but shorter than a
+// full hash — by prefix, oldest first. Round-scoped spans ("" trace)
+// never match.
+func (r *Recorder) ByTrace(id string) []Span {
+	if r == nil || id == "" {
+		return nil
+	}
+	var out []Span
+	for _, s := range r.Spans() {
+		if s.Trace == "" {
+			continue
+		}
+		if s.Trace == id || (len(id) >= 8 && len(id) < len(s.Trace) && s.Trace[:len(id)] == id) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes spans as JSON Lines, oldest first. If traceID is
+// non-empty only matching spans are written.
+func (r *Recorder) WriteJSONL(w io.Writer, traceID string) error {
+	var spans []Span
+	if traceID == "" {
+		spans = r.Spans()
+	} else {
+		spans = r.ByTrace(traceID)
+	}
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

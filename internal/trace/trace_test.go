@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(Span{Stage: StageSign})
+	r.EnableWallClock()
+	if r.Len() != 0 || r.Dropped() != 0 || r.Spans() != nil || r.ByTrace("deadbeef") != nil {
+		t.Fatal("nil recorder should be inert")
+	}
+	if NewRecorder(0) != nil || NewRecorder(-1) != nil {
+		t.Fatal("non-positive capacity should yield a nil recorder")
+	}
+	var sb strings.Builder
+	if err := r.WriteJSONL(&sb, ""); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil WriteJSONL: err=%v out=%q", err, sb.String())
+	}
+}
+
+func TestRecorderSequencesAndOrders(t *testing.T) {
+	r := NewRecorder(8)
+	r.Emit(Span{Trace: "aaaa", Stage: StageSign})
+	r.Emit(Span{Trace: "aaaa", Stage: StageCommit})
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("Len = %d, want 2", len(spans))
+	}
+	if spans[0].Seq != 1 || spans[1].Seq != 2 {
+		t.Fatalf("Seq = %d,%d, want 1,2", spans[0].Seq, spans[1].Seq)
+	}
+	if spans[0].Wall != 0 || spans[1].Wall != 0 {
+		t.Fatal("wall clock must stay 0 unless EnableWallClock was called")
+	}
+}
+
+func TestRecorderRingEvicts(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Span{Trace: "t", Round: uint64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped())
+	}
+	spans := r.Spans()
+	if spans[0].Round != 2 || spans[2].Round != 4 {
+		t.Fatalf("ring kept wrong spans: %+v", spans)
+	}
+}
+
+func TestByTracePrefix(t *testing.T) {
+	r := NewRecorder(8)
+	full := "0123456789abcdef0123456789abcdef"
+	r.Emit(Span{Trace: full, Stage: StageSign})
+	r.Emit(Span{Stage: StageElect}) // round-scoped, no trace
+	r.Emit(Span{Trace: "ffff56789abcdef0", Stage: StageSign})
+
+	if got := r.ByTrace(full); len(got) != 1 {
+		t.Fatalf("exact match found %d spans", len(got))
+	}
+	if got := r.ByTrace(full[:8]); len(got) != 1 || got[0].Trace != full {
+		t.Fatalf("8-char prefix found %v", got)
+	}
+	// Short prefixes are too ambiguous to match.
+	if got := r.ByTrace(full[:4]); got != nil {
+		t.Fatalf("4-char prefix should not match, found %v", got)
+	}
+	if got := r.ByTrace(""); got != nil {
+		t.Fatal("empty id should match nothing")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewRecorder(8)
+	r.Emit(Span{Trace: "aaaabbbb", Stage: StageSign, Node: "provider/0", Attrs: []Attr{{Key: "kind", Value: "orders"}}})
+	r.Emit(Span{Trace: "ccccdddd", Stage: StageCommit})
+	var sb strings.Builder
+	if err := r.WriteJSONL(&sb, "aaaabbbb"); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(sb.String())
+	if strings.Count(out, "\n") != 0 {
+		t.Fatalf("want exactly one line, got:\n%s", out)
+	}
+	for _, want := range []string{`"trace":"aaaabbbb"`, `"stage":"sign"`, `"k":"kind"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSONL missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestEnableWallClock(t *testing.T) {
+	r := NewRecorder(2)
+	r.EnableWallClock()
+	r.Emit(Span{Trace: "x"})
+	if r.Spans()[0].Wall == 0 {
+		t.Fatal("wall clock enabled but span has no timestamp")
+	}
+}

@@ -155,6 +155,17 @@ func (ep *Endpoint) ID() identity.NodeID { return ep.self }
 // frames_received, dials, retries, send_failures, auth_failures.
 func (ep *Endpoint) Metrics() *metrics.Registry { return ep.reg }
 
+// UseMetrics replaces the endpoint's registry with a shared one, so
+// several endpoints in one process (the -demo alliance) aggregate into
+// a single exposition. Call before any traffic flows; counters are
+// resolved by name on use, so earlier counts simply stay in the old
+// registry.
+func (ep *Endpoint) UseMetrics(reg *metrics.Registry) {
+	if reg != nil {
+		ep.reg = reg
+	}
+}
+
 // SetRetryPolicy replaces the delivery policy (zero fields fall back
 // to the default). Call before the first Send.
 func (ep *Endpoint) SetRetryPolicy(p RetryPolicy) {

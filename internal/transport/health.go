@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Health aggregates governor chain heights for readiness probes. In
+// the TCP runtime there is no engine-side failure detector, so
+// readiness is defined from what the probes can actually see: a
+// majority quorum of governors reporting a committed height of at
+// least one block.
+type Health struct {
+	mu        sync.Mutex
+	governors int
+	heights   map[string]uint64
+}
+
+// NewHealth tracks an alliance with the given governor count.
+func NewHealth(governors int) *Health {
+	return &Health{governors: governors, heights: make(map[string]uint64)}
+}
+
+// SetHeight records governor id's current chain height. Nil-safe so
+// runtime loops can report unconditionally.
+func (h *Health) SetHeight(id string, height uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.heights[id] = height
+	h.mu.Unlock()
+}
+
+// Ready reports whether a majority of governors have committed at
+// least one block, with a human-readable detail line — the shape the
+// admin /readyz endpoint wants.
+func (h *Health) Ready() (bool, string) {
+	if h == nil {
+		return true, "ok"
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	committed := 0
+	minH, maxH := uint64(0), uint64(0)
+	first := true
+	for _, height := range h.heights {
+		if height >= 1 {
+			committed++
+		}
+		if first || height < minH {
+			minH = height
+		}
+		if height > maxH {
+			maxH = height
+		}
+		first = false
+	}
+	quorum := h.governors/2 + 1
+	ok := committed >= quorum
+	detail := fmt.Sprintf("governors=%d reporting=%d committed=%d quorum=%d height_min=%d height_max=%d",
+		h.governors, len(h.heights), committed, quorum, minH, maxH)
+	if ok {
+		return true, "ok " + detail
+	}
+	return false, "not ready " + detail
+}

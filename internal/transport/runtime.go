@@ -13,9 +13,11 @@ import (
 	"repchain/internal/crypto"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
+	"repchain/internal/metrics"
 	"repchain/internal/network"
 	"repchain/internal/node"
 	"repchain/internal/reputation"
+	"repchain/internal/trace"
 	"repchain/internal/tx"
 )
 
@@ -123,6 +125,15 @@ type RuntimeConfig struct {
 	// Retry tunes frame delivery; zero fields fall back to
 	// DefaultRetryPolicy.
 	Retry RetryPolicy
+	// Metrics, when non-nil, replaces the endpoint's private registry
+	// and receives node-level metrics, so one admin endpoint can expose
+	// every node a process hosts.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives lifecycle spans from this node.
+	Tracer *trace.Recorder
+	// Health, when non-nil, receives governor chain heights after each
+	// round for the /readyz probe.
+	Health *Health
 }
 
 // Report summarizes a node's run.
@@ -228,12 +239,15 @@ func runProvider(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 	}
 	governorIDs := idsOf(cfg.Deployment.NodesByRole("governor"))
 	prov := node.NewProvider(mem, nil, linked, governorIDs)
+	prov.SetTracer(cfg.Tracer)
+	ep.UseMetrics(cfg.Metrics)
 	ep.SetRetryPolicy(cfg.Retry)
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(spec.Index)))
 
 	report := Report{Role: "provider"}
 	sender := frameSender{ep: ep, failures: &report.SendFailures}
 	for round := uint64(1); round <= uint64(cfg.Rounds); round++ {
+		prov.SetRound(round)
 		sleepUntil(cfg.Clock.at(round, 0))
 		for i := 0; i < cfg.TxPerRound; i++ {
 			valid := rng.Float64() < cfg.ValidFrac
@@ -284,11 +298,14 @@ func runCollector(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 	}
 	governorIDs := idsOf(cfg.Deployment.NodesByRole("governor"))
 	coll := node.NewCollector(mem, nil, im, cfg.Validator, node.HonestBehavior{}, governorIDs, cfg.Seed+int64(100+spec.Index))
+	coll.SetTracer(cfg.Tracer)
+	ep.UseMetrics(cfg.Metrics)
 	ep.SetRetryPolicy(cfg.Retry)
 
 	report := Report{Role: "collector"}
 	sender := frameSender{ep: ep, failures: &report.SendFailures}
 	for round := uint64(1); round <= uint64(cfg.Rounds); round++ {
+		coll.SetRound(round)
 		sleepUntil(cfg.Clock.at(round, phaseUpload))
 		for _, m := range toNetworkMessages(ep.Receive()) {
 			sent, err := coll.HandleProviderTx(m, sender)
@@ -341,6 +358,8 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 		ArgueWindow: 64,
 		Seed:        cfg.Seed + int64(200+spec.Index),
 		Store:       store,
+		Metrics:     cfg.Metrics,
+		Tracer:      cfg.Tracer,
 	})
 	if err != nil {
 		return Report{}, err
@@ -378,15 +397,39 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			stakes[i] = 1
 		}
 	}
+	ep.UseMetrics(cfg.Metrics)
 	ep.SetRetryPolicy(cfg.Retry)
 
 	// Resume round numbering from a persisted chain (all governors in
 	// a deployment must restart together so their heights agree).
 	baseRound := gov.Store().Height()
+	cfg.Health.SetHeight(string(cfg.ID), baseRound)
 	report := Report{Role: "governor"}
 	sender := frameSender{ep: ep, failures: &report.SendFailures}
+
+	// Stage latency histograms measure the active work between the
+	// schedule's sleeps, not the sleeps themselves. In demo mode the
+	// registry is shared, so samples from every governor merge.
+	var screenH, electH, packH, commitH *metrics.Histogram
+	var heightG *metrics.Gauge
+	if cfg.Metrics != nil {
+		stages := cfg.Metrics.HistogramVec("round.stage_seconds", metrics.DefBuckets, "stage")
+		screenH = stages.With("screen")
+		electH = stages.With("elect")
+		packH = stages.With("pack")
+		commitH = stages.With("commit")
+		heightG = cfg.Metrics.Gauge("chain.height")
+	}
+	observe := func(h *metrics.Histogram, start time.Time) time.Time {
+		now := time.Now()
+		if h != nil {
+			h.Observe(now.Sub(start).Seconds())
+		}
+		return now
+	}
 	for r := uint64(1); r <= uint64(cfg.Rounds); r++ {
 		round := baseRound + r
+		gov.SetRound(round)
 		// Screen the round's uploads and argues.
 		sleepUntil(cfg.Clock.at(r, phaseScreen))
 		ticketsFrom := make(map[int][]consensus.Ticket)
@@ -414,6 +457,7 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			}
 			return nil
 		}
+		stageStart := time.Now()
 		if err := drain(); err != nil {
 			return report, err
 		}
@@ -424,6 +468,7 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 		if err != nil {
 			return report, err
 		}
+		stageStart = observe(screenH, stageStart)
 
 		// Broadcast leader-election tickets over the previous block.
 		prevHash := crypto.ZeroHash
@@ -437,6 +482,7 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 
 		// Collect tickets and elect.
 		sleepUntil(cfg.Clock.at(r, phaseElect))
+		stageStart = time.Now()
 		if err := drain(); err != nil {
 			return report, err
 		}
@@ -454,6 +500,15 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 		if err != nil {
 			return report, err
 		}
+		stageStart = observe(electH, stageStart)
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(trace.Span{
+				Stage: trace.StageElect,
+				Node:  string(mem.ID),
+				Round: round,
+				Attrs: []trace.Attr{{Key: "leader", Value: string(governorIDs[leader])}},
+			})
+		}
 
 		// The leader proposes; everyone adopts.
 		if leader == spec.Index {
@@ -465,8 +520,10 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			if err := sender.Multicast(mem.ID, targets, network.KindBlock, block.EncodeBytes()); err != nil {
 				return report, err
 			}
+			observe(packH, stageStart)
 		}
 		sleepUntil(cfg.Clock.at(r, phaseAdopt))
+		stageStart = time.Now()
 		for _, f := range ep.Receive() {
 			m := network.Message{From: f.From, Kind: f.Kind, Payload: f.Payload}
 			if consumed, err := gov.HandleMessage(m); err != nil {
@@ -484,6 +541,12 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			if err := gov.AcceptBlock(b, governorIDs[leader], govPubs[leader]); err != nil {
 				return report, err
 			}
+		}
+		observe(commitH, stageStart)
+		height := gov.Store().Height()
+		cfg.Health.SetHeight(string(cfg.ID), height)
+		if heightG != nil {
+			heightG.Set(float64(height))
 		}
 		report.Rounds++
 	}

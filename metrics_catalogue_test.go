@@ -1,0 +1,72 @@
+// Drift test for the observability docs: every metric name registered
+// anywhere in the codebase must be listed in DESIGN.md §4c's metric
+// catalogue, so the docs cannot silently fall behind the code.
+package repchain_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var metricCallRe = regexp.MustCompile(`\.(Counter|Gauge|Series|CounterVec|Histogram|HistogramVec)\(\s*"([a-z0-9_.]+)"`)
+
+func TestMetricNamesDocumented(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	catalogue := string(design)
+
+	names := map[string][]string{} // metric name → files registering it
+	err = filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// The metrics package itself and testdata register no
+			// product metrics; .git is noise.
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			if filepath.ToSlash(path) == "internal/metrics" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricCallRe.FindAllStringSubmatch(string(src), -1) {
+			names[m[2]] = append(names[m[2]], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no metric registrations found — scanner regex broken?")
+	}
+
+	var missing []string
+	for name := range names {
+		if !strings.Contains(catalogue, "`"+name+"`") && !strings.Contains(catalogue, name) {
+			missing = append(missing, name+" (registered in "+strings.Join(names[name], ", ")+")")
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Fatalf("metric names missing from the DESIGN.md §4c catalogue:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

@@ -37,8 +37,10 @@ import (
 	"repchain/internal/crypto"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
+	"repchain/internal/metrics"
 	"repchain/internal/node"
 	"repchain/internal/reputation"
+	"repchain/internal/trace"
 	"repchain/internal/tx"
 )
 
@@ -199,6 +201,21 @@ func WithWorkers(n int) Option {
 func WithSilenceDecay() Option {
 	return func(o *options) error {
 		o.cfg.SilenceDecay = true
+		return nil
+	}
+}
+
+// WithTracing records every transaction's lifecycle — sign, label,
+// upload, screen, elect, pack, commit, argue, reputation update — into
+// an in-memory ring buffer of the given span capacity. Tracing is
+// purely observational: it consumes no protocol randomness and rounds
+// stay byte-identical with it on or off. Zero capacity disables it.
+func WithTracing(capacity int) Option {
+	return func(o *options) error {
+		if capacity < 0 {
+			return fmt.Errorf("trace capacity %d: %w", capacity, ErrBadOption)
+		}
+		o.cfg.TraceCapacity = capacity
 		return nil
 	}
 }
@@ -422,6 +439,24 @@ func (c *Chain) Close() error { return c.engine.Close() }
 // counters and signature-cache statistics — one per line, sorted by
 // name.
 func (c *Chain) Metrics() string { return c.engine.Metrics().Dump() }
+
+// MetricsSnapshot returns the chain's metrics as a structured,
+// JSON-serialisable snapshot (counters, gauges, histograms, series).
+func (c *Chain) MetricsSnapshot() metrics.Snapshot { return c.engine.Metrics().Snapshot() }
+
+// Span re-exports one recorded lifecycle event (see WithTracing).
+type Span = trace.Span
+
+// Trace returns the recorded lifecycle spans of one transaction,
+// oldest first. Empty without WithTracing, or if the spans have been
+// evicted from the ring buffer.
+func (c *Chain) Trace(id TxID) []Span {
+	return c.engine.Tracer().ByTrace(id.String())
+}
+
+// Spans returns every span currently in the trace ring buffer, oldest
+// first. Empty without WithTracing.
+func (c *Chain) Spans() []Span { return c.engine.Tracer().Spans() }
 
 // Engine exposes the underlying engine for advanced use (experiments,
 // fault injection).
