@@ -3,7 +3,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: all ci build test test-short race vet fmt-check bench bench-round experiments examples demo clean
+.PHONY: all ci build test test-short race vet fmt-check bench bench-round experiments examples demo apidiff clean
 
 all: build vet test race
 
@@ -51,6 +51,25 @@ examples:
 	$(GO) run ./examples/carsharing
 	$(GO) run ./examples/insurance
 	$(GO) run ./examples/adversary
+
+# Diff package repchain's exported API against a baseline commit
+# (default: previous commit) and report incompatible changes, mirroring
+# the CI apidiff job. Requires golang.org/x/exp/cmd/apidiff on PATH;
+# skips with a notice when absent so offline checkouts stay green.
+APIDIFF_BASE ?= HEAD^
+apidiff:
+	@if ! command -v apidiff >/dev/null 2>&1; then \
+		echo "apidiff not installed; skipping (go install golang.org/x/exp/cmd/apidiff@latest)"; \
+	else \
+		tmp="$$(mktemp -d)"; \
+		git worktree add --quiet "$$tmp/base" $(APIDIFF_BASE); \
+		(cd "$$tmp/base" && apidiff -w "$$tmp/repchain.base" repchain); \
+		apidiff -incompatible "$$tmp/repchain.base" repchain | tee "$$tmp/report.txt"; \
+		status=0; [ -s "$$tmp/report.txt" ] && status=1; \
+		git worktree remove --force "$$tmp/base"; \
+		rm -rf "$$tmp"; \
+		exit $$status; \
+	fi
 
 # Full alliance over loopback TCP.
 demo:

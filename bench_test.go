@@ -188,4 +188,56 @@ func BenchmarkFullProtocolRound(b *testing.B) {
 			}
 		})
 	}
+
+	// The same workload through the sharded mempool (DESIGN.md §4d):
+	// submissions stage into 4 bounded shards and each round drains at
+	// most one BlockLimit-sized batch, so BENCH_round.json also records
+	// the ingestion tier's drain-batch p95 and shed rate.
+	b.Run("mempool=4x256", func(b *testing.B) {
+		validator := repchain.ValidatorFunc(func(t repchain.Transaction) bool {
+			return len(t.Payload) > 0 && t.Payload[0] == 1
+		})
+		chain, err := repchain.New(
+			repchain.WithTopology(8, 4, 2),
+			repchain.WithGovernors(3),
+			repchain.WithValidator(validator),
+			repchain.WithSeed(1),
+			repchain.WithMempool(4, 256),
+			repchain.WithBlockLimit(64),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const txPerRound = 32
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < txPerRound; j++ {
+				valid := j%4 != 3
+				payload := []byte{0, byte(j), byte(i), byte(i >> 8)}
+				if valid {
+					payload[0] = 1
+				}
+				if _, err := chain.Submit(j%8, "bench", payload, valid); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := chain.RunRound(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		snap := chain.MetricsSnapshot()
+		admitted := float64(snap.Counters["mempool.admitted_total"])
+		shed := float64(snap.Counters["mempool.shed_total"])
+		if admitted+shed > 0 {
+			b.ReportMetric(shed/(admitted+shed), "mempool-shed-rate")
+		}
+		if h, ok := snap.Histograms["mempool.drain_batch"]; ok && h.Count > 0 {
+			b.ReportMetric(h.Quantile(0.95), "drain-batch-p95")
+		}
+		b.ReportMetric(txPerRound, "tx/round")
+		if data, err := json.Marshal(snap); err == nil {
+			b.Logf("metrics-snapshot mempool=4x256 %s", data)
+		}
+	})
 }

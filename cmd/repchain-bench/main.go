@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiment IDs (E1..E10) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiment IDs (E1..E13) or 'all'")
 	seed := flag.Int64("seed", 42, "random seed for reproducible tables")
 	scale := flag.Int("scale", 1, "workload multiplier (>=1)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")

@@ -54,6 +54,12 @@ func main() {
 		retryCap     = flag.Duration("retry-cap", 0, "backoff ceiling (0 = default)")
 		dialTimeout  = flag.Duration("dial-timeout", 0, "per-dial timeout (0 = default)")
 		writeTimeout = flag.Duration("write-timeout", 0, "per-write timeout (0 = default)")
+
+		mempoolShards  = flag.Int("mempool-shards", 0, "governor mempool shards by provider (0 = legacy unbounded queue)")
+		mempoolCap     = flag.Int("mempool-cap", 0, "per-shard mempool capacity (0 = unbounded; full shards evict oldest)")
+		admissionFloor = flag.Float64("admission-floor", 0, "shed uploads from collectors whose reputation weight is below this floor (0 = off)")
+		blockLimit     = flag.Int("block-limit", 0, "transactions per block, b_limit (0 = unlimited)")
+		inflightLimit  = flag.Int("inflight-limit", 0, "max undrained frames held per peer (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -64,13 +70,29 @@ func main() {
 		DialTimeout:  *dialTimeout,
 		WriteTimeout: *writeTimeout,
 	}
-	if err := run(*rosterPath, *id, *demo, *rounds, *roundDur, *epoch, *txPerRound, *seed, *stateDir, *adminAddr, *traceCap, retry); err != nil {
+	pool := poolOptions{
+		mempoolShards:  *mempoolShards,
+		mempoolCap:     *mempoolCap,
+		admissionFloor: *admissionFloor,
+		blockLimit:     *blockLimit,
+		inflightLimit:  *inflightLimit,
+	}
+	if err := run(*rosterPath, *id, *demo, *rounds, *roundDur, *epoch, *txPerRound, *seed, *stateDir, *adminAddr, *traceCap, retry, pool); err != nil {
 		fmt.Fprintln(os.Stderr, "repchain-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, epochStr string, txPerRound int, seed int64, stateDir, adminAddr string, traceCap int, retry transport.RetryPolicy) error {
+// poolOptions bundles the mempool / backpressure flags.
+type poolOptions struct {
+	mempoolShards  int
+	mempoolCap     int
+	admissionFloor float64
+	blockLimit     int
+	inflightLimit  int
+}
+
+func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, epochStr string, txPerRound int, seed int64, stateDir, adminAddr string, traceCap int, retry transport.RetryPolicy, pool poolOptions) error {
 	var deployment *transport.Deployment
 	if demo {
 		d, err := demoDeployment(seed)
@@ -106,6 +128,12 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 		Seed:       seed,
 		StateDir:   stateDir,
 		Retry:      retry,
+
+		MempoolShards:   pool.mempoolShards,
+		MempoolShardCap: pool.mempoolCap,
+		AdmissionFloor:  pool.admissionFloor,
+		BlockLimit:      pool.blockLimit,
+		InflightLimit:   pool.inflightLimit,
 	}
 
 	if adminAddr != "" {

@@ -13,7 +13,7 @@ func TestDemoAlliance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second wall-clock demo")
 	}
-	if err := run("", "", true, 2, 800*time.Millisecond, "", 2, 99, "", "127.0.0.1:0", 1024, transport.RetryPolicy{}); err != nil {
+	if err := run("", "", true, 2, 800*time.Millisecond, "", 2, 99, "", "127.0.0.1:0", 1024, transport.RetryPolicy{}, poolOptions{}); err != nil {
 		t.Fatalf("demo run error = %v", err)
 	}
 }
@@ -21,13 +21,13 @@ func TestDemoAlliance(t *testing.T) {
 func TestRunRequiresID(t *testing.T) {
 	// Without -demo, -id is mandatory; with a missing roster the
 	// loader must fail first.
-	if err := run("/nonexistent/roster.json", "governor/0", false, 1, time.Second, "", 1, 1, "", "", 0, transport.RetryPolicy{}); err == nil {
+	if err := run("/nonexistent/roster.json", "governor/0", false, 1, time.Second, "", 1, 1, "", "", 0, transport.RetryPolicy{}, poolOptions{}); err == nil {
 		t.Fatal("missing roster accepted")
 	}
 }
 
 func TestRunRejectsBadEpoch(t *testing.T) {
-	if err := run("", "", true, 1, time.Second, "not-a-time", 1, 1, "", "", 0, transport.RetryPolicy{}); err == nil {
+	if err := run("", "", true, 1, time.Second, "not-a-time", 1, 1, "", "", 0, transport.RetryPolicy{}, poolOptions{}); err == nil {
 		t.Fatal("bad epoch accepted")
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -16,13 +17,13 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "carsharing:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	rules := carshare.DefaultRules()
 	// 6 users, 4 drivers (driver 3 misreports half the time — a
 	// dishonest driver the reputation system should expose), 2
@@ -37,6 +38,7 @@ func run() error {
 			repchain.CollectorBehavior{},
 			repchain.CollectorBehavior{Misreport: 0.5},
 		),
+		repchain.WithMempool(6, 32), // one bounded shard per user
 		repchain.WithSeed(7),
 	)
 	if err != nil {
@@ -50,7 +52,8 @@ func run() error {
 	fmt.Println("== car-sharing alliance on RepChain ==")
 	for round := 1; round <= 5; round++ {
 		// Users submit ride requests; some are bogus (same zone,
-		// absurd fare) and should be filtered by the chain.
+		// absurd fare) and should be filtered by the chain. Each user
+		// stages their round's requests as one batch.
 		for i, rider := range riders {
 			req := carshare.RideRequest{
 				Rider:       rider,
@@ -62,12 +65,12 @@ func run() error {
 			if rng.Float64() < 0.2 { // a bogus request
 				req.Destination = req.Origin
 			}
-			valid := rules.Valid(req)
-			if _, err := chain.Submit(i, carshare.Kind, req.Encode(), valid); err != nil {
+			batch := []repchain.Tx{{Kind: carshare.Kind, Payload: req.Encode(), Valid: rules.Valid(req)}}
+			if _, err := chain.SubmitBatch(ctx, i, batch); err != nil {
 				return err
 			}
 		}
-		sum, err := chain.RunRound()
+		sum, err := chain.RunRoundCtx(ctx)
 		if err != nil {
 			return err
 		}

@@ -1,10 +1,12 @@
 // Command quickstart is the smallest end-to-end RepChain program: a
-// 4-provider / 4-collector / 3-governor alliance that submits a batch
-// of transactions, runs protocol rounds, and prints what each block
-// recorded.
+// 4-provider / 4-collector / 3-governor alliance that batch-submits
+// transactions through the sharded mempool, runs protocol rounds, and
+// prints what each block recorded.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 
@@ -12,7 +14,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
@@ -25,12 +27,13 @@ var validator = repchain.ValidatorFunc(func(t repchain.Transaction) bool {
 	return len(t.Payload) > 0 && t.Payload[0] == 1
 })
 
-func run() error {
+func run(ctx context.Context) error {
 	chain, err := repchain.New(
 		repchain.WithTopology(4, 4, 2), // 4 providers, 4 collectors, 2 collectors per provider
 		repchain.WithGovernors(3),
 		repchain.WithValidator(validator),
 		repchain.WithReputationParams(0.9, 0.5, 1.1, 2.0), // β, f, µ, ν — the paper's defaults
+		repchain.WithMempool(4, 64),                       // bounded per-provider shards; full = ErrBacklog
 		repchain.WithSeed(2024),
 	)
 	if err != nil {
@@ -38,21 +41,37 @@ func run() error {
 	}
 
 	fmt.Println("submitting 12 transactions (every third one invalid)...")
+	batches := make(map[int][]repchain.Tx, 4)
 	for i := 0; i < 12; i++ {
 		valid := i%3 != 2
 		payload := []byte{0, byte(i)}
 		if valid {
 			payload[0] = 1
 		}
-		id, err := chain.Submit(i%4, "quickstart/demo", payload, valid)
+		batches[i%4] = append(batches[i%4], repchain.Tx{
+			Kind:    "quickstart/demo",
+			Payload: payload,
+			Valid:   valid,
+		})
+	}
+	for provider := 0; provider < 4; provider++ {
+		ids, err := chain.SubmitBatch(ctx, provider, batches[provider])
+		if errors.Is(err, repchain.ErrBacklog) {
+			// The shard is full: ids holds the admitted prefix. A real
+			// ingester would run a round and resume from txs[len(ids)];
+			// here 3 tx per provider never fill a 64-slot shard.
+			return fmt.Errorf("unexpected backpressure after %d txs: %w", len(ids), err)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  provider %d -> tx %s (valid=%v)\n", i%4, id.Short(), valid)
+		for j, id := range ids {
+			fmt.Printf("  provider %d -> tx %s (valid=%v)\n", provider, id.Short(), batches[provider][j].Valid)
+		}
 	}
 
 	for round := 0; round < 3; round++ {
-		sum, err := chain.RunRound()
+		sum, err := chain.RunRoundCtx(ctx)
 		if err != nil {
 			return err
 		}

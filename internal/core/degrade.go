@@ -200,6 +200,7 @@ func (e *Engine) publishChaosMetrics() {
 	e.reg.Gauge("chaos.bus_duplicated").Set(float64(st.Duplicated))
 	e.reg.Gauge("chaos.bus_partition_dropped").Set(float64(st.PartitionDropped))
 	e.reg.Gauge("chaos.bus_down_dropped").Set(float64(st.DownDropped))
+	e.reg.Gauge("network.inflight_dropped").Set(float64(st.InflightDropped))
 }
 
 // abortable classifies an error from a round phase: message loss shows

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"repchain/internal/crypto"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
+	"repchain/internal/mempool"
 	"repchain/internal/metrics"
 	"repchain/internal/network"
 	"repchain/internal/node"
@@ -56,6 +58,15 @@ var (
 	// restart that does not apply (already down, already live, index out
 	// of range).
 	ErrNodeDown = errors.New("core: node down")
+	// ErrBacklog reports a submission rejected because the provider's
+	// ingress mempool shard is full — backpressure, not loss. Run a
+	// round to drain the backlog and resubmit.
+	ErrBacklog = errors.New("core: mempool backlog")
+	// ErrClosed reports an operation on a closed engine.
+	ErrClosed = errors.New("core: engine closed")
+	// ErrUnknownProvider reports a submission for a provider index
+	// outside the roster.
+	ErrUnknownProvider = errors.New("core: unknown provider")
 )
 
 // Config assembles an alliance chain.
@@ -114,6 +125,24 @@ type Config struct {
 	// changes no ordering — so any run stays byte-identical with it on
 	// or off. Zero disables tracing at zero hot-path cost.
 	TraceCapacity int
+	// MempoolShards enables the sharded ingress mempool: submissions
+	// are signed and staged in per-provider-shard bounded queues, and
+	// each round's collecting phase drains them in (shard, seq) order —
+	// capped at BlockLimit per round when a limit is set — before
+	// broadcasting. Zero keeps the legacy path (one unbounded queue,
+	// drained fully), which is byte-identical to broadcasting at
+	// submission time. The same setting shards every governor's upload
+	// mempool.
+	MempoolShards int
+	// MempoolShardCap bounds each ingress shard; a full shard rejects
+	// submissions with ErrBacklog. Governor-side shards instead evict
+	// their oldest pending transaction (counted, never silent). Zero
+	// means unbounded.
+	MempoolShardCap int
+	// AdmissionFloor makes every governor shed verified uploads from
+	// collectors whose draw-time reputation weight for the submitting
+	// provider is below the floor. Zero admits everything.
+	AdmissionFloor float64
 }
 
 // Engine is a running alliance chain.
@@ -165,7 +194,34 @@ type Engine struct {
 	// stakeCorruptor is a test hook making the next stake proposal
 	// lie; see CorruptNextStakeProposal.
 	stakeCorruptor proposalCorruptor
+
+	// ingress stages signed-but-unbroadcast submissions; each round's
+	// collecting phase drains it in (shard, seq) order. closed gates
+	// SubmitTx and RunRound after Close.
+	ingress *mempool.Pool[ingressTx]
+	closed  bool
+	// Ingress mempool observability: queue depth, admissions, and the
+	// per-round drain batch size.
+	mpDepth      *metrics.Gauge
+	mpAdmitted   *metrics.Counter
+	mpDrainBatch *metrics.Histogram
 }
+
+// ingressTx is one staged submission: the signing provider and the
+// signed transaction awaiting broadcast.
+type ingressTx struct {
+	provider int
+	signed   tx.SignedTx
+}
+
+// mempoolEnabled reports whether the sharded ingress path was
+// explicitly configured (versus the byte-identical legacy default).
+func (e *Engine) mempoolEnabled() bool { return e.cfg.MempoolShards > 0 }
+
+// drainBatchBuckets bound the mempool.drain_batch histogram:
+// powers-of-two batch sizes from single transactions up past any
+// realistic b_limit.
+var drainBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 // RoundResult summarizes one protocol round.
 type RoundResult struct {
@@ -190,6 +246,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Validator == nil {
 		return nil, fmt.Errorf("nil validator: %w", ErrBadConfig)
+	}
+	if cfg.MempoolShards < 0 {
+		return nil, fmt.Errorf("mempool shards %d: %w", cfg.MempoolShards, ErrBadConfig)
+	}
+	if cfg.MempoolShardCap < 0 {
+		return nil, fmt.Errorf("mempool shard cap %d: %w", cfg.MempoolShardCap, ErrBadConfig)
+	}
+	if cfg.AdmissionFloor < 0 || cfg.AdmissionFloor > 1 {
+		return nil, fmt.Errorf("admission floor %v: %w", cfg.AdmissionFloor, ErrBadConfig)
 	}
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -243,7 +308,11 @@ func New(cfg Config) (*Engine, error) {
 		reg:         metrics.NewRegistry(),
 		tracer:      trace.NewRecorder(cfg.TraceCapacity),
 	}
+	e.ingress = mempool.New[ingressTx](cfg.MempoolShards, cfg.MempoolShardCap)
 	e.stageSeconds = e.reg.HistogramVec("round.stage_seconds", metrics.DefBuckets, "stage")
+	e.mpDepth = e.reg.Gauge("mempool.depth")
+	e.mpAdmitted = e.reg.Counter("mempool.admitted_total")
+	e.mpDrainBatch = e.reg.Histogram("mempool.drain_batch", drainBatchBuckets)
 	e.collectorDown = make([]bool, topo.Collectors())
 	e.governorDown = make([]bool, cfg.Governors)
 	for _, g := range roster.Governors {
@@ -298,19 +367,22 @@ func New(cfg Config) (*Engine, error) {
 			store = fs
 		}
 		gov, err := node.NewGovernor(node.GovernorConfig{
-			Member:       mem,
-			Endpoint:     ep,
-			IM:           im,
-			Topology:     topo,
-			Params:       cfg.Params,
-			Validator:    cfg.Validator,
-			BlockLimit:   cfg.BlockLimit,
-			ArgueWindow:  cfg.ArgueWindow,
-			Seed:         cfg.Seed + int64(2000+j),
-			Store:        store,
-			SilenceDecay: cfg.SilenceDecay,
-			Metrics:      e.reg,
-			Tracer:       e.tracer,
+			Member:          mem,
+			Endpoint:        ep,
+			IM:              im,
+			Topology:        topo,
+			Params:          cfg.Params,
+			Validator:       cfg.Validator,
+			BlockLimit:      cfg.BlockLimit,
+			ArgueWindow:     cfg.ArgueWindow,
+			Seed:            cfg.Seed + int64(2000+j),
+			Store:           store,
+			SilenceDecay:    cfg.SilenceDecay,
+			MempoolShards:   cfg.MempoolShards,
+			MempoolShardCap: cfg.MempoolShardCap,
+			AdmissionFloor:  cfg.AdmissionFloor,
+			Metrics:         e.reg,
+			Tracer:          e.tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -351,9 +423,13 @@ func (e *Engine) reputationPath(j int) string {
 }
 
 // Close persists reputation state (when ChainDir is set) and releases
-// any file-backed governor stores. Engines with in-memory replicas
-// need no Close.
+// any file-backed governor stores. After Close, SubmitTx and RunRound
+// fail with ErrClosed; Close itself is idempotent.
 func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
 	var firstErr error
 	for j, g := range e.governors {
 		if e.cfg.ChainDir != "" {
@@ -478,13 +554,56 @@ func (e *Engine) publishCryptoMetrics() {
 	e.reg.Gauge("sigcache.hit_rate").Set(crypto.DefaultVerifyCache.HitRate())
 }
 
-// SubmitTx has provider k sign and broadcast a transaction during the
-// collecting phase. isValid is the provider's ground truth.
+// SubmitTx has provider k sign a transaction and stage it in the
+// ingress mempool; the next round's collecting phase broadcasts it.
+// isValid is the provider's ground truth. When the provider's shard is
+// full the submission is rejected with ErrBacklog before anything is
+// signed or recorded, so a backpressured caller can simply run a round
+// and resubmit — no provider state leaks.
 func (e *Engine) SubmitTx(k int, kind string, payload []byte, isValid bool) (tx.SignedTx, error) {
-	if k < 0 || k >= len(e.providers) {
-		return tx.SignedTx{}, fmt.Errorf("provider %d: %w", k, ErrBadConfig)
+	if e.closed {
+		return tx.SignedTx{}, fmt.Errorf("submit: %w", ErrClosed)
 	}
-	return e.providers[k].Submit(kind, payload, isValid, int64(e.bus.Now()), e.bus)
+	if k < 0 || k >= len(e.providers) {
+		return tx.SignedTx{}, fmt.Errorf("provider %d of %d: %w", k, len(e.providers), ErrUnknownProvider)
+	}
+	if !e.ingress.HasRoom(k) {
+		return tx.SignedTx{}, fmt.Errorf("provider %d ingress shard full (cap %d): %w", k, e.ingress.Cap(), ErrBacklog)
+	}
+	signed := e.providers[k].Sign(kind, payload, isValid, int64(e.bus.Now()))
+	if _, err := e.ingress.Add(k, ingressTx{provider: k, signed: signed}); err != nil {
+		return tx.SignedTx{}, err // unreachable after HasRoom; defensive
+	}
+	e.mpAdmitted.Inc()
+	e.mpDepth.Set(float64(e.ingress.Len()))
+	return signed, nil
+}
+
+// MempoolDepth reports how many staged submissions await the next
+// round's drain.
+func (e *Engine) MempoolDepth() int { return e.ingress.Len() }
+
+// drainIngress broadcasts a batch of staged submissions in (shard,
+// seq) order — the same total order at any worker count, and with the
+// legacy single-shard configuration exactly the submission order, so
+// bus sequence numbers match the old broadcast-at-submit path byte for
+// byte. With the sharded mempool enabled and a block limit set, the
+// batch is capped at BlockLimit; the rest stays queued for later
+// rounds.
+func (e *Engine) drainIngress() error {
+	max := 0
+	if e.mempoolEnabled() {
+		max = e.cfg.BlockLimit
+	}
+	batch := e.ingress.Drain(max)
+	for _, it := range batch {
+		if err := e.providers[it.provider].Broadcast(it.signed, e.bus); err != nil {
+			return err
+		}
+	}
+	e.mpDrainBatch.Observe(float64(len(batch)))
+	e.mpDepth.Set(float64(e.ingress.Len()))
+	return nil
 }
 
 // SubmitStakeTransfer queues a signed stake transfer from governor
@@ -563,23 +682,55 @@ func (e *Engine) pumpGovernors() ([][]network.Message, error) {
 // its election or every copy of the block fails with the recoverable
 // ErrRoundAborted, leaving all replicas unchanged.
 func (e *Engine) RunRound() (RoundResult, error) {
-	res, err := e.runRound()
+	return e.RunRoundCtx(context.Background())
+}
+
+// RunRoundCtx is RunRound with cancellation. The context is checked
+// only at boundaries where abandoning the round leaves every replica
+// consistent: before ingress drain, after resync but before the round
+// counter advances, and after uploads land but before screening. Once
+// screening starts the round runs to completion — aborting mid-screen
+// would lose reputation updates that uploads already triggered.
+// Cancellation surfaces as the context's error (use errors.Is against
+// context.Canceled / DeadlineExceeded).
+func (e *Engine) RunRoundCtx(ctx context.Context) (RoundResult, error) {
+	if e.closed {
+		return RoundResult{}, fmt.Errorf("run round: %w", ErrClosed)
+	}
+	res, err := e.runRoundCtx(ctx)
 	if abortable(err) {
 		e.reg.Counter("chaos.rounds_aborted").Inc()
 	}
 	return res, err
 }
 
-func (e *Engine) runRound() (RoundResult, error) {
-	// Bring every live replica to a common head first: a governor that
+func (e *Engine) runRoundCtx(ctx context.Context) (RoundResult, error) {
+	if err := ctx.Err(); err != nil {
+		return RoundResult{}, err
+	}
+	// Broadcast staged submissions first, at the same bus tick the
+	// pre-mempool engine broadcast them at submit time (the tick only
+	// advances inside rounds), so legacy configurations stay
+	// byte-identical on the wire.
+	stageStart := time.Now()
+	if err := e.drainIngress(); err != nil {
+		return RoundResult{}, err
+	}
+	stageStart = e.observeStage("ingest", stageStart)
+	// Bring every live replica to a common head next: a governor that
 	// rejoined after a crash or partition (or missed a block to drops)
 	// catches up here, so this round's election and proposal build on
 	// one prev-hash.
-	stageStart := time.Now()
 	if err := e.resyncGovernors(); err != nil {
 		return RoundResult{}, err
 	}
 	stageStart = e.observeStage("resync", stageStart)
+	if err := ctx.Err(); err != nil {
+		// Safe abort: resync is idempotent and the round counter has
+		// not advanced; drained submissions are already on the bus and
+		// will be consumed by the next round.
+		return RoundResult{}, err
+	}
 	e.round++
 	// Round attribution for spans only: setters touch one plain field
 	// per node, before any fan-out starts.
@@ -621,6 +772,11 @@ func (e *Engine) runRound() (RoundResult, error) {
 	}
 	e.bus.AdvancePastDelay() // collector uploads land
 	stageStart = e.observeStage("upload", stageStart)
+	if err := ctx.Err(); err != nil {
+		// Last safe abort point: uploads are on the bus but no governor
+		// has consumed them, so the next round screens them intact.
+		return RoundResult{}, err
+	}
 
 	// --- Processing phase: screening ---
 	if _, err := e.pumpGovernors(); err != nil {

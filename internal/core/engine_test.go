@@ -457,8 +457,8 @@ func TestRevenueSharesFavourHonestUnderAdversaries(t *testing.T) {
 
 func TestSubmitTxValidation(t *testing.T) {
 	e := newTestEngine(t, defaultConfig())
-	if _, err := e.SubmitTx(99, "k", nil, true); !errors.Is(err, ErrBadConfig) {
-		t.Fatalf("SubmitTx(99) error = %v, want ErrBadConfig", err)
+	if _, err := e.SubmitTx(99, "k", nil, true); !errors.Is(err, ErrUnknownProvider) {
+		t.Fatalf("SubmitTx(99) error = %v, want ErrUnknownProvider", err)
 	}
 	if err := e.SubmitStakeTransfer(-1, 0, 1); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("SubmitStakeTransfer(-1) error = %v, want ErrBadConfig", err)

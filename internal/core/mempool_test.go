@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// mempoolConfig enables the sharded mempool with a block limit small
+// enough that multi-round carryover actually happens in the traces.
+func mempoolConfig() Config {
+	cfg := defaultConfig()
+	cfg.MempoolShards = 4
+	cfg.MempoolShardCap = 64
+	cfg.BlockLimit = 8
+	return cfg
+}
+
+// runMempoolTrace mirrors runTrace with the sharded mempool enabled:
+// submissions are staged, drained in (shard, seq) order, and capped at
+// BlockLimit per round, so every round after the first screens a mix of
+// fresh and carried-over transactions.
+func runMempoolTrace(t *testing.T, seed int64, workers, rounds int) roundTrace {
+	t.Helper()
+	cfg := mempoolConfig()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	cfg.Stakes = []uint64{3, 2, 1}
+	e := newTestEngine(t, cfg)
+	var tr roundTrace
+	for r := 0; r < rounds; r++ {
+		submitRound(t, e, 12, r, 3)
+		res, err := e.RunRound()
+		if err != nil {
+			t.Fatalf("seed %d workers %d round %d: %v", seed, workers, r, err)
+		}
+		tr.hashes = append(tr.hashes, res.Block.Hash())
+		tr.leaders = append(tr.leaders, res.Leader)
+	}
+	tr.stakes = e.StakeLedger().Snapshot()
+	for j := 0; j < e.Governors(); j++ {
+		tr.snapshots = append(tr.snapshots, e.Governor(j).Table().Snapshot())
+	}
+	return tr
+}
+
+// TestMempoolParallelDeterminism extends the determinism gate to the
+// sharded, block-limited configuration: drain order is a pure function
+// of the submission sequence, so traces stay byte-identical at any
+// worker count even while the mempool carries backlog across rounds.
+func TestMempoolParallelDeterminism(t *testing.T) {
+	const rounds = 5
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			want := runMempoolTrace(t, seed, 1, rounds)
+			got := runMempoolTrace(t, seed, 4, rounds)
+			for r := range want.hashes {
+				if got.hashes[r] != want.hashes[r] {
+					t.Fatalf("workers=4 round %d block hash %s, sequential %s",
+						r, got.hashes[r].Short(), want.hashes[r].Short())
+				}
+				if got.leaders[r] != want.leaders[r] {
+					t.Fatalf("workers=4 round %d leader %d, sequential %d",
+						r, got.leaders[r], want.leaders[r])
+				}
+			}
+			for j := range want.snapshots {
+				if !bytes.Equal(got.snapshots[j], want.snapshots[j]) {
+					t.Fatalf("workers=4 governor %d reputation snapshot diverged", j)
+				}
+			}
+		})
+	}
+}
+
+// TestMempoolBackpressure pins the ErrBacklog contract: a full shard
+// rejects before the provider signs anything, a round drains the shard,
+// and the retried submission then succeeds — with no gap or reuse in
+// the provider's sequence numbers.
+func TestMempoolBackpressure(t *testing.T) {
+	cfg := mempoolConfig()
+	cfg.MempoolShardCap = 2
+	e := newTestEngine(t, cfg)
+	providers := e.Roster().Topology.Providers()
+	// With 4 providers and 4 shards, provider 0 alone fills shard 0.
+	var lastSeq uint64
+	for i := 0; i < 2; i++ {
+		signed, err := e.SubmitTx(0, "test/tx", payloadFor(true, i), true)
+		if err != nil {
+			t.Fatalf("fill submit %d: %v", i, err)
+		}
+		lastSeq = signed.Tx.Seq
+	}
+	_, err := e.SubmitTx(0, "test/tx", payloadFor(true, 99), true)
+	if !errors.Is(err, ErrBacklog) {
+		t.Fatalf("submit to full shard error = %v, want ErrBacklog", err)
+	}
+	// Sibling shards are unaffected.
+	if providers > 1 {
+		if _, err := e.SubmitTx(1, "test/tx", payloadFor(true, 3), true); err != nil {
+			t.Fatalf("sibling shard submit: %v", err)
+		}
+	}
+	if _, err := e.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	if e.MempoolDepth() != 0 {
+		t.Fatalf("MempoolDepth() = %d after drain, want 0", e.MempoolDepth())
+	}
+	signed, err := e.SubmitTx(0, "test/tx", payloadFor(true, 100), true)
+	if err != nil {
+		t.Fatalf("retry after drain: %v", err)
+	}
+	// The rejected submission must not have consumed a sequence number:
+	// a leak here would fork provider state across retry paths.
+	if signed.Tx.Seq != lastSeq+1 {
+		t.Fatalf("provider seq %d after rejected submit, want %d (no gap)", signed.Tx.Seq, lastSeq+1)
+	}
+}
+
+// TestMempoolCarryover checks that a drain capped at BlockLimit leaves
+// the tail queued and that later rounds commit it.
+func TestMempoolCarryover(t *testing.T) {
+	cfg := mempoolConfig()
+	cfg.BlockLimit = 4
+	e := newTestEngine(t, cfg)
+	submitRound(t, e, 10, 0, 0)
+	if e.MempoolDepth() != 10 {
+		t.Fatalf("MempoolDepth() = %d, want 10", e.MempoolDepth())
+	}
+	res, err := e.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Block.Records); n != 4 {
+		t.Fatalf("round 1 committed %d records, want BlockLimit=4", n)
+	}
+	if e.MempoolDepth() != 6 {
+		t.Fatalf("MempoolDepth() = %d after capped drain, want 6", e.MempoolDepth())
+	}
+	committed := 4
+	for r := 0; r < 3 && e.MempoolDepth() > 0; r++ {
+		res, err := e.RunRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed += len(res.Block.Records)
+	}
+	if committed != 10 {
+		t.Fatalf("committed %d of 10 submissions across rounds", committed)
+	}
+}
+
+// TestEngineClosed pins ErrClosed on both the submit and round paths.
+func TestEngineClosed(t *testing.T) {
+	e := newTestEngine(t, defaultConfig())
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close() = %v, want idempotent nil", err)
+	}
+	if _, err := e.SubmitTx(0, "test/tx", payloadFor(true, 0), true); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitTx after Close = %v, want ErrClosed", err)
+	}
+	if _, err := e.RunRound(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RunRound after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestRunRoundCtxCancel checks the documented safe-abort contract: a
+// pre-cancelled context stops the round before any state changes, and
+// the engine commits the staged traffic intact on the next (uncancelled)
+// round.
+func TestRunRoundCtxCancel(t *testing.T) {
+	e := newTestEngine(t, defaultConfig())
+	ids := submitRound(t, e, 8, 0, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunRoundCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunRoundCtx = %v, want context.Canceled", err)
+	}
+	if e.Round() != 0 {
+		t.Fatalf("round counter advanced to %d on cancelled entry", e.Round())
+	}
+	res, err := e.RunRoundCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Block.Records) != len(ids) {
+		t.Fatalf("post-cancel round committed %d records, want %d", len(res.Block.Records), len(ids))
+	}
+}
+
+// TestNewMempoolValidation covers the new config fields' validation.
+func TestNewMempoolValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative shards", func(c *Config) { c.MempoolShards = -1 }},
+		{"negative shard cap", func(c *Config) { c.MempoolShardCap = -8 }},
+		{"floor below zero", func(c *Config) { c.AdmissionFloor = -0.1 }},
+		{"floor above one", func(c *Config) { c.AdmissionFloor = 1.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := defaultConfig()
+			tt.mutate(&cfg)
+			if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("New() error = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}

@@ -91,6 +91,7 @@ var registry = map[string]Runner{
 	"E10": E10BetaAblation,
 	"E11": E11TurncoatAttack,
 	"E12": E12TheoremFour,
+	"E13": E13MempoolBackpressure,
 }
 
 // IDs returns all experiment identifiers in order.

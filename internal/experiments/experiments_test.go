@@ -29,7 +29,7 @@ func cellF(t *testing.T, tbl Table, row int, col string) float64 {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs() = %v", ids)
 	}
@@ -317,7 +317,7 @@ func TestRunAllSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 12 {
+	if len(tables) != 13 {
 		t.Fatalf("RunAll returned %d tables", len(tables))
 	}
 	for _, tbl := range tables {

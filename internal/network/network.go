@@ -114,6 +114,9 @@ type Stats struct {
 	// DownDropped counts messages lost because the sender or the
 	// recipient was marked down.
 	DownDropped int64
+	// InflightDropped counts messages dropped because the recipient's
+	// pending queue was at the inflight limit (SetInflightLimit).
+	InflightDropped int64
 	// SentByKind breaks Sent down per message kind.
 	SentByKind map[string]int64
 	// BytesByKind sums payload bytes sent per message kind (payload
@@ -160,6 +163,7 @@ type Bus struct {
 	down      map[identity.NodeID]bool
 	stats     Stats
 	closed    bool
+	inflight  int
 }
 
 // NewBus creates a bus with the given maximum delivery delay Δ in
@@ -183,6 +187,21 @@ func (b *Bus) SetDelayFunc(f DelayFunc) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.delayFn = f
+}
+
+// SetInflightLimit caps every recipient's pending queue at n messages;
+// a send to a full queue drops the new message and counts it in
+// Stats.InflightDropped. Zero (the default) keeps queues unbounded.
+// The cap is deterministic: a drop depends only on the recipient's
+// queue depth at send time, which is a pure function of the send/drain
+// sequence, so capped runs replay identically at any worker count.
+func (b *Bus) SetInflightLimit(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	b.inflight = n
 }
 
 // SetDropFunc installs a drop hook for fault-injection tests.
@@ -311,11 +330,19 @@ func (b *Bus) multicast(from identity.NodeID, to []identity.NodeID, kind string,
 		if delay > b.maxDelay {
 			delay = b.maxDelay
 		}
+		if b.inflight > 0 && ep.Pending() >= b.inflight {
+			b.stats.InflightDropped++
+			continue
+		}
 		dm := m
 		dm.DeliverAt = b.now + delay
 		ep.enqueue(dm)
 		if b.dupFn != nil {
 			for extra := b.dupFn(m, dst); extra > 0; extra-- {
+				if b.inflight > 0 && ep.Pending() >= b.inflight {
+					b.stats.InflightDropped++
+					continue
+				}
 				b.stats.Duplicated++
 				ep.enqueue(dm)
 			}

@@ -266,3 +266,41 @@ func BenchmarkMulticast16(b *testing.B) {
 		}
 	}
 }
+
+func TestInflightLimitDropsNewest(t *testing.T) {
+	b, eps := newBusWith(t, 0, 2)
+	b.SetInflightLimit(2)
+	for i := 0; i < 4; i++ {
+		if err := b.Send(id(0), id(1), "k", []byte{byte(i)}); err != nil {
+			t.Fatalf("Send(%d) error = %v", i, err)
+		}
+	}
+	if got := b.Stats().InflightDropped; got != 2 {
+		t.Fatalf("InflightDropped = %d, want 2", got)
+	}
+	msgs := eps[1].Receive()
+	if len(msgs) != 2 {
+		t.Fatalf("Receive() returned %d messages, want the 2 oldest", len(msgs))
+	}
+	// The oldest messages survive; the newest are shed.
+	if msgs[0].Payload[0] != 0 || msgs[1].Payload[0] != 1 {
+		t.Fatalf("surviving payloads %d, %d, want 0, 1", msgs[0].Payload[0], msgs[1].Payload[0])
+	}
+	// Draining frees the queue for new sends.
+	if err := b.Send(id(0), id(1), "k", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eps[1].Receive(); len(got) != 1 || got[0].Payload[0] != 9 {
+		t.Fatalf("post-drain Receive() = %v", got)
+	}
+	// Zero disables the cap again.
+	b.SetInflightLimit(0)
+	for i := 0; i < 10; i++ {
+		if err := b.Send(id(0), id(1), "k", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Stats().InflightDropped; got != 2 {
+		t.Fatalf("InflightDropped moved to %d with cap disabled", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repchain/internal/crypto"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
+	"repchain/internal/mempool"
 	"repchain/internal/metrics"
 	"repchain/internal/network"
 	"repchain/internal/reputation"
@@ -52,6 +53,22 @@ type GovernorConfig struct {
 	// fresh in-memory store. Pass a ledger.FileStore for a persistent
 	// replica that survives restarts.
 	Store ledger.Store
+	// MempoolShards shards the governor's upload mempool by provider
+	// index. Zero keeps the legacy single unbounded queue, which drains
+	// fully every round — byte-identical to the pre-mempool pipeline.
+	MempoolShards int
+	// MempoolShardCap bounds each mempool shard (0 = unbounded). A full
+	// shard evicts its oldest pending transaction to admit the new one;
+	// evictions are counted in mempool.evicted_total.
+	MempoolShardCap int
+	// AdmissionFloor sheds uploads whose (provider, collector)
+	// reputation weight — the same signal the screen.draw_weight
+	// histogram observes — has decayed below the floor. Zero admits
+	// everything. Weights live in (0, 1] and start at 1, so a fresh
+	// table sheds nothing at any floor ≤ 1; the floor only bites once
+	// the mechanism has learned to distrust a collector. Shed decisions
+	// depend solely on deterministic table state, never on schedule.
+	AdmissionFloor float64
 	// Metrics, when non-nil, receives screening and reputation-delta
 	// metrics. All governors of one engine share a registry, so the
 	// per-collector counters aggregate alliance-wide.
@@ -91,6 +108,13 @@ type GovernorStats struct {
 	// the collector uploaded nothing — silence, as distinct from the
 	// misreports counted through the reputation table.
 	SilentReports int
+	// ShedReports counts verified uploads rejected by the admission
+	// floor (the uploader's weight for that provider was below
+	// AdmissionFloor).
+	ShedReports int
+	// EvictedTxs counts pending transactions evicted from a full
+	// mempool shard to admit newer arrivals.
+	EvictedTxs int
 }
 
 // uncheckedEntry tracks one (tx, invalid, unchecked) record awaiting
@@ -102,13 +126,14 @@ type uncheckedEntry struct {
 	revealed bool
 }
 
-// groupedTx accumulates the round's reports for one transaction.
+// groupedTx accumulates the pending reports for one transaction. The
+// screening order lives in the governor's mempool, not here: the pool
+// holds each pending transaction's ID in (shard, seq) position.
 type groupedTx struct {
 	signed   tx.SignedTx
 	provider int
 	reports  []reputation.Report
 	labels   map[int]tx.Label // collector -> label, for equivocation detection
-	order    int              // arrival order for deterministic iteration
 }
 
 // Governor is a governor g_j: it screens uploaded transactions with
@@ -121,9 +146,10 @@ type Governor struct {
 	store ledger.Store
 	rng   *rand.Rand
 
-	// round state: transactions grouped by ID, in arrival order.
+	// pending ingestion state: transactions grouped by ID, with the
+	// deterministic (shard, seq) screening order kept in pool.
 	groups map[crypto.Hash]*groupedTx
-	ngroup int
+	pool   *mempool.Pool[crypto.Hash]
 	argues []ArgueMsg
 
 	// pendingRecords carries argue re-validations and block-limit
@@ -156,6 +182,9 @@ type Governor struct {
 	scrChecked   []*metrics.Counter
 	scrUnchecked []*metrics.Counter
 	drawWeight   *metrics.Histogram
+	// Mempool admission counters; nil without a registry.
+	mpShed    *metrics.Counter
+	mpEvicted *metrics.Counter
 }
 
 // NewGovernor builds a governor from its configuration.
@@ -171,12 +200,19 @@ func NewGovernor(cfg GovernorConfig) (*Governor, error) {
 	if store == nil {
 		store = ledger.NewMemoryStore()
 	}
+	if cfg.MempoolShards < 0 {
+		return nil, fmt.Errorf("governor %s: mempool shards %d must be non-negative", cfg.Member.ID, cfg.MempoolShards)
+	}
+	if cfg.AdmissionFloor < 0 || cfg.AdmissionFloor > 1 {
+		return nil, fmt.Errorf("governor %s: admission floor %v outside [0, 1]", cfg.Member.ID, cfg.AdmissionFloor)
+	}
 	g := &Governor{
 		cfg:             cfg,
 		table:           table,
 		store:           store,
 		rng:             rand.New(rand.NewSource(cfg.Seed)),
 		groups:          make(map[crypto.Hash]*groupedTx),
+		pool:            mempool.New[crypto.Hash](cfg.MempoolShards, cfg.MempoolShardCap),
 		unchecked:       make(map[int][]*uncheckedEntry),
 		uncheckedByID:   make(map[crypto.Hash]*uncheckedEntry),
 		committedValid:  make(map[crypto.Hash]bool),
@@ -195,6 +231,8 @@ func NewGovernor(cfg GovernorConfig) (*Governor, error) {
 			g.scrUnchecked[c] = unchecked.With(strconv.Itoa(c))
 		}
 		g.drawWeight = cfg.Metrics.Histogram("screen.draw_weight", drawWeightBuckets)
+		g.mpShed = cfg.Metrics.Counter("mempool.shed_total")
+		g.mpEvicted = cfg.Metrics.Counter("mempool.evicted_total")
 	}
 	return g, nil
 }
@@ -301,16 +339,45 @@ func (g *Governor) acceptUpload(m network.Message) error {
 		return penalize()
 	}
 
+	// Admission control: a verified upload from a collector this
+	// governor has learned to distrust for this provider is shed before
+	// it costs mempool space or screening work. The weight is the same
+	// draw-time signal screening observes; the comparison reads only
+	// deterministic table state.
+	if g.cfg.AdmissionFloor > 0 && collectorIdx >= 0 && collectorIdx < g.table.Collectors() {
+		if w, werr := g.table.Weight(providerIdx, collectorIdx); werr == nil && w < g.cfg.AdmissionFloor {
+			g.stats.ShedReports++
+			if g.mpShed != nil {
+				g.mpShed.Inc()
+			}
+			return nil
+		}
+	}
+
 	id := labeled.ID()
 	grp, ok := g.groups[id]
 	if !ok {
+		// New pending transaction: take a mempool slot in the
+		// provider's shard. A full shard evicts its oldest pending
+		// transaction (and that transaction's accumulated reports) to
+		// admit the newer arrival.
+		if !g.pool.HasRoom(providerIdx) {
+			if old, ok := g.pool.EvictOldest(providerIdx); ok {
+				delete(g.groups, old)
+				g.stats.EvictedTxs++
+				if g.mpEvicted != nil {
+					g.mpEvicted.Inc()
+				}
+			}
+		}
+		if _, err := g.pool.Add(providerIdx, id); err != nil {
+			return fmt.Errorf("governor %s mempool: %w", g.cfg.Member.ID, err)
+		}
 		grp = &groupedTx{
 			signed:   labeled.Signed,
 			provider: providerIdx,
 			labels:   make(map[int]tx.Label),
-			order:    g.ngroup,
 		}
-		g.ngroup++
 		g.groups[id] = grp
 	}
 	if prev, dup := grp.labels[collectorIdx]; dup {
@@ -420,23 +487,34 @@ func (g *Governor) ProcessArgues() error {
 	return nil
 }
 
-// ScreenRound runs Algorithm 2 over the round's grouped transactions
-// and returns the records destined for the next block, including any
-// pending carryover. Reputation updates (cases 2 and 3) happen
-// inline.
+// ScreenRound runs Algorithm 2 over a batch drained from the
+// governor's mempool and returns the records destined for the next
+// block, including any pending carryover. Reputation updates (cases 2
+// and 3) happen inline.
+//
+// The drain is the determinism pivot: entries come out in (shard, seq)
+// order — a pure function of upload arrival order, which the bus fixes
+// by sequence number — so screening consumes the governor's RNG stream
+// identically at any worker count. With an explicitly sharded mempool
+// and a block limit, the drain is capped at BlockLimit so each round
+// screens one block-sized batch and the backlog carries over; the
+// legacy configuration drains everything, exactly as the pre-mempool
+// pipeline did.
 func (g *Governor) ScreenRound() ([]ledger.Record, error) {
-	// Deterministic iteration: sort groups by arrival order.
-	ordered := make([]*groupedTx, g.ngroup)
-	for _, grp := range g.groups {
-		ordered[grp.order] = grp
+	max := 0
+	if g.cfg.MempoolShards > 0 {
+		max = g.cfg.BlockLimit
 	}
+	batch := g.pool.Drain(max)
 	records := g.pendingRecords
 	g.pendingRecords = nil
 
-	for _, grp := range ordered {
-		if grp == nil {
+	for _, id := range batch {
+		grp, ok := g.groups[id]
+		if !ok {
 			continue
 		}
+		delete(g.groups, id)
 		if silent := len(g.cfg.Topology.CollectorsOf(grp.provider)) - len(grp.reports); silent > 0 {
 			g.stats.SilentReports += silent
 		}
@@ -527,10 +605,12 @@ func (g *Governor) ScreenRound() ([]ledger.Record, error) {
 			return nil, err
 		}
 	}
-	g.groups = make(map[crypto.Hash]*groupedTx)
-	g.ngroup = 0
 	return records, nil
 }
+
+// MempoolDepth reports how many transactions await screening in the
+// governor's mempool.
+func (g *Governor) MempoolDepth() int { return g.pool.Len() }
 
 // expireOld reveals-as-invalid any unchecked transaction of provider k
 // buried under more than ArgueWindow newer unchecked transactions:

@@ -1,0 +1,190 @@
+package node
+
+import (
+	"strings"
+	"testing"
+
+	"repchain/internal/reputation"
+	"repchain/internal/tx"
+)
+
+// TestGovernorEvictOldestOnFullShard drives the eviction path directly:
+// with one-slot shards, a second transaction from the same provider
+// evicts the first (and its accumulated reports) instead of blocking.
+func TestGovernorEvictOldestOnFullShard(t *testing.T) {
+	fx := newFixtureOpts(t, nil, func(cfg *GovernorConfig) {
+		cfg.MempoolShards = 2
+		cfg.MempoolShardCap = 1
+	})
+	first := fx.runUpload(t, 0, true)
+	if got := fx.governor.MempoolDepth(); got != 1 {
+		t.Fatalf("MempoolDepth() = %d after first upload, want 1", got)
+	}
+	second := fx.runUpload(t, 0, true)
+	stats := fx.governor.Stats()
+	if stats.EvictedTxs != 1 {
+		t.Fatalf("EvictedTxs = %d, want 1", stats.EvictedTxs)
+	}
+	if got := fx.governor.MempoolDepth(); got != 1 {
+		t.Fatalf("MempoolDepth() = %d after eviction, want 1", got)
+	}
+	// Screening sees only the survivor.
+	recs, err := fx.governor.ScreenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("ScreenRound returned %d records, want 1", len(recs))
+	}
+	if id := recs[0].Signed.ID(); id != second.ID() {
+		t.Fatalf("screened %s, want the surviving tx %s (evicted %s)",
+			id.Short(), second.ID().Short(), first.ID().Short())
+	}
+}
+
+// TestGovernorAdmissionFloorSheds decays a (provider, collector) weight
+// below the floor and checks that subsequent verified uploads from the
+// distrusted collectors are shed — counted, never queued.
+func TestGovernorAdmissionFloorSheds(t *testing.T) {
+	fx := newFixtureOpts(t, nil, func(cfg *GovernorConfig) {
+		cfg.MempoolShards = 2
+		cfg.AdmissionFloor = 0.5
+	})
+	// Fresh weights are 1, so nothing sheds at floor 0.5.
+	fx.runUpload(t, 0, true)
+	if s := fx.governor.Stats(); s.ShedReports != 0 {
+		t.Fatalf("ShedReports = %d on fresh table, want 0", s.ShedReports)
+	}
+	if got := fx.governor.MempoolDepth(); got != 1 {
+		t.Fatalf("MempoolDepth() = %d, want 1", got)
+	}
+	// Decay provider 0's collector weights below the floor: a
+	// RecordSilence multiplies every absent linked collector by β=0.9,
+	// and 0.9^7 ≈ 0.478 < 0.5. Alternate the present reporter so both
+	// collectors decay.
+	for i := 0; i < 7; i++ {
+		for c := 0; c < 2; c++ {
+			present := []reputation.Report{{Collector: 1 - c, Label: tx.LabelValid}}
+			if err := fx.governor.Table().RecordSilence(0, present); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	w, err := fx.governor.Table().Weight(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w >= 0.5 {
+		t.Fatalf("decayed weight %v not below floor", w)
+	}
+	fx.runUpload(t, 0, true)
+	s := fx.governor.Stats()
+	if s.ShedReports != 2 { // both linked collectors' uploads shed
+		t.Fatalf("ShedReports = %d after decay, want 2", s.ShedReports)
+	}
+	if got := fx.governor.MempoolDepth(); got != 1 {
+		t.Fatalf("MempoolDepth() = %d, want 1 (shed tx never queued)", got)
+	}
+	// Provider 1's weights are untouched: its uploads still admit.
+	fx.runUpload(t, 1, true)
+	if got := fx.governor.Stats().ShedReports; got != 2 {
+		t.Fatalf("ShedReports = %d after trusted upload, want still 2", got)
+	}
+	if got := fx.governor.MempoolDepth(); got != 2 {
+		t.Fatalf("MempoolDepth() = %d, want 2", got)
+	}
+}
+
+// TestGovernorMempoolConfigValidation checks the constructor rejects
+// out-of-range mempool settings with errors naming the field.
+func TestGovernorMempoolConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*GovernorConfig)
+		want   string
+	}{
+		{"negative shards", func(c *GovernorConfig) { c.MempoolShards = -1 }, "mempool shards"},
+		{"floor above one", func(c *GovernorConfig) { c.AdmissionFloor = 1.01 }, "admission floor"},
+		{"negative floor", func(c *GovernorConfig) { c.AdmissionFloor = -0.5 }, "admission floor"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("fixture panicked: %v", r)
+				}
+			}()
+			seedCfg := func(cfg *GovernorConfig) { tt.mutate(cfg) }
+			err := tryNewGovernor(t, seedCfg)
+			if err == nil {
+				t.Fatal("NewGovernor accepted invalid mempool config")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not name %q", err, tt.want)
+			}
+		})
+	}
+}
+
+// tryNewGovernor builds a governor config the way newFixtureOpts does
+// but returns the constructor error instead of failing the test.
+func tryNewGovernor(t *testing.T, mutate func(*GovernorConfig)) error {
+	t.Helper()
+	fx := newFixture(t, nil) // valid baseline fixture for roster/bus
+	cfg := fx.governor.cfg
+	mutate(&cfg)
+	_, err := NewGovernor(cfg)
+	return err
+}
+
+// TestGovernorLegacyDrainsFully pins the backward-compatible default:
+// with MempoolShards zero the pool is one unbounded shard and
+// ScreenRound drains it completely regardless of BlockLimit.
+func TestGovernorLegacyDrainsFully(t *testing.T) {
+	fx := newFixtureOpts(t, nil, func(cfg *GovernorConfig) {
+		cfg.BlockLimit = 1
+	})
+	fx.runUpload(t, 0, true)
+	fx.runUpload(t, 1, true)
+	fx.runUpload(t, 0, false)
+	recs, err := fx.governor.ScreenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("legacy ScreenRound returned %d records, want all 3", len(recs))
+	}
+	if fx.governor.MempoolDepth() != 0 {
+		t.Fatalf("MempoolDepth() = %d after legacy drain, want 0", fx.governor.MempoolDepth())
+	}
+}
+
+// TestGovernorShardedDrainCapped pins the sharded behavior: the drain
+// is capped at BlockLimit and the backlog carries to the next round.
+func TestGovernorShardedDrainCapped(t *testing.T) {
+	fx := newFixtureOpts(t, nil, func(cfg *GovernorConfig) {
+		cfg.MempoolShards = 2
+		cfg.BlockLimit = 2
+	})
+	for i := 0; i < 4; i++ {
+		fx.runUpload(t, i%2, true)
+	}
+	recs, err := fx.governor.ScreenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("capped ScreenRound returned %d records, want 2", len(recs))
+	}
+	if fx.governor.MempoolDepth() != 2 {
+		t.Fatalf("MempoolDepth() = %d, want 2 carried over", fx.governor.MempoolDepth())
+	}
+	recs, err = fx.governor.ScreenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || fx.governor.MempoolDepth() != 0 {
+		t.Fatalf("second ScreenRound returned %d records, depth %d; want 2 and 0",
+			len(recs), fx.governor.MempoolDepth())
+	}
+}

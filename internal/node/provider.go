@@ -77,11 +77,12 @@ func (p *Provider) ID() identity.NodeID { return p.member.ID }
 // Index returns the provider's index k.
 func (p *Provider) Index() int { return p.member.Index }
 
-// Submit signs and broadcasts a transaction to the provider's linked
-// collectors (broadcast_provider). isValid is the provider's own
-// ground truth, used later to decide argues. timestamp is the logical
-// or wall clock reading.
-func (p *Provider) Submit(kind string, payload []byte, isValid bool, timestamp int64, sender Sender) (tx.SignedTx, error) {
+// Sign builds and signs a transaction, recording the provider's ground
+// truth for later argue decisions, without broadcasting it. Callers
+// that stage transactions in a mempool sign at admission time and call
+// Broadcast at drain time, so the signature's timestamp reflects
+// submission while the network only sees drained batches.
+func (p *Provider) Sign(kind string, payload []byte, isValid bool, timestamp int64) tx.SignedTx {
 	p.seq++
 	t := tx.Transaction{
 		Provider:  p.member.ID,
@@ -103,8 +104,26 @@ func (p *Provider) Submit(kind string, payload []byte, isValid bool, timestamp i
 			Attrs: []trace.Attr{{Key: "kind", Value: kind}},
 		})
 	}
+	return signed
+}
+
+// Broadcast multicasts an already-signed transaction to the provider's
+// linked collectors (broadcast_provider).
+func (p *Provider) Broadcast(signed tx.SignedTx, sender Sender) error {
 	if err := sender.Multicast(p.member.ID, p.collectorIDs, network.KindProviderTx, signed.EncodeBytes()); err != nil {
-		return tx.SignedTx{}, fmt.Errorf("provider %s submit: %w", p.member.ID, err)
+		return fmt.Errorf("provider %s broadcast: %w", p.member.ID, err)
+	}
+	return nil
+}
+
+// Submit signs and immediately broadcasts a transaction to the
+// provider's linked collectors. isValid is the provider's own ground
+// truth, used later to decide argues. timestamp is the logical or wall
+// clock reading. Sign + Broadcast fused — the TCP runtime's path.
+func (p *Provider) Submit(kind string, payload []byte, isValid bool, timestamp int64, sender Sender) (tx.SignedTx, error) {
+	signed := p.Sign(kind, payload, isValid, timestamp)
+	if err := p.Broadcast(signed, sender); err != nil {
+		return tx.SignedTx{}, err
 	}
 	return signed, nil
 }

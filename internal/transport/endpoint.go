@@ -103,8 +103,10 @@ type Endpoint struct {
 	closed   bool
 	listener net.Listener
 
-	inboxMu sync.Mutex
-	inbox   []Frame
+	inboxMu     sync.Mutex
+	inbox       []Frame
+	inboxByPeer map[identity.NodeID]int
+	inflight    int
 
 	wg sync.WaitGroup
 }
@@ -166,6 +168,36 @@ func (ep *Endpoint) UseMetrics(reg *metrics.Registry) {
 	}
 }
 
+// SetInflightLimit caps the number of received-but-undrained frames
+// held per peer; a frame arriving while its sender already has n
+// frames queued is dropped and counted in transport.inflight_dropped.
+// This bounds a slow consumer's memory against a fast or hostile peer.
+// Zero (the default) keeps the inbox unbounded.
+func (ep *Endpoint) SetInflightLimit(n int) {
+	ep.inboxMu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	ep.inflight = n
+	ep.inboxMu.Unlock()
+}
+
+// deliver appends a frame to the inbox unless the sender is at the
+// inflight limit; it reports whether the frame was kept.
+func (ep *Endpoint) deliver(f Frame) bool {
+	ep.inboxMu.Lock()
+	defer ep.inboxMu.Unlock()
+	if ep.inflight > 0 && ep.inboxByPeer[f.From] >= ep.inflight {
+		return false
+	}
+	if ep.inboxByPeer == nil {
+		ep.inboxByPeer = make(map[identity.NodeID]int)
+	}
+	ep.inboxByPeer[f.From]++
+	ep.inbox = append(ep.inbox, f)
+	return true
+}
+
 // SetRetryPolicy replaces the delivery policy (zero fields fall back
 // to the default). Call before the first Send.
 func (ep *Endpoint) SetRetryPolicy(p RetryPolicy) {
@@ -223,9 +255,9 @@ func (ep *Endpoint) readLoop(conn net.Conn) {
 			continue
 		}
 		ep.reg.Counter("transport.frames_received").Inc()
-		ep.inboxMu.Lock()
-		ep.inbox = append(ep.inbox, frame)
-		ep.inboxMu.Unlock()
+		if !ep.deliver(frame) {
+			ep.reg.Counter("transport.inflight_dropped").Inc()
+		}
 	}
 }
 
@@ -365,9 +397,9 @@ func (ep *Endpoint) Multicast(to []identity.NodeID, kind string, payload []byte)
 			ep.counter++
 			frame := Frame{From: ep.self, Kind: kind, Payload: payload, Counter: ep.counter}
 			ep.mu.Unlock()
-			ep.inboxMu.Lock()
-			ep.inbox = append(ep.inbox, frame)
-			ep.inboxMu.Unlock()
+			if !ep.deliver(frame) {
+				ep.reg.Counter("transport.inflight_dropped").Inc()
+			}
 			continue
 		}
 		if err := ep.Send(dst, kind, payload); err != nil {
@@ -383,6 +415,7 @@ func (ep *Endpoint) Receive() []Frame {
 	defer ep.inboxMu.Unlock()
 	out := ep.inbox
 	ep.inbox = nil
+	ep.inboxByPeer = nil
 	return out
 }
 

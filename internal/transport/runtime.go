@@ -134,6 +134,23 @@ type RuntimeConfig struct {
 	// Health, when non-nil, receives governor chain heights after each
 	// round for the /readyz probe.
 	Health *Health
+	// MempoolShards shards each governor's upload mempool by provider
+	// index; zero keeps the legacy single unbounded queue.
+	MempoolShards int
+	// MempoolShardCap bounds each governor mempool shard (0 =
+	// unbounded; full shards evict their oldest pending transaction).
+	MempoolShardCap int
+	// AdmissionFloor sheds verified uploads whose collector reputation
+	// weight has decayed below the floor (0 admits everything).
+	AdmissionFloor float64
+	// BlockLimit caps transactions per block for governors (0 =
+	// unlimited; with MempoolShards set, it also caps each round's
+	// mempool drain).
+	BlockLimit int
+	// InflightLimit caps received-but-undrained frames held per peer on
+	// every node's endpoint (0 = unbounded). Overflow frames are
+	// dropped and counted in transport.inflight_dropped.
+	InflightLimit int
 }
 
 // Report summarizes a node's run.
@@ -242,6 +259,7 @@ func runProvider(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 	prov.SetTracer(cfg.Tracer)
 	ep.UseMetrics(cfg.Metrics)
 	ep.SetRetryPolicy(cfg.Retry)
+	ep.SetInflightLimit(cfg.InflightLimit)
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(spec.Index)))
 
 	report := Report{Role: "provider"}
@@ -301,6 +319,7 @@ func runCollector(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 	coll.SetTracer(cfg.Tracer)
 	ep.UseMetrics(cfg.Metrics)
 	ep.SetRetryPolicy(cfg.Retry)
+	ep.SetInflightLimit(cfg.InflightLimit)
 
 	report := Report{Role: "collector"}
 	sender := frameSender{ep: ep, failures: &report.SendFailures}
@@ -350,16 +369,20 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 		defer func() { _ = fs.Close() }()
 	}
 	gov, err := node.NewGovernor(node.GovernorConfig{
-		Member:      mem,
-		IM:          im,
-		Topology:    topo,
-		Params:      cfg.Params,
-		Validator:   cfg.Validator,
-		ArgueWindow: 64,
-		Seed:        cfg.Seed + int64(200+spec.Index),
-		Store:       store,
-		Metrics:     cfg.Metrics,
-		Tracer:      cfg.Tracer,
+		Member:          mem,
+		IM:              im,
+		Topology:        topo,
+		Params:          cfg.Params,
+		Validator:       cfg.Validator,
+		BlockLimit:      cfg.BlockLimit,
+		ArgueWindow:     64,
+		Seed:            cfg.Seed + int64(200+spec.Index),
+		Store:           store,
+		MempoolShards:   cfg.MempoolShards,
+		MempoolShardCap: cfg.MempoolShardCap,
+		AdmissionFloor:  cfg.AdmissionFloor,
+		Metrics:         cfg.Metrics,
+		Tracer:          cfg.Tracer,
 	})
 	if err != nil {
 		return Report{}, err
@@ -399,6 +422,7 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 	}
 	ep.UseMetrics(cfg.Metrics)
 	ep.SetRetryPolicy(cfg.Retry)
+	ep.SetInflightLimit(cfg.InflightLimit)
 
 	// Resume round numbering from a persisted chain (all governors in
 	// a deployment must restart together so their heights agree).

@@ -514,3 +514,51 @@ func TestRuntimeUnknownNode(t *testing.T) {
 		t.Fatalf("error = %v, want ErrUnknownPeer", err)
 	}
 }
+
+func TestEndpointInflightLimit(t *testing.T) {
+	d := testDeployment(t, 2, 2, 1, 2)
+	a, err := NewEndpoint(d, "governor/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := NewEndpoint(d, "governor/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	b.SetInflightLimit(2)
+
+	for i := 0; i < 5; i++ {
+		if err := a.Send("governor/1", "test", []byte{byte(i)}); err != nil {
+			t.Fatalf("Send(%d) error = %v", i, err)
+		}
+	}
+	// All five frames arrive on the wire; only the first two survive the
+	// inflight cap.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := b.Metrics().Snapshot().Counters["transport.frames_received"]; ok && v >= 5 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	frames := b.Receive()
+	if len(frames) != 2 {
+		t.Fatalf("kept %d frames, want 2", len(frames))
+	}
+	if frames[0].Payload[0] != 0 || frames[1].Payload[0] != 1 {
+		t.Fatalf("kept payloads %d, %d, want the oldest 0, 1", frames[0].Payload[0], frames[1].Payload[0])
+	}
+	if v := b.Metrics().Snapshot().Counters["transport.inflight_dropped"]; v != 3 {
+		t.Fatalf("transport.inflight_dropped = %v, want 3", v)
+	}
+	// Draining resets the per-peer count: new frames flow again.
+	if err := a.Send("governor/1", "test", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	frames = waitFrames(t, b, 1)
+	if frames[0].Payload[0] != 9 {
+		t.Fatalf("post-drain frame payload = %d, want 9", frames[0].Payload[0])
+	}
+}

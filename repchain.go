@@ -18,10 +18,17 @@
 //		repchain.WithTopology(8, 4, 2), // 8 providers, 4 collectors, 2 collectors/provider
 //		repchain.WithGovernors(3),
 //		repchain.WithValidator(myValidator),
+//		repchain.WithMempool(4, 256), // sharded ingestion with backpressure
 //	)
 //	...
-//	chain.Submit(0, "orders/v1", payload, true)
-//	summary, err := chain.RunRound()
+//	ids, err := chain.SubmitBatch(ctx, 0, txs)
+//	if errors.Is(err, repchain.ErrBacklog) {
+//		// ids holds the admitted prefix; run a round and resubmit the rest.
+//	}
+//	summary, err := chain.RunRoundCtx(ctx)
+//
+// Submit and RunRound remain as single-transaction, context-free
+// wrappers.
 //
 // The reputation mechanism guarantees (paper, Theorem 1) that a
 // governor's accumulated expected loss on unchecked transactions
@@ -30,6 +37,7 @@
 package repchain
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -46,6 +54,36 @@ import (
 
 // ErrBadOption reports an invalid configuration option.
 var ErrBadOption = errors.New("repchain: invalid option")
+
+// Sentinel errors for the submission and round APIs. Match them with
+// errors.Is; the wrapped message carries the specifics.
+var (
+	// ErrBacklog reports that a provider's mempool shard is full (see
+	// WithMempool). Backpressure, not loss: nothing was signed or
+	// queued, so run a round to drain the backlog and resubmit.
+	ErrBacklog = errors.New("repchain: mempool backlog")
+	// ErrClosed reports an operation on a closed chain.
+	ErrClosed = errors.New("repchain: chain closed")
+	// ErrUnknownProvider reports a provider index outside the topology.
+	ErrUnknownProvider = errors.New("repchain: unknown provider")
+)
+
+// translateErr maps engine sentinels onto the facade's, so callers
+// match repchain.Err* without importing internal packages.
+func translateErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, core.ErrBacklog):
+		return fmt.Errorf("%w: %v", ErrBacklog, err)
+	case errors.Is(err, core.ErrClosed):
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	case errors.Is(err, core.ErrUnknownProvider):
+		return fmt.Errorf("%w: %v", ErrUnknownProvider, err)
+	default:
+		return err
+	}
+}
 
 // Validator re-exports the validate(tx) contract: applications decide
 // what a valid transaction is.
@@ -153,6 +191,45 @@ func WithBlockLimit(limit int) Option {
 			return fmt.Errorf("block limit %d: %w", limit, ErrBadOption)
 		}
 		o.cfg.BlockLimit = limit
+		return nil
+	}
+}
+
+// WithMempool shards the ingestion mempool by provider index into
+// shardCount bounded queues of shardCap entries each (shardCap 0 =
+// unbounded). A full shard rejects Submit with ErrBacklog before
+// anything is signed — backpressure, never silent loss — and each
+// round broadcasts at most one WithBlockLimit-sized batch, drained in
+// deterministic (shard, submission) order, carrying the backlog over.
+// Without this option the chain keeps the legacy single unbounded
+// queue that drains fully every round.
+func WithMempool(shardCount, shardCap int) Option {
+	return func(o *options) error {
+		if shardCount <= 0 {
+			return fmt.Errorf("mempool shard count %d must be positive: %w", shardCount, ErrBadOption)
+		}
+		if shardCap < 0 {
+			return fmt.Errorf("mempool shard cap %d must be non-negative: %w", shardCap, ErrBadOption)
+		}
+		o.cfg.MempoolShards = shardCount
+		o.cfg.MempoolShardCap = shardCap
+		return nil
+	}
+}
+
+// WithAdmissionFloor makes governors shed verified uploads from
+// collectors whose reputation weight for the submitting provider has
+// decayed below w ∈ [0, 1] — the same draw-time signal screening uses.
+// Weights start at 1 and only decay, so a fresh chain sheds nothing;
+// the floor bites only after the mechanism learns to distrust a
+// collector. Shed uploads are counted in mempool.shed_total and the
+// governor's ShedReports stat. Zero (the default) admits everything.
+func WithAdmissionFloor(w float64) Option {
+	return func(o *options) error {
+		if w < 0 || w > 1 {
+			return fmt.Errorf("admission floor %v outside [0, 1]: %w", w, ErrBadOption)
+		}
+		o.cfg.AdmissionFloor = w
 		return nil
 	}
 }
@@ -295,15 +372,50 @@ func New(opts ...Option) (*Chain, error) {
 // TxID identifies a submitted transaction.
 type TxID = crypto.Hash
 
-// Submit signs and broadcasts a transaction from provider k during the
-// collecting phase. isValid is the provider's own ground truth, used
-// to decide whether to argue a mislabeled transaction later.
+// Tx is one transaction to submit: the application kind and payload,
+// plus the provider's own ground truth about validity (used later to
+// decide whether to argue a mislabeled transaction).
+type Tx struct {
+	Kind    string
+	Payload []byte
+	Valid   bool
+}
+
+// Submit stages one transaction from provider k for the next round's
+// collecting phase. isValid is the provider's own ground truth.
+// Fails with ErrBacklog when the provider's mempool shard is full
+// (WithMempool), ErrUnknownProvider for an out-of-range index, or
+// ErrClosed after Close. Submit is SubmitBatch for a single
+// transaction without a context.
 func (c *Chain) Submit(provider int, kind string, payload []byte, isValid bool) (TxID, error) {
 	signed, err := c.engine.SubmitTx(provider, kind, payload, isValid)
 	if err != nil {
-		return TxID{}, err
+		return TxID{}, translateErr(err)
 	}
 	return signed.ID(), nil
+}
+
+// SubmitBatch stages a batch of transactions from one provider,
+// returning the IDs of the admitted prefix. On backpressure it admits
+// as many leading transactions as the provider's shard holds, then
+// returns the admitted IDs together with an ErrBacklog-wrapping error;
+// callers resume from txs[len(ids)] after running a round. The context
+// is checked between transactions, so a cancelled batch also returns
+// the admitted prefix with the context's error. Admission is
+// all-or-nothing per transaction, never partial within one.
+func (c *Chain) SubmitBatch(ctx context.Context, provider int, txs []Tx) ([]TxID, error) {
+	ids := make([]TxID, 0, len(txs))
+	for _, t := range txs {
+		if err := ctx.Err(); err != nil {
+			return ids, err
+		}
+		signed, err := c.engine.SubmitTx(provider, t.Kind, t.Payload, t.Valid)
+		if err != nil {
+			return ids, translateErr(err)
+		}
+		ids = append(ids, signed.ID())
+	}
+	return ids, nil
 }
 
 // TransferStake queues a stake transfer between governors for the next
@@ -330,11 +442,21 @@ type RoundSummary struct {
 }
 
 // RunRound executes one full protocol round (uploading + processing
-// phases) over everything submitted since the previous round.
+// phases) over everything submitted since the previous round. It is
+// RunRoundCtx without cancellation.
 func (c *Chain) RunRound() (RoundSummary, error) {
-	res, err := c.engine.RunRound()
+	return c.RunRoundCtx(context.Background())
+}
+
+// RunRoundCtx is RunRound with cancellation. The context is honored
+// only at stage boundaries where abandoning the round leaves every
+// replica consistent; once screening begins the round runs to
+// completion. A cancelled round returns the context's error, commits
+// nothing, and leaves staged traffic intact for the next round.
+func (c *Chain) RunRoundCtx(ctx context.Context) (RoundSummary, error) {
+	res, err := c.engine.RunRoundCtx(ctx)
 	if err != nil {
-		return RoundSummary{}, err
+		return RoundSummary{}, translateErr(err)
 	}
 	return RoundSummary{
 		Serial:         res.Serial,
@@ -458,6 +580,16 @@ func (c *Chain) Trace(id TxID) []Span {
 // first. Empty without WithTracing.
 func (c *Chain) Spans() []Span { return c.engine.Tracer().Spans() }
 
+// MempoolDepth reports how many staged submissions await the next
+// round's drain (always zero right after a round without backpressure).
+func (c *Chain) MempoolDepth() int { return c.engine.MempoolDepth() }
+
 // Engine exposes the underlying engine for advanced use (experiments,
 // fault injection).
+//
+// Deprecated: the facade now covers batching (SubmitBatch),
+// cancellation (RunRoundCtx), backpressure (WithMempool, ErrBacklog),
+// and observability (Metrics, Trace) directly; internal/core's API has
+// no compatibility promise. Reach for Engine only in experiments that
+// inject faults, and expect it to change underneath you.
 func (c *Chain) Engine() *core.Engine { return c.engine }

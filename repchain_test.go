@@ -1,8 +1,10 @@
 package repchain
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -198,13 +200,177 @@ func TestBlockNotFound(t *testing.T) {
 
 func TestSubmitBadProvider(t *testing.T) {
 	c := newTestChain(t)
-	if _, err := c.Submit(99, "t", []byte{1}, true); err == nil {
-		t.Fatal("Submit(99) succeeded")
+	if _, err := c.Submit(99, "t", []byte{1}, true); !errors.Is(err, ErrUnknownProvider) {
+		t.Fatalf("Submit(99) error = %v, want ErrUnknownProvider", err)
 	}
-	var sentinel error = ErrBadOption
-	_ = sentinel
-	if !errors.Is(ErrBadOption, ErrBadOption) {
-		t.Fatal("sentinel identity broken")
+	if _, err := c.SubmitBatch(context.Background(), -1, []Tx{{Kind: "t", Payload: []byte{1}, Valid: true}}); !errors.Is(err, ErrUnknownProvider) {
+		t.Fatalf("SubmitBatch(-1) error = %v, want ErrUnknownProvider", err)
+	}
+}
+
+func TestWithMempoolValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		opt  Option
+		want string
+	}{
+		{"zero shards", WithMempool(0, 16), "shard count"},
+		{"negative shards", WithMempool(-2, 16), "shard count"},
+		{"negative cap", WithMempool(4, -1), "shard cap"},
+		{"floor below zero", WithAdmissionFloor(-0.2), "admission floor"},
+		{"floor above one", WithAdmissionFloor(1.2), "admission floor"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(WithTopology(2, 2, 1), WithGovernors(2), WithValidator(testValidator), tt.opt)
+			if !errors.Is(err, ErrBadOption) {
+				t.Fatalf("New() error = %v, want ErrBadOption", err)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not name the bad field %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSubmitBatchAndBacklog(t *testing.T) {
+	c := newTestChain(t, WithMempool(4, 2), WithBlockLimit(0))
+	// Provider 0's shard holds 2: a batch of 4 admits a 2-tx prefix and
+	// reports backpressure.
+	txs := make([]Tx, 4)
+	for i := range txs {
+		txs[i] = Tx{Kind: "t", Payload: []byte{1, byte(i)}, Valid: true}
+	}
+	ids, err := c.SubmitBatch(context.Background(), 0, txs)
+	if !errors.Is(err, ErrBacklog) {
+		t.Fatalf("SubmitBatch error = %v, want ErrBacklog", err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("admitted prefix = %d txs, want 2", len(ids))
+	}
+	if c.MempoolDepth() != 2 {
+		t.Fatalf("MempoolDepth() = %d, want 2", c.MempoolDepth())
+	}
+	// A round drains the shard; the rest of the batch then fits.
+	if _, err := c.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := c.SubmitBatch(context.Background(), 0, txs[len(ids):])
+	if err != nil {
+		t.Fatalf("resumed batch error = %v", err)
+	}
+	if len(rest) != 2 {
+		t.Fatalf("resumed batch admitted %d, want 2", len(rest))
+	}
+	sum, err := c.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != 2 {
+		t.Fatalf("second round committed %d records, want 2", sum.Records)
+	}
+}
+
+func TestSubmitBatchCancelled(t *testing.T) {
+	c := newTestChain(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ids, err := c.SubmitBatch(ctx, 0, []Tx{{Kind: "t", Payload: []byte{1}, Valid: true}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SubmitBatch error = %v, want context.Canceled", err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("cancelled batch admitted %d txs", len(ids))
+	}
+}
+
+func TestRunRoundCtxCancelled(t *testing.T) {
+	c := newTestChain(t)
+	if _, err := c.Submit(0, "t", []byte{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunRoundCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunRoundCtx error = %v, want context.Canceled", err)
+	}
+	// Staged traffic survives cancellation and commits next round.
+	sum, err := c.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != 1 {
+		t.Fatalf("post-cancel round committed %d records, want 1", sum.Records)
+	}
+}
+
+func TestChainClosed(t *testing.T) {
+	c := newTestChain(t)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(0, "t", []byte{1}, true); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close error = %v, want ErrClosed", err)
+	}
+	if _, err := c.RunRound(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RunRound after Close error = %v, want ErrClosed", err)
+	}
+}
+
+// TestMempoolBurstCommitsFully is the acceptance gate for the sharded
+// mempool: a 10k-transaction burst from 8 providers through a 4-shard,
+// 256-cap mempool commits completely under backpressure, and without an
+// admission floor nothing is shed.
+func TestMempoolBurstCommitsFully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-tx burst skipped in -short mode")
+	}
+	const burst = 10_000
+	c, err := New(
+		WithTopology(8, 4, 2),
+		WithGovernors(3),
+		WithValidator(testValidator),
+		WithSeed(7),
+		WithMempool(4, 256),
+		WithBlockLimit(512),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitted, committed, rounds := 0, 0, 0
+	for submitted < burst || c.MempoolDepth() > 0 {
+		for submitted < burst {
+			_, err := c.Submit(submitted%8, "burst", []byte{1, byte(submitted), byte(submitted >> 8)}, true)
+			if errors.Is(err, ErrBacklog) {
+				break // shard full: run a round, then resume
+			}
+			if err != nil {
+				t.Fatalf("submit %d: %v", submitted, err)
+			}
+			submitted++
+		}
+		sum, err := c.RunRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed += sum.Records
+		rounds++
+		if rounds > burst/64 {
+			t.Fatalf("burst failed to drain: %d/%d committed after %d rounds", committed, burst, rounds)
+		}
+	}
+	if committed != burst {
+		t.Fatalf("committed %d of %d burst transactions", committed, burst)
+	}
+	snap := c.MetricsSnapshot()
+	if shed := snap.Counters["mempool.shed_total"]; shed != 0 {
+		t.Fatalf("mempool.shed_total = %v without an admission floor, want 0", shed)
+	}
+	if admitted := snap.Counters["mempool.admitted_total"]; admitted != burst {
+		t.Fatalf("mempool.admitted_total = %v, want %d", admitted, burst)
+	}
+	if err := c.VerifyChain(); err != nil {
+		t.Fatal(err)
 	}
 }
 
