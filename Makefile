@@ -3,13 +3,13 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: all ci build test test-short race vet fmt-check bench bench-round experiments examples demo apidiff clean
+.PHONY: all ci build test test-short race vet fmt-check lint tools-test vuln bench bench-round experiments examples demo apidiff clean
 
-all: build vet test race
+all: build vet test race lint
 
 # Mirrors .github/workflows/ci.yml so contributors can reproduce a CI
 # failure locally before pushing.
-ci: build vet fmt-check test race
+ci: build vet fmt-check test race lint tools-test
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,28 @@ vet:
 # Fails when any file is not gofmt-clean (prints the offenders).
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Determinism-and-concurrency lint gate (DESIGN.md §4e): the custom
+# go/analysis-style passes in tools/ — detrange, wallclock, lockguard,
+# metricname, errwrapcheck — must report zero unsuppressed findings.
+# The linter lives in its own module (tools/go.mod), hence the cd.
+lint:
+	cd tools && $(GO) run ./cmd/repchain-lint -C .. ./...
+
+# The analyzers' own analysistest suites (failing + suppressed fixture
+# per rule).
+tools-test:
+	cd tools && $(GO) test ./...
+
+# Known-vulnerability scan over the main module. Installed on demand
+# and skipped with a notice when absent, mirroring the CI govulncheck
+# job, so offline checkouts stay green.
+vuln:
+	@if ! command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	else \
+		govulncheck ./...; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -50,7 +50,7 @@ var (
 // is integer units. Safe for concurrent use.
 type StakeLedger struct {
 	mu     sync.RWMutex
-	stakes []uint64
+	stakes []uint64 // guarded by mu
 }
 
 // NewStakeLedger creates a ledger with the given initial stakes,

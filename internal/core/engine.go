@@ -485,6 +485,7 @@ func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
 // start. Purely observational — stage durations never feed back into
 // protocol decisions.
 func (e *Engine) observeStage(stage string, start time.Time) time.Time {
+	//repchain:wallclock-ok metrics-only stage timing; the duration feeds a histogram no protocol decision reads back (§4c determinism argument)
 	now := time.Now()
 	e.stageSeconds.With(stage).Observe(now.Sub(start).Seconds())
 	return now
@@ -712,6 +713,7 @@ func (e *Engine) runRoundCtx(ctx context.Context) (RoundResult, error) {
 	// pre-mempool engine broadcast them at submit time (the tick only
 	// advances inside rounds), so legacy configurations stay
 	// byte-identical on the wire.
+	//repchain:wallclock-ok metrics-only stage timing; observeStage folds it into round.stage_seconds, never into protocol state
 	stageStart := time.Now()
 	if err := e.drainIngress(); err != nil {
 		return RoundResult{}, err

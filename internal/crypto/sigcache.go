@@ -31,8 +31,8 @@ import (
 type VerifyCache struct {
 	mu      sync.Mutex
 	cap     int
-	ll      *list.List // front = most recently used
-	entries map[Hash]*list.Element
+	ll      *list.List             // guarded by mu; front = most recently used
+	entries map[Hash]*list.Element // guarded by mu
 
 	hits   metrics.Counter
 	misses metrics.Counter

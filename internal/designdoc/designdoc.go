@@ -1,0 +1,76 @@
+// Package designdoc parses machine-checked inventories out of
+// DESIGN.md. It is the single source of truth for the §4c metric
+// catalogue: the runtime drift test (metrics_catalogue_test.go) and
+// the compile-time metricname analyzer (tools/lint/metricname) both
+// read the catalogue through this package, so the two gates can never
+// disagree about which names are documented.
+package designdoc
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// catalogueHeading opens the metric table inside §4c.
+const catalogueHeading = "### Metric catalogue"
+
+// metricNameRe matches one backticked metric name; names are
+// lowercase dotted identifiers (`mempool.depth`).
+var metricNameRe = regexp.MustCompile("`([a-z0-9_.]+)`")
+
+// MetricCatalogue extracts the documented metric names from DESIGN.md
+// contents: every backticked name in the first column of the table
+// under "### Metric catalogue" (a cell may document several names,
+// separated by /). It fails loudly when the heading or table cannot
+// be found, so a doc reshuffle breaks the gates instead of silently
+// emptying them.
+func MetricCatalogue(design []byte) (map[string]bool, error) {
+	names := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(design))
+	inSection := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == catalogueHeading:
+			inSection = true
+			continue
+		case inSection && strings.HasPrefix(line, "#"):
+			inSection = false
+		}
+		if !inSection || !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 2 {
+			continue
+		}
+		for _, m := range metricNameRe.FindAllStringSubmatch(cells[1], -1) {
+			names[m[1]] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no metric names found under %q — was the DESIGN.md §4c table moved or renamed?", catalogueHeading)
+	}
+	return names, nil
+}
+
+// LoadMetricCatalogue reads DESIGN.md from path and parses its metric
+// catalogue.
+func LoadMetricCatalogue(path string) (map[string]bool, error) {
+	design, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	names, err := MetricCatalogue(design)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return names, nil
+}

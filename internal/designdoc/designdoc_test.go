@@ -1,0 +1,52 @@
+package designdoc
+
+import "testing"
+
+func TestMetricCatalogueParsesTable(t *testing.T) {
+	doc := []byte("# Doc\n\n### Metric catalogue\n\nintro prose\n\n" +
+		"| name | kind | meaning |\n" +
+		"|---|---|---|\n" +
+		"| `engine.rounds_total` | counter | rounds |\n" +
+		"| `sigcache.hits` / `sigcache.misses` | gauge | traffic (`per` round) |\n" +
+		"| `round.stage_seconds` | histogram vec (`stage`) | timing |\n\n" +
+		"### Next section\n\n| `not.in_catalogue` | counter | outside the table |\n")
+	names, err := MetricCatalogue(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine.rounds_total", "sigcache.hits", "sigcache.misses", "round.stage_seconds"} {
+		if !names[want] {
+			t.Errorf("catalogue missing %q", want)
+		}
+	}
+	if names["stage"] {
+		t.Error("label name from the kind column leaked into the catalogue")
+	}
+	if names["per"] {
+		t.Error("backtick from a later column leaked into the catalogue")
+	}
+	if names["not.in_catalogue"] {
+		t.Error("row outside the catalogue section was parsed")
+	}
+}
+
+func TestMetricCatalogueFailsWithoutHeading(t *testing.T) {
+	if _, err := MetricCatalogue([]byte("# Doc\n\n| `x.y` | counter | no heading |\n")); err == nil {
+		t.Fatal("expected an error when the catalogue heading is absent")
+	}
+}
+
+// TestRealCatalogue pins the parser to the repository's actual
+// DESIGN.md: a reshuffle that breaks parsing must fail here, not
+// silently weaken the metricname analyzer.
+func TestRealCatalogue(t *testing.T) {
+	names, err := LoadMetricCatalogue("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine.rounds_total", "mempool.depth", "transport.frames_sent", "chaos.rounds_aborted"} {
+		if !names[want] {
+			t.Errorf("DESIGN.md catalogue missing %q — §4c table moved?", want)
+		}
+	}
+}

@@ -28,7 +28,7 @@ type Store interface {
 // MemoryStore keeps the chain in memory.
 type MemoryStore struct {
 	mu     sync.RWMutex
-	blocks []Block
+	blocks []Block // guarded by mu
 }
 
 var _ Store = (*MemoryStore)(nil)
@@ -127,9 +127,9 @@ func VerifyChain(store Store) error {
 // decoded blocks for reads and appends synchronously to the file.
 type FileStore struct {
 	mu     sync.RWMutex
-	blocks []Block
-	f      *os.File
-	w      *bufio.Writer
+	blocks []Block       // guarded by mu
+	f      *os.File      // guarded by mu
+	w      *bufio.Writer // guarded by mu
 	path   string
 }
 
@@ -158,6 +158,7 @@ func OpenFileStore(path string) (*FileStore, error) {
 	return fs, nil
 }
 
+//repchain:lockguard-ok construction-time only: OpenFileStore calls replay before the store is reachable by any other goroutine
 func (fs *FileStore) replay() error {
 	r := bufio.NewReader(fs.f)
 	for {

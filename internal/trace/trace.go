@@ -60,11 +60,11 @@ type Span struct {
 // nil is a single branch, so instrumented code needs no guards.
 type Recorder struct {
 	mu      sync.Mutex
-	buf     []Span
-	start   int // index of oldest span
-	n       int // live spans
-	seq     uint64
-	dropped uint64
+	buf     []Span // guarded by mu
+	start   int    // guarded by mu; index of oldest span
+	n       int    // guarded by mu; live spans
+	seq     uint64 // guarded by mu
+	dropped uint64 // guarded by mu
 	wall    bool
 }
 

@@ -1,6 +1,10 @@
 // Drift test for the observability docs: every metric name registered
 // anywhere in the codebase must be listed in DESIGN.md §4c's metric
-// catalogue, so the docs cannot silently fall behind the code.
+// catalogue, so the docs cannot silently fall behind the code. The
+// catalogue is parsed by repchain/internal/designdoc — the same
+// package the compile-time metricname analyzer (tools/lint/metricname)
+// uses — so this runtime gate and the lint gate cannot drift from each
+// other either.
 package repchain_test
 
 import (
@@ -11,16 +15,17 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"repchain/internal/designdoc"
 )
 
 var metricCallRe = regexp.MustCompile(`\.(Counter|Gauge|Series|CounterVec|Histogram|HistogramVec)\(\s*"([a-z0-9_.]+)"`)
 
 func TestMetricNamesDocumented(t *testing.T) {
-	design, err := os.ReadFile("DESIGN.md")
+	catalogue, err := designdoc.LoadMetricCatalogue("DESIGN.md")
 	if err != nil {
-		t.Fatalf("read DESIGN.md: %v", err)
+		t.Fatalf("parse DESIGN.md catalogue: %v", err)
 	}
-	catalogue := string(design)
 
 	names := map[string][]string{} // metric name → files registering it
 	err = filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
@@ -60,7 +65,7 @@ func TestMetricNamesDocumented(t *testing.T) {
 
 	var missing []string
 	for name := range names {
-		if !strings.Contains(catalogue, "`"+name+"`") && !strings.Contains(catalogue, name) {
+		if !catalogue[name] {
 			missing = append(missing, name+" (registered in "+strings.Join(names[name], ", ")+")")
 		}
 	}

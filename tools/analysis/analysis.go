@@ -1,0 +1,49 @@
+// Package analysis is a minimal, stdlib-only re-implementation of the
+// golang.org/x/tools/go/analysis surface used by the repchain lint
+// suite. The container this repository builds in has no module cache
+// and no network, so the real framework cannot be fetched; analyzers
+// are written against this drop-in subset (Analyzer, Pass, Reportf)
+// and port to x/tools by swapping the import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// annotations (//repchain:<name>-ok).
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the check to a single type-checked package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

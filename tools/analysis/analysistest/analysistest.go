@@ -1,0 +1,93 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages under a testdata/src root and checks its diagnostics
+// against `// want "regexp"` comments, mirroring the expectation
+// syntax of golang.org/x/tools/go/analysis/analysistest.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repchain/tools/analysis"
+)
+
+var wantRe = regexp.MustCompile("(?:^|\\s)want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)\\s*$")
+var quotedRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package below filepath.Join(testdata, "src"),
+// applies the analyzer, and fails the test on any mismatch between
+// reported diagnostics and want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(analysis.LoadConfig{SrcRoot: filepath.Join(testdata, "src")})
+	for _, path := range paths {
+		pkg, err := loader.LoadTestPackage(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		diags, err := analysis.RunAnalyzer(a, loader, pkg)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+		checkPackage(t, loader.Fset, a, pkg, diags)
+	}
+}
+
+func checkPackage(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" → expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+		found := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic from %s: %s", key, a.Name, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, exp.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadConfig controls how a Loader resolves and type-checks packages.
+type LoadConfig struct {
+	// Dir is where `go list` runs — the module root whose packages are
+	// analyzed. Defaults to ".".
+	Dir string
+	// SrcRoot, when non-empty, is a GOPATH-style source root (the
+	// analysistest testdata/src directory) consulted before the module:
+	// an import path that exists as a directory under SrcRoot is parsed
+	// and type-checked from source there. Everything else must be a
+	// standard-library import.
+	SrcRoot string
+}
+
+// Loader loads packages the way `go vet` does: the analyzed packages
+// themselves are parsed from source (comments included, so suppression
+// annotations survive), while every dependency is imported from the
+// compiled export data that `go list -export` produces. No network and
+// no third-party code is involved; the go command resolves everything
+// from GOROOT and the local module.
+type Loader struct {
+	cfg     LoadConfig
+	Fset    *token.FileSet
+	exports map[string]string // import path → export-data file
+	gcimp   types.ImporterFrom
+	pkgs    map[string]*Package // source-loaded packages, by import path
+	loading map[string]bool     // cycle guard for SrcRoot packages
+}
+
+// NewLoader returns a Loader for the given configuration.
+func NewLoader(cfg LoadConfig) *Loader {
+	if cfg.Dir == "" {
+		cfg.Dir = "."
+	}
+	l := &Loader{
+		cfg:     cfg,
+		Fset:    token.NewFileSet(),
+		exports: map[string]string{},
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	l.gcimp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+	return l
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` for the given patterns and
+// records every package's export-data file.
+func (l *Loader) goList(patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-export", "-deps", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.cfg.Dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		l.exports[p.ImportPath] = p.Export
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Targets loads the packages matched by the go-list patterns (e.g.
+// "./...") from source, with all dependencies resolved through export
+// data. Returned packages are sorted by import path.
+func (l *Loader) Targets(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Package
+	for _, p := range listed {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.loadSource(p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, pkg)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Path < targets[j].Path })
+	return targets, nil
+}
+
+// LoadTestPackage loads an analysistest fixture package (and,
+// recursively, any fixture packages it imports) from cfg.SrcRoot.
+// Standard-library imports reached from fixtures are resolved through
+// one `go list -export` call per LoadTestPackage.
+func (l *Loader) LoadTestPackage(path string) (*Package, error) {
+	if l.cfg.SrcRoot == "" {
+		return nil, fmt.Errorf("LoadTestPackage %q: no SrcRoot configured", path)
+	}
+	std := map[string]bool{}
+	if err := l.collectStdImports(path, std, map[string]bool{}); err != nil {
+		return nil, err
+	}
+	if len(std) > 0 {
+		var missing []string
+		for p := range std {
+			if _, ok := l.exports[p]; !ok {
+				missing = append(missing, p)
+			}
+		}
+		sort.Strings(missing)
+		if len(missing) > 0 {
+			if _, err := l.goList(missing); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return l.loadFixture(path)
+}
+
+// collectStdImports walks the fixture import graph under SrcRoot and
+// gathers every standard-library import path it escapes to.
+func (l *Loader) collectStdImports(path string, std, seen map[string]bool) error {
+	if seen[path] {
+		return nil
+	}
+	seen[path] = true
+	dir := filepath.Join(l.cfg.SrcRoot, filepath.FromSlash(path))
+	files, err := fixtureFiles(dir)
+	if err != nil {
+		return fmt.Errorf("fixture %s: %w", path, err)
+	}
+	for _, f := range files {
+		parsed, err := parser.ParseFile(token.NewFileSet(), filepath.Join(dir, f), nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range parsed.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return err
+			}
+			if st, err := os.Stat(filepath.Join(l.cfg.SrcRoot, filepath.FromSlash(ip))); err == nil && st.IsDir() {
+				if err := l.collectStdImports(ip, std, seen); err != nil {
+					return err
+				}
+			} else if ip != "unsafe" {
+				std[ip] = true
+			}
+		}
+	}
+	return nil
+}
+
+// loadFixture parses and type-checks one SrcRoot package, recursing
+// into fixture imports.
+func (l *Loader) loadFixture(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through fixture %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	dir := filepath.Join(l.cfg.SrcRoot, filepath.FromSlash(path))
+	files, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s: %w", path, err)
+	}
+	return l.loadSource(path, dir, files)
+}
+
+// fixtureFiles lists the .go file names of a fixture directory.
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// loadSource parses the given files and type-checks them as package
+// path, resolving imports via fixtures (if configured) or export data.
+func (l *Loader) loadSource(path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(dir, fn)
+		}
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer:    &fixtureImporter{l},
+		FakeImportC: true,
+		Error:       func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(terrs) > 0 {
+		var sb strings.Builder
+		for _, e := range terrs {
+			fmt.Fprintf(&sb, "\n\t%v", e)
+		}
+		return nil, fmt.Errorf("type-checking %s:%s", path, sb.String())
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// fixtureImporter routes imports to SrcRoot fixtures when they exist
+// there, and to gc export data otherwise.
+type fixtureImporter struct{ l *Loader }
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	return fi.ImportFrom(path, "", 0)
+}
+
+func (fi *fixtureImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := fi.l
+	if l.cfg.SrcRoot != "" && path != "unsafe" {
+		if st, err := os.Stat(filepath.Join(l.cfg.SrcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+			pkg, err := l.loadFixture(path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	return l.gcimp.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,24 @@
+package analysis
+
+import (
+	"sort"
+)
+
+// RunAnalyzer applies one analyzer to one loaded package and returns
+// its diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, l *Loader, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      l.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

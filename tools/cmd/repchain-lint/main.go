@@ -1,0 +1,117 @@
+// Command repchain-lint is the multichecker for RepChain's written
+// determinism and concurrency invariants. It runs five custom
+// analyzers over the main module:
+//
+//	detrange     no range over maps in deterministic packages
+//	wallclock    no time.Now/Since/Until or global math/rand there
+//	lockguard    `// guarded by mu` fields only touched under mu
+//	metricname   metric names are constants from the DESIGN.md §4c catalogue
+//	errwrapcheck sentinel errors compared with errors.Is, wrapped with %w
+//
+// Usage (from the tools module):
+//
+//	go run ./cmd/repchain-lint -C .. ./...
+//
+// Exit status is 1 when any unsuppressed finding remains; `make lint`
+// and the CI lint job gate merges on that. Suppressions are
+// //repchain:<directive> <reason> comments — see DESIGN.md §4e.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repchain/internal/designdoc"
+	"repchain/tools/analysis"
+	"repchain/tools/lint/detrange"
+	"repchain/tools/lint/errwrapcheck"
+	"repchain/tools/lint/lockguard"
+	"repchain/tools/lint/metricname"
+	"repchain/tools/lint/wallclock"
+)
+
+func main() {
+	chdir := flag.String("C", ".", "root of the repchain module (where DESIGN.md lives)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repchain-lint [-C repo-root] [package patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := run(*chdir, patterns); err != nil {
+		fmt.Fprintf(os.Stderr, "repchain-lint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(root string, patterns []string) error {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return err
+	}
+	catalogue, err := designdoc.LoadMetricCatalogue(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		return err
+	}
+	analyzers := []*analysis.Analyzer{
+		detrange.Analyzer,
+		wallclock.Analyzer,
+		lockguard.Analyzer,
+		metricname.New(catalogue, "DESIGN.md §4c"),
+		errwrapcheck.Analyzer,
+	}
+	loader := analysis.NewLoader(analysis.LoadConfig{Dir: root})
+	pkgs, err := loader.Targets(patterns...)
+	if err != nil {
+		return err
+	}
+	var findings []string
+	for _, pkg := range pkgs {
+		if strings.HasPrefix(pkg.Path, "repchain/tools") {
+			continue // the lint suite does not lint itself
+		}
+		for _, a := range analyzers {
+			diags, err := analysis.RunAnalyzer(a, loader, pkg)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				posn := loader.Fset.Position(d.Pos)
+				file := posn.Filename
+				if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+				findings = append(findings,
+					fmt.Sprintf("%s:%d:%d: [%s] %s", file, posn.Line, posn.Column, a.Name, d.Message))
+			}
+		}
+	}
+	sort.Strings(findings)
+	findings = dedupe(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "repchain-lint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// dedupe removes adjacent duplicates from a sorted slice.
+func dedupe(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// The lint suite lives in its own module so the main repchain module
+// stays stdlib-only. It would normally depend on golang.org/x/tools
+// (go/analysis, analysistest); this tree must build offline with an
+// empty module cache, so tools/analysis re-implements the minimal
+// surface of that framework on the standard library instead. The
+// analyzer packages are written against that surface so they can be
+// ported to the real golang.org/x/tools/go/analysis with a one-line
+// import swap once network access is available.
+//
+// The require+replace below links the tools module to the main module
+// by filesystem path (no registry fetch) so analyzers can share
+// repchain/internal/designdoc, the DESIGN.md catalogue parser, with
+// the main module's drift test.
+module repchain/tools
+
+go 1.22
+
+require repchain v0.0.0
+
+replace repchain => ../

@@ -1,0 +1,59 @@
+// Package detrange forbids ranging over a map in the deterministic
+// replica packages. Go randomizes map-iteration order per run, so a
+// map range whose body feeds blocks, weight updates, or any other
+// replicated state is a silent fork generator: two governors walk the
+// same map in different orders and commit different bytes. Sites whose
+// order provably cannot matter (commutative accumulation, set
+// membership) are annotated //repchain:ordered-irrelevant <reason>.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repchain/tools/analysis"
+	"repchain/tools/lint/internal/detscope"
+	"repchain/tools/lint/internal/suppress"
+)
+
+// Directive is the suppression annotation this analyzer honours.
+const Directive = "ordered-irrelevant"
+
+// Analyzer flags range-over-map statements in deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "forbid range over maps in deterministic packages unless the " +
+		"site is annotated //repchain:ordered-irrelevant <reason>; sort " +
+		"the keys into a slice and range that instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !detscope.Deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	sup := suppress.Collect(pass.Fset, pass.Files, Directive)
+	sup.ReportMissingReasons(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sup.Suppressed(rs.For) {
+				return true
+			}
+			pass.Reportf(rs.For, "range over map %s in deterministic package %s: iteration order is randomized per run; sort the keys first or annotate //repchain:ordered-irrelevant <reason>",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

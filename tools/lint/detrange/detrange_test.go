@@ -1,0 +1,15 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repchain/tools/analysis/analysistest"
+	"repchain/tools/lint/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata", detrange.Analyzer,
+		"repchain/internal/core/fixture",
+		"repchain/internal/transport/fixture",
+	)
+}

@@ -1,0 +1,55 @@
+// Package fixture exercises the detrange analyzer inside the
+// deterministic scope.
+package fixture
+
+import "sort"
+
+func bad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map map\[string\]int in deterministic package`
+		total += v
+	}
+	return total
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//repchain:ordered-irrelevant collecting keys to sort below; the append order never escapes
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Ranging the sorted slice needs no annotation.
+	for range keys {
+	}
+	return keys
+}
+
+func suppressedTrailing(m map[int]bool) int {
+	n := 0
+	for k := range m { //repchain:ordered-irrelevant pure count; order cannot matter
+		n += k
+	}
+	return n
+}
+
+func reasonlessAnnotation(m map[int]bool) {
+	//repchain:ordered-irrelevant // want `missing its mandatory reason`
+	for range m { // want `range over map`
+	}
+}
+
+func slicesAreFine(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+type orders map[uint64]string
+
+func namedMapType(o orders) {
+	for range o { // want `range over map`
+	}
+}

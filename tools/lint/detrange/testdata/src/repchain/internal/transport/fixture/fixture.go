@@ -1,0 +1,11 @@
+// Package fixture proves detrange stays silent outside the
+// deterministic scope: the transport runtime may range over maps.
+package fixture
+
+func fine(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

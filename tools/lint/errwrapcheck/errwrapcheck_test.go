@@ -1,0 +1,12 @@
+package errwrapcheck_test
+
+import (
+	"testing"
+
+	"repchain/tools/analysis/analysistest"
+	"repchain/tools/lint/errwrapcheck"
+)
+
+func TestErrwrapcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrapcheck.Analyzer, "errwrapcheck/a")
+}

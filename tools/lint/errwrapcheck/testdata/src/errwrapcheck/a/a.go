@@ -1,0 +1,64 @@
+// Package a exercises the errwrapcheck analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrBacklog         = errors.New("backlog")
+	ErrClosed          = errors.New("closed")
+	ErrUnknownProvider = errors.New("unknown provider")
+	ErrOther           = errors.New("other, not under contract")
+)
+
+func compare(err error) bool {
+	if err == ErrBacklog { // want `ErrBacklog compared with ==`
+		return true
+	}
+	if ErrClosed != err { // want `ErrClosed compared with !=`
+		return false
+	}
+	if err == ErrOther { // not a sentinel under contract
+		return true
+	}
+	return errors.Is(err, ErrUnknownProvider) // the blessed comparison
+}
+
+func switchCase(err error) string {
+	switch err {
+	case ErrBacklog: // want `switch-case equality against ErrBacklog`
+		return "backlog"
+	case ErrOther:
+		return "other"
+	default:
+		return "unknown"
+	}
+}
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("round failed: %v: %w", ErrClosed, err) // %w present, fine
+	}
+	return fmt.Errorf("submit: %v", ErrBacklog) // want `fmt.Errorf formats ErrBacklog without %w`
+}
+
+func wrapSomethingElse(err error) error {
+	return fmt.Errorf("no sentinel involved: %v", err)
+}
+
+func shadowed(err error) bool {
+	ErrBacklog := errors.New("a local that merely shares the name")
+	return err == ErrBacklog // locals are not the shared sentinel
+}
+
+func suppressed(err error) bool {
+	//repchain:errwrapcheck-ok fixture: identity check against the canonical instance is intended here
+	return err == ErrClosed
+}
+
+func reasonless(err error) bool {
+	//repchain:errwrapcheck-ok // want `missing its mandatory reason`
+	return err == ErrClosed // want `ErrClosed compared with ==`
+}

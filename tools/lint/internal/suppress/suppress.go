@@ -1,0 +1,101 @@
+// Package suppress parses the repchain lint suppression annotations.
+//
+// Grammar (one annotation per comment, no space after //):
+//
+//	//repchain:<directive> <reason>
+//
+// An annotation applies to the source line it sits on (trailing
+// comment) and to the line immediately below it (own-line comment).
+// The reason is mandatory: a reasonless annotation suppresses nothing
+// and is itself reported as a finding, so every silenced diagnostic
+// carries a written justification next to the code it excuses. A
+// " // " sequence inside the comment starts a secondary comment that
+// is not part of the reason.
+package suppress
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repchain/tools/analysis"
+)
+
+// Prefix starts every repchain lint annotation.
+const Prefix = "//repchain:"
+
+// Annotation is one parsed suppression comment.
+type Annotation struct {
+	Pos       token.Pos
+	Directive string
+	Reason    string
+}
+
+// Set holds the annotations of one package for one directive.
+type Set struct {
+	fset      *token.FileSet
+	directive string
+	byLine    map[string]map[int]Annotation
+}
+
+// Collect gathers every annotation with the given directive from the
+// package's comments.
+func Collect(fset *token.FileSet, files []*ast.File, directive string) *Set {
+	s := &Set{fset: fset, directive: directive, byLine: map[string]map[int]Annotation{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, Prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, Prefix)
+				dir, reason, _ := strings.Cut(rest, " ")
+				if dir != directive {
+					continue
+				}
+				reason = strings.TrimSpace(reason)
+				if strings.HasPrefix(reason, "//") {
+					reason = ""
+				} else if i := strings.Index(reason, " // "); i >= 0 {
+					reason = reason[:i]
+				}
+				posn := fset.Position(c.Pos())
+				if s.byLine[posn.Filename] == nil {
+					s.byLine[posn.Filename] = map[int]Annotation{}
+				}
+				s.byLine[posn.Filename][posn.Line] = Annotation{
+					Pos:       c.Pos(),
+					Directive: dir,
+					Reason:    strings.TrimSpace(reason),
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a finding at pos is covered by an
+// annotation that carries a reason.
+func (s *Set) Suppressed(pos token.Pos) bool {
+	posn := s.fset.Position(pos)
+	lines := s.byLine[posn.Filename]
+	if a, ok := lines[posn.Line]; ok && a.Reason != "" {
+		return true
+	}
+	if a, ok := lines[posn.Line-1]; ok && a.Reason != "" {
+		return true
+	}
+	return false
+}
+
+// ReportMissingReasons emits one diagnostic per reasonless annotation,
+// so `//repchain:x-ok` without a justification fails the lint gate.
+func (s *Set) ReportMissingReasons(pass *analysis.Pass) {
+	for _, lines := range s.byLine {
+		for _, a := range lines {
+			if a.Reason == "" {
+				pass.Reportf(a.Pos, "suppression //repchain:%s is missing its mandatory reason", a.Directive)
+			}
+		}
+	}
+}

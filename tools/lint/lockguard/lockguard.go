@@ -1,0 +1,152 @@
+// Package lockguard checks that struct fields documented as
+// `// guarded by <mu>` are only touched inside functions that visibly
+// acquire that mutex. The check is lexical, not a happens-before
+// proof: a function passes if its body (closures included) contains a
+// <mu>.Lock() or <mu>.RLock() call, if its name ends in "Locked" (the
+// repo convention for callers-hold-the-lock helpers), or if the site
+// carries //repchain:lockguard-ok <reason> (e.g. constructors that
+// initialise fields before the value is shared).
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repchain/tools/analysis"
+	"repchain/tools/lint/internal/suppress"
+)
+
+// Directive is the suppression annotation this analyzer honours.
+const Directive = "lockguard-ok"
+
+// Analyzer enforces `// guarded by mu` field annotations.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated `// guarded by mu` may only be accessed in " +
+		"functions that lock mu, in *Locked helpers, or at sites " +
+		"annotated //repchain:lockguard-ok <reason>",
+	Run: run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	sup := suppress.Collect(pass.Fset, pass.Files, Directive)
+	sup.ReportMissingReasons(pass)
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && fd.Body == nil {
+				continue
+			}
+			var (
+				locked   map[string]bool
+				funcOK   bool
+				body     ast.Node = decl
+				funcName string
+			)
+			if isFunc {
+				locked = lockedMutexes(fd.Body)
+				funcName = fd.Name.Name
+				funcOK = strings.HasSuffix(funcName, "Locked") || sup.Suppressed(fd.Pos())
+				body = fd.Body
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pass.TypesInfo.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				mu, ok := guarded[selection.Obj()]
+				if !ok {
+					return true
+				}
+				if funcOK || locked[mu] || sup.Suppressed(sel.Pos()) {
+					return true
+				}
+				where := "at package scope"
+				if isFunc {
+					where = "in " + funcName
+				}
+				pass.Reportf(sel.Pos(), "field %s is guarded by %s but accessed %s without a visible %s.Lock/RLock; lock it, rename the helper *Locked, or annotate //repchain:lockguard-ok <reason>",
+					selection.Obj().Name(), mu, where, mu)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields maps each annotated field object to the name of
+// its guarding mutex.
+func collectGuardedFields(pass *analysis.Pass) map[types.Object]string {
+	guarded := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardName(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardName extracts the mutex name from a field's doc or trailing
+// comment, or "" when the field is unannotated.
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexes returns the names of mutexes on which the body calls
+// Lock or RLock, e.g. {"mu"} for s.mu.Lock().
+func lockedMutexes(body ast.Node) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			locked[x.Name] = true
+		case *ast.SelectorExpr:
+			locked[x.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"repchain/tools/analysis/analysistest"
+	"repchain/tools/lint/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer, "lockguard/a")
+}

@@ -1,0 +1,58 @@
+// Package a exercises the lockguard analyzer.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // unguarded scratch, free to touch
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `field n is guarded by mu but accessed in Bad without a visible mu.Lock/RLock`
+}
+
+func (c *counter) bumpLocked() { c.n++ } // the *Locked suffix promises the caller holds mu
+
+func (c *counter) Unguarded() int { return c.m }
+
+//repchain:lockguard-ok construction helper: the counter is not yet shared
+func newCounter(start int) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}
+
+func (c *counter) SuppressedSite() int {
+	return c.n //repchain:lockguard-ok fixture: caller documents an external happens-before edge
+}
+
+func (c *counter) Reasonless() int {
+	//repchain:lockguard-ok // want `missing its mandatory reason`
+	return c.n // want `field n is guarded by mu`
+}
+
+type rwBox struct {
+	mu sync.RWMutex
+	v  string // guarded by mu
+}
+
+func (b *rwBox) Read() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v
+}
+
+func (b *rwBox) closureUnderLock() func() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	// Lexical check: the closure sits in a body that locks mu.
+	return func() string { return b.v }
+}

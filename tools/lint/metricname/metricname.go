@@ -1,0 +1,108 @@
+// Package metricname promotes the metrics_catalogue_test.go drift
+// check to compile time: every metric name passed to a
+// repchain/internal/metrics registration method must be a constant
+// string that appears in the DESIGN.md §4c catalogue. Both this
+// analyzer and the runtime drift test parse the catalogue through the
+// same package (repchain/internal/designdoc), so the two gates cannot
+// disagree about what the catalogue says.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repchain/tools/analysis"
+	"repchain/tools/lint/internal/suppress"
+)
+
+// Directive is the suppression annotation this analyzer honours.
+const Directive = "metricname-ok"
+
+// metricsPkg is the import path whose registration methods are gated.
+const metricsPkg = "repchain/internal/metrics"
+
+// registrars are the Registry methods whose first argument is a
+// metric name.
+var registrars = map[string]bool{
+	"Counter": true, "Gauge": true, "Series": true,
+	"Histogram": true, "CounterVec": true, "HistogramVec": true,
+}
+
+// New builds the analyzer around a catalogue of documented metric
+// names; source names where the catalogue came from for diagnostics
+// (e.g. "DESIGN.md §4c").
+func New(catalogue map[string]bool, source string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "metricname",
+		Doc: "every metric name passed to metrics.Registry registration " +
+			"methods must be a constant string listed in the " + source +
+			" metric catalogue",
+		Run: func(pass *analysis.Pass) error {
+			return run(pass, catalogue, source)
+		},
+	}
+}
+
+func run(pass *analysis.Pass, catalogue map[string]bool, source string) error {
+	sup := suppress.Collect(pass.Fset, pass.Files, Directive)
+	sup.ReportMissingReasons(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != metricsPkg || !registrars[fn.Name()] {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil { // only Registry methods register names
+				return true
+			}
+			if sup.Suppressed(call.Pos()) {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(call.Args[0].Pos(), "metric name passed to metrics.%s must be a constant string so the %s catalogue can be checked at compile time",
+					fn.Name(), source)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !catalogue[name] {
+				pass.Reportf(call.Args[0].Pos(), "metric %q is not listed in the %s catalogue%s; document it there or annotate //repchain:metricname-ok <reason>",
+					name, source, nearMiss(name, catalogue))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nearMiss suggests a documented name sharing the flagged name's
+// prefix family, to catch typos like mempool.dept.
+func nearMiss(name string, catalogue map[string]bool) string {
+	family, _, ok := strings.Cut(name, ".")
+	if !ok {
+		return ""
+	}
+	var close []string
+	for doc := range catalogue {
+		if strings.HasPrefix(doc, family+".") {
+			close = append(close, doc)
+		}
+	}
+	sort.Strings(close)
+	if len(close) == 0 {
+		return ""
+	}
+	return " (documented in that family: " + strings.Join(close, ", ") + ")"
+}

@@ -1,0 +1,16 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"repchain/tools/analysis/analysistest"
+	"repchain/tools/lint/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	catalogue := map[string]bool{
+		"engine.rounds_total": true,
+		"mempool.depth":       true,
+	}
+	analysistest.Run(t, "testdata", metricname.New(catalogue, "test"), "metricname/a")
+}

@@ -1,0 +1,29 @@
+// Package a exercises the metricname analyzer against a test
+// catalogue containing engine.rounds_total and mempool.depth.
+package a
+
+import "repchain/internal/metrics"
+
+const depthName = "mempool.depth"
+
+func register(reg *metrics.Registry, dynamic string) {
+	reg.Counter("engine.rounds_total")                 // documented
+	reg.Gauge(depthName)                               // constants resolve at compile time
+	reg.Counter("engine.rounds_totol")                 // want `metric "engine.rounds_totol" is not listed in the test catalogue \(documented in that family: engine.rounds_total\)`
+	reg.Histogram("mempool.undocumented_seconds", nil) // want `metric "mempool.undocumented_seconds" is not listed`
+	reg.Gauge(dynamic)                                 // want `metric name passed to metrics.Gauge must be a constant string`
+	reg.CounterVec("totally.unknown", "label")         //repchain:metricname-ok fixture: experimental family pending a catalogue entry
+	//repchain:metricname-ok // want `missing its mandatory reason`
+	reg.Series("still.unknown") // want `metric "still.unknown" is not listed`
+}
+
+// lookalike has a Counter method outside the metrics package; its
+// names are not gated.
+type lookalike struct{}
+
+func (lookalike) Counter(name string) int { return 0 }
+
+func unrelated() {
+	var l lookalike
+	l.Counter("whatever.name")
+}

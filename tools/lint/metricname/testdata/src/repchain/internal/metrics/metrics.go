@@ -1,0 +1,28 @@
+// Package metrics is a fixture stub of repchain/internal/metrics: the
+// metricname analyzer matches registration methods by this import
+// path, so the stub only needs the Registry surface, not the real
+// implementations.
+package metrics
+
+type (
+	Registry     struct{}
+	Counter      struct{}
+	Gauge        struct{}
+	Series       struct{}
+	Histogram    struct{}
+	CounterVec   struct{}
+	HistogramVec struct{}
+)
+
+func (r *Registry) Counter(name string) *Counter { return nil }
+func (r *Registry) Gauge(name string) *Gauge     { return nil }
+func (r *Registry) Series(name string) *Series   { return nil }
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return nil
+}
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	return nil
+}
+func (r *Registry) HistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
+	return nil
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the wallclock analyzer inside the
+// deterministic scope.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks(epoch time.Time) time.Duration {
+	now := time.Now()     // want `time.Now reads the wall clock in deterministic package`
+	_ = time.Since(epoch) // want `time.Since reads the wall clock`
+	_ = time.Until(epoch) // want `time.Until reads the wall clock`
+	_ = time.Unix(0, 0)   // constructing a time from given numbers is deterministic
+	_ = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	return now.Sub(epoch)
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want `rand.Intn draws from the unseeded global math/rand source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand.Shuffle draws from the unseeded global`
+	return n
+}
+
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors are allowed
+	return rng.Float64()                  // methods on the seeded *rand.Rand are allowed
+}
+
+func suppressed() time.Time {
+	//repchain:wallclock-ok fixture: observational timestamp that never reaches protocol state
+	return time.Now()
+}
+
+func reasonless() time.Time {
+	//repchain:wallclock-ok // want `missing its mandatory reason`
+	return time.Now() // want `time.Now reads the wall clock`
+}

@@ -1,0 +1,13 @@
+// Package fixture proves wallclock stays silent outside the
+// deterministic scope: trace timestamping may read the wall clock and
+// the transport/admin runtimes may use time freely.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func jitter() int { return rand.Intn(10) }

@@ -1,0 +1,89 @@
+// Package wallclock forbids wall-clock reads and global (unseeded)
+// math/rand state in the deterministic replica packages. time.Now,
+// time.Since, and the package-level math/rand functions draw from
+// state no replica shares, so a single call on a consensus path forks
+// the alliance. Seeded generators (rand.New(rand.NewSource(seed)))
+// and *rand.Rand methods are allowed — the harness owns the seed. The
+// transport runtime, admin server, and trace timestamping live outside
+// the deterministic scope and are therefore untouched; the rare
+// in-scope observational read (stage timing that never feeds a
+// protocol decision) is annotated //repchain:wallclock-ok <reason>.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repchain/tools/analysis"
+	"repchain/tools/lint/internal/detscope"
+	"repchain/tools/lint/internal/suppress"
+)
+
+// Directive is the suppression annotation this analyzer honours.
+const Directive = "wallclock-ok"
+
+// Analyzer flags wall-clock and global-randomness reads in
+// deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/time.Until and package-level " +
+		"math/rand functions in deterministic packages; use the seeded " +
+		"*rand.Rand the harness injects, or annotate a purely " +
+		"observational site //repchain:wallclock-ok <reason>",
+	Run: run,
+}
+
+// bannedTime are the time functions that read the wall clock.
+var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// allowedRand are the math/rand package-level functions that construct
+// seeded generators rather than touching the global source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !detscope.Deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	sup := suppress.Collect(pass.Fset, pass.Files, Directive)
+	sup.ReportMissingReasons(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil { // methods (e.g. *rand.Rand) are fine
+				return true
+			}
+			var verdict string
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					verdict = "reads the wall clock"
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					verdict = "draws from the unseeded global math/rand source"
+				}
+			}
+			if verdict == "" {
+				return true
+			}
+			if sup.Suppressed(sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s %s in deterministic package %s: replicas would diverge; use the injected seeded state or annotate //repchain:wallclock-ok <reason>",
+				fn.Pkg().Name(), fn.Name(), verdict, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repchain/tools/analysis/analysistest"
+	"repchain/tools/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer,
+		"repchain/internal/consensus/fixture",
+		"repchain/internal/trace/fixture",
+	)
+}
