@@ -3,7 +3,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: all ci build test test-short race vet fmt-check lint tools-test vuln bench bench-round experiments examples demo apidiff clean
+.PHONY: all ci build test test-short race vet fmt-check lint tools-test vuln bench bench-round bench-check bench-baseline experiments examples demo apidiff clean
 
 all: build vet test race lint
 
@@ -58,11 +58,32 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# End-to-end round latency across worker counts, with the
-# signature-cache hit rate attached; raw tool output lands in
-# BENCH_round.json for dashboards and regression diffing.
+# End-to-end round latency across worker counts plus the hot-path
+# micro-benches behind it (batch signature verification, incremental
+# Merkle, pooled per-tx encoding); raw `go test -json` output lands in
+# BENCH_round.json for the bench-check gate and dashboards.
 bench-round:
-	$(GO) test -json -run '^$$' -bench BenchmarkFullProtocolRound -benchtime $(BENCHTIME) -benchmem . > BENCH_round.json
+	$(GO) test -json -run '^$$' \
+		-bench 'BenchmarkFullProtocolRound|BenchmarkVerifyBatch|BenchmarkVerifySequential|BenchmarkMerkleIncremental|BenchmarkTxEncodeSigning' \
+		-benchtime $(BENCHTIME) -benchmem . ./internal/crypto ./internal/tx > BENCH_round.json
+
+# Bench-regression gate (DESIGN.md §4f): compare the fresh
+# BENCH_round.json against the checked-in BENCH_baseline.json.
+# allocs/op growth is a hard failure; tx/s regression beyond 10% fails
+# too (override with BENCHCHECK_FLAGS='-txs-tol 0.5' on hardware that
+# differs from the baseline machine).
+BENCHCHECK_FLAGS ?=
+bench-check: bench-round
+	$(GO) run ./cmd/repchain-benchcheck -baseline BENCH_baseline.json \
+		-current BENCH_round.json -benchtime $(BENCHTIME) $(BENCHCHECK_FLAGS)
+
+# Refresh the baseline from a fresh run on this machine; commit the
+# rewritten BENCH_baseline.json when a PR intentionally shifts
+# performance.
+bench-baseline: bench-round
+	$(GO) run ./cmd/repchain-benchcheck -baseline BENCH_baseline.json \
+		-current BENCH_round.json -benchtime $(BENCHTIME) -update \
+		-machine "$$(uname -sm), $$(nproc 2>/dev/null || echo '?') cores"
 
 # Regenerate every evaluation table (EXPERIMENTS.md source).
 experiments:

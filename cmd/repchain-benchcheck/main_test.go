@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, m, ok := parseBenchLine(
+		"BenchmarkFullProtocolRound/workers=1-4 \t     100\t  1234567 ns/op\t 0.67 cache-hit-rate\t 912 tx/s\t 340 allocs/op")
+	if !ok {
+		t.Fatal("result line not recognized")
+	}
+	if name != "BenchmarkFullProtocolRound/workers=1" {
+		t.Fatalf("name %q: GOMAXPROCS suffix not stripped", name)
+	}
+	if m["ns/op"] != 1234567 || m["tx/s"] != 912 || m["allocs/op"] != 340 || m["cache-hit-rate"] != 0.67 {
+		t.Fatalf("metrics %v", m)
+	}
+
+	// Sub-bench names carrying their own -N must keep it.
+	name, _, ok = parseBenchLine("BenchmarkVerifyBatch/m=512-4 \t 50 \t 99 ns/op")
+	if !ok || name != "BenchmarkVerifyBatch/m=512" {
+		t.Fatalf("got %q, %v", name, ok)
+	}
+
+	for _, bad := range []string{
+		"",
+		"PASS",
+		"ok  \trepchain\t1.2s",
+		"BenchmarkFoo results pending", // non-numeric iteration count
+		"--- BENCH: BenchmarkFoo-4",
+	} {
+		if _, _, ok := parseBenchLine(bad); ok {
+			t.Fatalf("line %q parsed as a result", bad)
+		}
+	}
+}
+
+// TestParseBenchJSONReassembly checks that a benchmark name and its
+// numbers arriving as separate Output events (how go test -json
+// actually streams them) are stitched back together.
+func TestParseBenchJSONReassembly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "round.json")
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"repchain"}`,
+		`{"Action":"output","Package":"repchain","Output":"BenchmarkFullProtocolRound/workers=1-4         \t"}`,
+		`{"Action":"output","Package":"repchain","Output":"     100\t  5000000 ns/op\t 640 tx/s\t 300 allocs/op\n"}`,
+		`{"Action":"output","Package":"repchain/internal/crypto","Output":"BenchmarkVerifyBatch/m=8-4 \t 1000\t 80000 ns/op\t 12 allocs/op\n"}`,
+		`{"Action":"pass","Package":"repchain"}`,
+	}, "\n")
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkFullProtocolRound/workers=1"]["tx/s"] != 640 {
+		t.Fatalf("split result line not reassembled: %v", got)
+	}
+	if got["BenchmarkVerifyBatch/m=8"]["allocs/op"] != 12 {
+		t.Fatalf("crypto package result lost: %v", got)
+	}
+}
+
+func TestCheckGates(t *testing.T) {
+	base := map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 1000, "allocs/op": 100, "tx/s": 1000},
+		"BenchmarkB": {"ns/op": 500, "allocs/op": 4},
+	}
+	ok := map[string]map[string]float64{
+		// +10% allocs and -10% tx/s sit exactly on the boundary: pass.
+		"BenchmarkA": {"ns/op": 2000, "allocs/op": 110, "tx/s": 900},
+		// Small absolute growth on a tiny count is absorbed by the slack.
+		"BenchmarkB": {"ns/op": 400, "allocs/op": 9},
+	}
+	if f := check(base, ok, 0.10, 0.10, 8); len(f) != 0 {
+		t.Fatalf("boundary run failed: %v", f)
+	}
+
+	bad := map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 1000, "allocs/op": 200, "tx/s": 500},
+	}
+	f := check(base, bad, 0.10, 0.10, 8)
+	if len(f) != 3 {
+		t.Fatalf("got %d failures, want allocs + tx/s + missing BenchmarkB: %v", len(f), f)
+	}
+	joined := strings.Join(f, "\n")
+	for _, want := range []string{"allocs/op 200", "tx/s 500", "missing from current run"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("failures %v missing %q", f, want)
+		}
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // Sentinel decoding errors. Callers match these with errors.Is.
@@ -69,6 +71,104 @@ func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset discards the accumulated encoding but keeps the allocation.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Wrap returns an encoder that appends to dst, reusing its backing
+// array. Unlike GetEncoder it involves no pool and the returned value
+// can live on the caller's stack, so hot paths that already own a
+// scratch buffer encode with zero heap allocations:
+//
+//	e := codec.Wrap(buf[:0])
+//	v.Encode(&e)
+//	buf = e.Bytes()
+//
+// The encoder owns dst until Bytes is read back; dst must not be used
+// while encoding is in progress.
+func Wrap(dst []byte) Encoder { return Encoder{buf: dst} }
+
+// AppendTo appends the encoded bytes accumulated so far to dst and
+// returns the extended slice. It never aliases the encoder's internal
+// storage, so the result stays valid after Release or further Puts.
+func (e *Encoder) AppendTo(dst []byte) []byte {
+	return append(dst, e.buf...)
+}
+
+// Pooled encoders. Marshal sites on the drain→screen→pack hot path run
+// once per transaction per node; allocating a fresh buffer each time
+// dominated the allocation profile (DESIGN.md §4f). GetEncoder/Release
+// recycle buffers through a sync.Pool instead.
+//
+// Ownership rule: the caller owns the encoder from GetEncoder until
+// Release and must not touch the encoder, or any slice obtained from
+// Bytes, after Release. Data that outlives the encoder must be copied
+// out first (AppendTo does this).
+
+const (
+	// pooledEncoderCap is the initial capacity of pool-fresh encoders,
+	// sized for typical signed-transaction encodings.
+	pooledEncoderCap = 512
+	// maxPooledEncoderCap bounds the buffer capacity returned to the
+	// pool so one huge message cannot pin a huge buffer forever.
+	maxPooledEncoderCap = 1 << 20
+)
+
+var (
+	poolGets   atomic.Int64
+	poolPuts   atomic.Int64
+	poolMisses atomic.Int64
+
+	encoderPool = sync.Pool{New: func() any {
+		poolMisses.Add(1)
+		return &Encoder{buf: make([]byte, 0, pooledEncoderCap)}
+	}}
+)
+
+// GetEncoder returns an empty pooled encoder with at least sizeHint
+// bytes of capacity. Pass it back to Release when done.
+func GetEncoder(sizeHint int) *Encoder {
+	poolGets.Add(1)
+	e := encoderPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	if sizeHint > cap(e.buf) {
+		e.buf = make([]byte, 0, sizeHint)
+	}
+	return e
+}
+
+// Release returns a pooled encoder for reuse. The encoder and any
+// slice previously returned by Bytes must not be used afterwards.
+// Oversized buffers are shrunk so the pool holds only hot-path-sized
+// allocations.
+func (e *Encoder) Release() {
+	if e == nil {
+		return
+	}
+	if cap(e.buf) > maxPooledEncoderCap {
+		e.buf = make([]byte, 0, pooledEncoderCap)
+	}
+	e.buf = e.buf[:0]
+	poolPuts.Add(1)
+	encoderPool.Put(e)
+}
+
+// PoolStats is a snapshot of the pooled-encoder counters, exported as
+// the codec.pool_* gauges.
+type PoolStats struct {
+	// Gets counts GetEncoder calls.
+	Gets int64
+	// Puts counts Release calls.
+	Puts int64
+	// Misses counts pool misses that allocated a fresh encoder.
+	Misses int64
+}
+
+// EncoderPoolStats returns the cumulative pooled-encoder counters.
+func EncoderPoolStats() PoolStats {
+	return PoolStats{
+		Gets:   poolGets.Load(),
+		Puts:   poolPuts.Load(),
+		Misses: poolMisses.Load(),
+	}
+}
 
 // PutUvarint appends an unsigned varint.
 func (e *Encoder) PutUvarint(v uint64) {

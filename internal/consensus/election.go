@@ -2,8 +2,6 @@ package consensus
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"repchain/internal/codec"
 	"repchain/internal/crypto"
@@ -90,14 +88,12 @@ func DecodeTicket(d *codec.Decoder) (Ticket, error) {
 
 // EncodeTickets encodes a ticket batch as one payload.
 func EncodeTickets(ts []Ticket) []byte {
-	e := codec.NewEncoder(96 * (len(ts) + 1))
+	e := codec.Wrap(make([]byte, 0, 96*(len(ts)+1)))
 	e.PutInt(len(ts))
 	for _, t := range ts {
-		t.Encode(e)
+		t.Encode(&e)
 	}
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
-	return out
+	return e.Bytes()
 }
 
 // DecodeTickets decodes a ticket batch, requiring full consumption.
@@ -210,43 +206,29 @@ func (e *Election) Submit(j int, tickets []Ticket) error {
 	return nil
 }
 
-// verifyTickets checks every VRF proof of a batch, fanning the checks
-// across at most e.workers goroutines. The returned error is the one of
-// the lowest-indexed failing ticket, keeping error reporting
-// deterministic under any schedule.
+// verifyTickets checks every VRF proof of a batch through one
+// crypto.VerifyBatchWorkers pass: proof checks are ordinary signature
+// checks over VRFProofMessage(alpha), so the whole batch is classified
+// against the verification cache under a single lock and the residual
+// misses fan out across at most e.workers goroutines. The returned
+// error is the one of the lowest-indexed failing ticket, keeping error
+// reporting deterministic under any schedule.
 func (e *Election) verifyTickets(j int, tickets []Ticket) error {
-	if e.workers <= 1 || len(tickets) <= 1 {
-		for _, t := range tickets {
-			if err := VerifyTicket(e.pubs[j], e.prevHash, e.round, t); err != nil {
-				return err
-			}
-		}
+	if len(tickets) == 0 {
 		return nil
 	}
-	workers := e.workers
-	if workers > len(tickets) {
-		workers = len(tickets)
+	items := make([]crypto.BatchItem, len(tickets))
+	for i, t := range tickets {
+		if t.Unit < 0 {
+			return fmt.Errorf("ticket unit %d: %w", t.Unit, ErrBadTicket)
+		}
+		alpha := crypto.VRFAlpha(e.prevHash, e.round, t.Governor, t.Unit)
+		items[i] = crypto.BatchItem{Pub: e.pubs[j], Msg: crypto.VRFProofMessage(alpha), Sig: t.Proof}
 	}
-	errs := make([]error, len(tickets))
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(tickets) {
-					return
-				}
-				errs[i] = VerifyTicket(e.pubs[j], e.prevHash, e.round, tickets[i])
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	errs := crypto.VerifyBatchWorkers(items, e.workers)
+	for i, t := range tickets {
+		if errs[i] != nil || crypto.Sum(t.Proof) != t.Output {
+			return fmt.Errorf("ticket g%d/u%d: %w", t.Governor, t.Unit, ErrBadTicket)
 		}
 	}
 	return nil

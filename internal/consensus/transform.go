@@ -34,7 +34,7 @@ type StateProposal struct {
 }
 
 func stateSigningBytes(round uint64, leader int, newState []uint64, txs []StakeTx) []byte {
-	e := codec.NewEncoder(64 + 8*len(newState) + 64*len(txs))
+	e := codec.Wrap(make([]byte, 0, 64+8*len(newState)+64*len(txs)))
 	e.PutString("repchain/newstate/v1")
 	e.PutUint64(round)
 	e.PutInt(leader)
@@ -44,11 +44,9 @@ func stateSigningBytes(round uint64, leader int, newState []uint64, txs []StakeT
 	}
 	e.PutInt(len(txs))
 	for _, t := range txs {
-		t.Encode(e)
+		t.Encode(&e)
 	}
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
-	return out
+	return e.Bytes()
 }
 
 // ProposeState runs step 1: the leader applies the transfers to base
@@ -118,14 +116,12 @@ type Endorsement struct {
 }
 
 func endorsementSigningBytes(round uint64, governor int, stateHash crypto.Hash) []byte {
-	e := codec.NewEncoder(64)
+	e := codec.Wrap(make([]byte, 0, 64))
 	e.PutString("repchain/endorse/v1")
 	e.PutUint64(round)
 	e.PutInt(governor)
 	e.PutRaw(stateHash[:])
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
-	return out
+	return e.Bytes()
 }
 
 // Endorse produces governor j's signature over the proposal's state.
@@ -198,19 +194,43 @@ func AssembleStakeBlock(p StateProposal, endorsements []Endorsement, governorPub
 }
 
 // VerifyStakeBlock checks a received stake block: every governor's
-// endorsement over the block's state must verify.
+// endorsement over the block's state must verify. The endorsement set
+// is the block-signature batch of DESIGN.md §4f: the signatures are
+// checked in one crypto.VerifyBatch pass, then the verdicts are
+// replayed in endorsement order so the first failure reported is the
+// same one the per-endorsement loop would have found.
 func VerifyStakeBlock(b StakeBlock, governorPubs []crypto.PublicKey) error {
 	h := HashState(b.NewState)
+	items := make([]crypto.BatchItem, 0, len(b.Endorsements))
+	itemOf := make([]int, len(b.Endorsements))
+	for i, en := range b.Endorsements {
+		itemOf[i] = -1
+		if en.Governor < 0 || en.Governor >= len(governorPubs) ||
+			en.Round != b.Round || en.StateHash != h {
+			continue // reported in order below
+		}
+		itemOf[i] = len(items)
+		items = append(items, crypto.BatchItem{
+			Pub: governorPubs[en.Governor],
+			Msg: endorsementSigningBytes(en.Round, en.Governor, en.StateHash),
+			Sig: en.Sig,
+		})
+	}
+	verdicts := crypto.VerifyBatch(items)
 	have := make([]bool, len(governorPubs))
-	for _, en := range b.Endorsements {
+	for i, en := range b.Endorsements {
 		if en.Governor < 0 || en.Governor >= len(governorPubs) {
 			return fmt.Errorf("endorsement by governor %d: %w", en.Governor, ErrBadStake)
 		}
 		if en.Round != b.Round {
 			return fmt.Errorf("endorsement round %d in block round %d: %w", en.Round, b.Round, ErrStateMismatch)
 		}
-		if err := VerifyEndorsement(en, governorPubs[en.Governor], h); err != nil {
-			return err
+		if en.StateHash != h {
+			return fmt.Errorf("round %d governor %d endorsed %s, want %s: %w",
+				en.Round, en.Governor, en.StateHash.Short(), h.Short(), ErrStateMismatch)
+		}
+		if verdicts[itemOf[i]] != nil {
+			return fmt.Errorf("round %d endorsement by %d: %w", en.Round, en.Governor, ErrBadSignature)
 		}
 		have[en.Governor] = true
 	}
@@ -239,16 +259,14 @@ type Evidence struct {
 }
 
 func evidenceSigningBytes(accuser int, p StateProposal, reason string) []byte {
-	e := codec.NewEncoder(128)
+	e := codec.Wrap(make([]byte, 0, 128))
 	e.PutString("repchain/evidence/v1")
 	e.PutInt(accuser)
 	e.PutUint64(p.Round)
 	e.PutInt(p.Leader)
 	e.PutBytes(p.Sig)
 	e.PutString(reason)
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
-	return out
+	return e.Bytes()
 }
 
 // AccuseLeader builds signed expulsion evidence from a failed

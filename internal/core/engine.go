@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"time"
 
+	"repchain/internal/codec"
 	"repchain/internal/consensus"
 	"repchain/internal/crypto"
 	"repchain/internal/identity"
@@ -553,6 +554,20 @@ func (e *Engine) publishCryptoMetrics() {
 	e.reg.Gauge("sigcache.hits").Set(float64(hits))
 	e.reg.Gauge("sigcache.misses").Set(float64(misses))
 	e.reg.Gauge("sigcache.hit_rate").Set(crypto.DefaultVerifyCache.HitRate())
+	bs := crypto.DefaultVerifyCache.BatchStats()
+	e.reg.Gauge("sigcache.batch_calls").Set(float64(bs.Calls))
+	e.reg.Gauge("sigcache.batch_items").Set(float64(bs.Items))
+	e.reg.Gauge("sigcache.batch_hits").Set(float64(bs.Hits))
+	e.reg.Gauge("sigcache.batch_deduped").Set(float64(bs.Deduped))
+	e.reg.Gauge("sigcache.batch_verified").Set(float64(bs.Verified))
+	e.reg.Gauge("sigcache.batch_failed").Set(float64(bs.Failed))
+	ps := codec.EncoderPoolStats()
+	e.reg.Gauge("codec.pool_gets").Set(float64(ps.Gets))
+	e.reg.Gauge("codec.pool_puts").Set(float64(ps.Puts))
+	e.reg.Gauge("codec.pool_misses").Set(float64(ps.Misses))
+	ms := crypto.MerkleBuildStats()
+	e.reg.Gauge("merkle.incremental_leaves").Set(float64(ms.Leaves))
+	e.reg.Gauge("merkle.incremental_roots").Set(float64(ms.Roots))
 }
 
 // SubmitTx has provider k sign a transaction and stage it in the
@@ -650,15 +665,11 @@ func (e *Engine) pumpGovernors() ([][]network.Message, error) {
 			return nil
 		}
 		g := e.governors[j]
-		for _, m := range g.Endpoint().Receive() {
-			consumed, err := g.HandleMessage(m)
-			if err != nil {
-				return err
-			}
-			if !consumed {
-				rest[j] = append(rest[j], m)
-			}
+		r, err := g.HandleBatch(g.Endpoint().Receive())
+		if err != nil {
+			return err
 		}
+		rest[j] = r
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,296 @@
+package crypto
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// batchFixture builds n distinct (key, msg, sig) items signed by a
+// deterministic key set.
+func batchFixture(t testing.TB, n, keys int) ([]BatchItem, []PrivateKey) {
+	t.Helper()
+	if keys <= 0 {
+		keys = 1
+	}
+	privs := make([]PrivateKey, keys)
+	pubs := make([]PublicKey, keys)
+	for k := range privs {
+		seed := make([]byte, SeedSize)
+		seed[0] = byte(k + 1)
+		seed[1] = byte(k >> 8)
+		pub, priv, err := KeyFromSeed(seed)
+		if err != nil {
+			t.Fatalf("key %d: %v", k, err)
+		}
+		pubs[k], privs[k] = pub, priv
+	}
+	items := make([]BatchItem, n)
+	for i := range items {
+		k := i % keys
+		msg := []byte(fmt.Sprintf("batch message %d", i))
+		items[i] = BatchItem{Pub: pubs[k], Msg: msg, Sig: privs[k].Sign(msg)}
+	}
+	return items, privs
+}
+
+func TestVerifyBatchAllValid(t *testing.T) {
+	items, _ := batchFixture(t, 64, 4)
+	c := NewVerifyCache(256)
+	errs := c.VerifyBatch(items)
+	if len(errs) != len(items) {
+		t.Fatalf("got %d verdicts for %d items", len(errs), len(items))
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("item %d: unexpected error %v", i, err)
+		}
+	}
+	bs := c.BatchStats()
+	if bs.Calls != 1 || bs.Items != 64 || bs.Verified != 64 || bs.Hits != 0 || bs.Failed != 0 {
+		t.Fatalf("stats %+v, want 1 call / 64 items / 64 verified / 0 hits / 0 failed", bs)
+	}
+}
+
+// TestVerifyBatchSingleBadSig plants exactly one bad signature in a
+// 512-item batch and checks that the offender is identified at the
+// same index, with the same error classification, as the per-signature
+// path produces.
+func TestVerifyBatchSingleBadSig(t *testing.T) {
+	const n, bad = 512, 137
+	items, _ := batchFixture(t, n, 8)
+	items[bad].Sig = append([]byte(nil), items[bad].Sig...)
+	items[bad].Sig[5] ^= 0x40
+
+	// Reference: the sequential per-signature path on a fresh cache.
+	ref := NewVerifyCache(1024)
+	want := make([]error, n)
+	for i, it := range items {
+		want[i] = ref.Verify(it.Pub, it.Msg, it.Sig)
+	}
+
+	c := NewVerifyCache(1024)
+	got := c.VerifyBatch(items)
+	for i := range items {
+		if (got[i] == nil) != (want[i] == nil) {
+			t.Fatalf("item %d: batch %v, sequential %v", i, got[i], want[i])
+		}
+		if got[i] != nil && !errors.Is(got[i], ErrBadSignature) {
+			t.Fatalf("item %d: error %v, want ErrBadSignature", i, got[i])
+		}
+	}
+	for i, err := range got {
+		if (err != nil) != (i == bad) {
+			t.Fatalf("item %d: error %v; only index %d should fail", i, err, bad)
+		}
+	}
+	bs := c.BatchStats()
+	if bs.Failed != 1 {
+		t.Fatalf("batchFailed %d, want 1", bs.Failed)
+	}
+}
+
+// TestVerifyBatchStructuralErrors checks that malformed keys and
+// signatures fail identically to PublicKey.Verify, bypassing the cache.
+func TestVerifyBatchStructuralErrors(t *testing.T) {
+	items, _ := batchFixture(t, 4, 1)
+	items[1].Sig = items[1].Sig[:10] // truncated signature
+	items[2].Pub = PublicKey{}       // zero key
+	errs := NewVerifyCache(16).VerifyBatch(items)
+	for _, i := range []int{1, 2} {
+		if errs[i] == nil || !errors.Is(errs[i], ErrBadInput) {
+			t.Fatalf("item %d: error %v, want ErrBadInput", i, errs[i])
+		}
+	}
+	for _, i := range []int{0, 3} {
+		if errs[i] != nil {
+			t.Fatalf("item %d: unexpected error %v", i, errs[i])
+		}
+	}
+}
+
+// TestVerifyBatchDeduplicates feeds duplicate (key, msg, sig) triples
+// and checks that the duplicates coalesce onto one verification.
+func TestVerifyBatchDeduplicates(t *testing.T) {
+	base, _ := batchFixture(t, 8, 2)
+	items := make([]BatchItem, 0, 24)
+	for r := 0; r < 3; r++ {
+		items = append(items, base...)
+	}
+	c := NewVerifyCache(64)
+	errs := c.VerifyBatch(items)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("item %d: unexpected error %v", i, err)
+		}
+	}
+	bs := c.BatchStats()
+	if bs.Verified != 8 {
+		t.Fatalf("verified %d distinct triples, want 8", bs.Verified)
+	}
+	if bs.Deduped != 16 {
+		t.Fatalf("deduped %d, want 16", bs.Deduped)
+	}
+	if _, misses := c.Stats(); misses != 8 {
+		t.Fatalf("cache misses %d, want 8", misses)
+	}
+}
+
+// TestVerifyBatchDeduplicatesFailure checks that duplicates of a bad
+// triple all report the owner's error.
+func TestVerifyBatchDeduplicatesFailure(t *testing.T) {
+	items, _ := batchFixture(t, 2, 1)
+	items[0].Sig = append([]byte(nil), items[0].Sig...)
+	items[0].Sig[3] ^= 0x01
+	items = append(items, items[0], items[1], items[0])
+	errs := NewVerifyCache(16).VerifyBatch(items)
+	for _, i := range []int{0, 2, 4} {
+		if !errors.Is(errs[i], ErrBadSignature) {
+			t.Fatalf("item %d: error %v, want ErrBadSignature", i, errs[i])
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if errs[i] != nil {
+			t.Fatalf("item %d: unexpected error %v", i, errs[i])
+		}
+	}
+}
+
+// TestVerifyBatchUsesCache pre-warms the cache through the sequential
+// path and checks the batch path performs zero new verifications.
+func TestVerifyBatchUsesCache(t *testing.T) {
+	items, _ := batchFixture(t, 32, 4)
+	c := NewVerifyCache(128)
+	for _, it := range items {
+		if err := c.Verify(it.Pub, it.Msg, it.Sig); err != nil {
+			t.Fatalf("warm: %v", err)
+		}
+	}
+	_, misses0 := c.Stats()
+	errs := c.VerifyBatch(items)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("item %d: unexpected error %v", i, err)
+		}
+	}
+	if _, misses1 := c.Stats(); misses1 != misses0 {
+		t.Fatalf("warm batch performed %d verifications, want 0", misses1-misses0)
+	}
+	bs := c.BatchStats()
+	if bs.Hits != 32 || bs.Verified != 0 {
+		t.Fatalf("stats %+v, want 32 hits / 0 verified", bs)
+	}
+}
+
+// TestVerifyBatchInsertsIntoCache checks batch-verified triples land in
+// the cache so a later sequential Verify hits.
+func TestVerifyBatchInsertsIntoCache(t *testing.T) {
+	items, _ := batchFixture(t, 16, 2)
+	c := NewVerifyCache(64)
+	c.VerifyBatch(items)
+	hits0, misses0 := c.Stats()
+	for i, it := range items {
+		if err := c.Verify(it.Pub, it.Msg, it.Sig); err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+	hits1, misses1 := c.Stats()
+	if misses1 != misses0 || hits1-hits0 != 16 {
+		t.Fatalf("re-verify after batch: %d hits %d misses, want 16 hits 0 misses",
+			hits1-hits0, misses1-misses0)
+	}
+}
+
+// TestVerifyBatchWorkersDeterministic checks that the verdict vector is
+// identical at every worker count, including with planted failures.
+func TestVerifyBatchWorkersDeterministic(t *testing.T) {
+	items, _ := batchFixture(t, 128, 8)
+	for _, bad := range []int{3, 64, 127} {
+		items[bad].Sig = append([]byte(nil), items[bad].Sig...)
+		items[bad].Sig[0] ^= 0x80
+	}
+	ref := NewVerifyCache(512).VerifyBatchWorkers(items, 1)
+	for _, w := range []int{2, 4, 8, 16} {
+		got := NewVerifyCache(512).VerifyBatchWorkers(items, w)
+		for i := range items {
+			if (got[i] == nil) != (ref[i] == nil) {
+				t.Fatalf("workers=%d item %d: %v, sequential %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestVerifyBatchConcurrent hammers one cache from many goroutines with
+// overlapping batches; the race detector guards the locking discipline.
+func TestVerifyBatchConcurrent(t *testing.T) {
+	items, _ := batchFixture(t, 64, 4)
+	c := NewVerifyCache(32) // small: forces eviction alongside in-flight entries
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sub := items[(g*8)%32 : (g*8)%32+32]
+			for r := 0; r < 4; r++ {
+				for i, err := range c.VerifyBatch(sub) {
+					if err != nil {
+						t.Errorf("goroutine %d item %d: %v", g, i, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestVerifyBatchEmpty(t *testing.T) {
+	if errs := NewVerifyCache(16).VerifyBatch(nil); len(errs) != 0 {
+		t.Fatalf("nil batch returned %d verdicts", len(errs))
+	}
+}
+
+// BenchmarkVerifyBatch measures the batch path on all-miss batches of
+// m signatures (the per-round shape: m uploads drained at once). The
+// cache is purged every iteration so each batch performs its m real
+// verifications; ns/op therefore tracks raw throughput while allocs/op
+// tracks the classification overhead.
+func BenchmarkVerifyBatch(b *testing.B) {
+	for _, m := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			items, _ := batchFixture(b, m, 8)
+			c := NewVerifyCache(m * 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Purge()
+				errs := c.VerifyBatch(items)
+				if errs[0] != nil {
+					b.Fatal(errs[0])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifySequential is the per-signature baseline for the same
+// all-miss workload.
+func BenchmarkVerifySequential(b *testing.B) {
+	for _, m := range []int{8, 64} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			items, _ := batchFixture(b, m, 8)
+			c := NewVerifyCache(m * 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Purge()
+				for _, it := range items {
+					if err := c.Verify(it.Pub, it.Msg, it.Sig); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package crypto
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Merkle tree over transaction lists. The paper's block carries
@@ -80,37 +81,215 @@ type MerkleProof struct {
 	Index int
 }
 
-// BuildMerkleProof constructs an inclusion proof for leaves[index].
+// BuildMerkleProof constructs an inclusion proof for leaves[index]. It
+// feeds the leaves through a MerkleBuilder and derives the proof from
+// the builder's stored levels.
 func BuildMerkleProof(leaves [][]byte, index int) (MerkleProof, error) {
 	if len(leaves) == 0 {
 		return MerkleProof{}, ErrEmptyTree
 	}
-	if index < 0 || index >= len(leaves) {
-		return MerkleProof{}, fmt.Errorf("index %d of %d leaves: %w", index, len(leaves), ErrBadProofIndex)
+	b := NewMerkleBuilder(len(leaves))
+	for _, l := range leaves {
+		b.Add(l)
 	}
-	level := make([]Hash, len(leaves))
-	for i, l := range leaves {
-		level[i] = merkleLeaf(l)
+	return b.Proof(index)
+}
+
+// Incremental-builder accounting, exported as the merkle.incremental_*
+// gauges.
+var (
+	merkleIncrementalLeaves atomic.Int64
+	merkleIncrementalRoots  atomic.Int64
+)
+
+// MerkleStats is a snapshot of the incremental-builder counters.
+type MerkleStats struct {
+	// Leaves counts leaves fed through MerkleBuilder.Add.
+	Leaves int64
+	// Roots counts MerkleBuilder.Root computations.
+	Roots int64
+}
+
+// MerkleBuildStats returns the cumulative incremental-builder counters.
+func MerkleBuildStats() MerkleStats {
+	return MerkleStats{
+		Leaves: merkleIncrementalLeaves.Load(),
+		Roots:  merkleIncrementalRoots.Load(),
+	}
+}
+
+// MerkleBuilder computes the same commitment as MerkleRoot but
+// incrementally: leaves are appended one at a time while a block is
+// being packed, and the root is available in O(log n) once packing
+// finishes, instead of re-hashing every leaf at commit.
+//
+// The builder stores one slice of completed nodes per level. Appending
+// a leaf hashes it onto level 0; whenever a level's length becomes
+// even, the new pair is combined and pushed to the level above, so at
+// every moment level k holds the roots of the completed 2^k-leaf
+// subtrees in order. Root folds the at-most-one dangling node per level
+// with the odd-duplication rule, which reproduces MerkleRoot exactly
+// (equivalence sketch in DESIGN.md §4f, exhaustive test in
+// merkle_test.go).
+//
+// After a Reset the builder reuses its level and scratch storage, so
+// steady-state Add performs no heap allocation. A builder is not safe
+// for concurrent use.
+type MerkleBuilder struct {
+	// levels[k] holds the completed 2^k-subtree roots, in leaf order.
+	levels [][]Hash
+	// scratch is the reusable leaf-tagging buffer.
+	scratch []byte
+	// n is the number of leaves added since the last Reset.
+	n int
+}
+
+// NewMerkleBuilder returns a builder with level-0 capacity preallocated
+// for sizeHint leaves.
+func NewMerkleBuilder(sizeHint int) *MerkleBuilder {
+	b := &MerkleBuilder{scratch: make([]byte, 0, 256)}
+	if sizeHint > 0 {
+		b.levels = append(b.levels, make([]Hash, 0, sizeHint))
+	}
+	return b
+}
+
+// Reset discards all leaves but keeps the allocated levels and scratch
+// buffer for reuse.
+func (b *MerkleBuilder) Reset() {
+	for i := range b.levels {
+		b.levels[i] = b.levels[i][:0]
+	}
+	b.levels = b.levels[:0]
+	b.n = 0
+}
+
+// Len reports the number of leaves added since the last Reset.
+func (b *MerkleBuilder) Len() int { return b.n }
+
+// Add appends one leaf payload to the tree.
+func (b *MerkleBuilder) Add(leaf []byte) {
+	b.scratch = append(b.scratch[:0], merkleLeafTag)
+	b.scratch = append(b.scratch, leaf...)
+	b.push(0, Sum(b.scratch))
+	b.n++
+	merkleIncrementalLeaves.Add(1)
+}
+
+// push appends a completed node to the given level, combining upward
+// whenever the append completes a pair.
+func (b *MerkleBuilder) push(level int, h Hash) {
+	if level == len(b.levels) {
+		if level < cap(b.levels) {
+			// Reactivate a level truncated by Reset, keeping its
+			// allocated node storage.
+			b.levels = b.levels[:level+1]
+		} else {
+			b.levels = append(b.levels, nil)
+		}
+	}
+	b.levels[level] = append(b.levels[level], h)
+	if l := b.levels[level]; len(l)%2 == 0 {
+		b.push(level+1, merkleNode(l[len(l)-2], l[len(l)-1]))
+	}
+}
+
+// Root returns the Merkle root over the leaves added so far, ZeroHash
+// for an empty builder. It does not modify the builder; more leaves may
+// be added afterwards.
+func (b *MerkleBuilder) Root() Hash {
+	merkleIncrementalRoots.Add(1)
+	if b.n == 0 {
+		return ZeroHash
+	}
+	// Fold levels bottom-up. carry is the root of the trailing partial
+	// subtree formed below the current level; a dangling (odd) stored
+	// node absorbs it, and per the odd-duplication rule a dangling node
+	// or carry without a partner pairs with itself.
+	var carry Hash
+	have := false
+	for lvl, stored := range b.levels {
+		odd := len(stored)%2 == 1
+		switch {
+		case odd && have:
+			carry = merkleNode(stored[len(stored)-1], carry)
+		case odd && lvl == len(b.levels)-1:
+			// The top level always holds exactly one node; with no
+			// carry pending it is the root itself.
+			return stored[0]
+		case odd:
+			last := stored[len(stored)-1]
+			carry = merkleNode(last, last)
+			have = true
+		case have:
+			carry = merkleNode(carry, carry)
+		}
+	}
+	return carry
+}
+
+// Proof returns an inclusion proof for the index-th leaf over the
+// current builder contents, reusing the stored levels. The proof
+// verifies against Root with VerifyMerkleProof.
+func (b *MerkleBuilder) Proof(index int) (MerkleProof, error) {
+	if b.n == 0 {
+		return MerkleProof{}, ErrEmptyTree
+	}
+	if index < 0 || index >= b.n {
+		return MerkleProof{}, fmt.Errorf("index %d of %d leaves: %w", index, b.n, ErrBadProofIndex)
+	}
+	// Replay the Root fold, recording per level the derived node — the
+	// trailing-subtree root that a full level-by-level rebuild would
+	// append after the stored nodes.
+	derived := make([]Hash, len(b.levels))
+	haveDerived := make([]bool, len(b.levels))
+	var carry Hash
+	have := false
+	for lvl, stored := range b.levels {
+		if have {
+			derived[lvl] = carry
+			haveDerived[lvl] = true
+		}
+		odd := len(stored)%2 == 1
+		switch {
+		case odd && have:
+			carry = merkleNode(stored[len(stored)-1], carry)
+		case odd && lvl == len(b.levels)-1:
+			// Root is stored; nothing to derive above.
+		case odd:
+			last := stored[len(stored)-1]
+			carry = merkleNode(last, last)
+			have = true
+		case have:
+			carry = merkleNode(carry, carry)
+		}
+	}
+	effLen := func(lvl int) int {
+		if lvl >= len(b.levels) {
+			return 1
+		}
+		n := len(b.levels[lvl])
+		if haveDerived[lvl] {
+			n++
+		}
+		return n
+	}
+	nodeAt := func(lvl, i int) Hash {
+		if i < len(b.levels[lvl]) {
+			return b.levels[lvl][i]
+		}
+		return derived[lvl]
 	}
 	proof := MerkleProof{Index: index}
 	pos := index
-	for len(level) > 1 {
+	for lvl := 0; effLen(lvl) > 1; lvl++ {
+		n := effLen(lvl)
 		sib := pos ^ 1
-		if sib >= len(level) {
+		if sib >= n {
 			sib = pos // odd level: duplicated node
 		}
-		proof.Siblings = append(proof.Siblings, level[sib])
-		proof.RightSibling = append(proof.RightSibling, sib > pos || sib == pos)
-
-		next := make([]Hash, 0, (len(level)+1)/2)
-		for i := 0; i < len(level); i += 2 {
-			if i+1 < len(level) {
-				next = append(next, merkleNode(level[i], level[i+1]))
-			} else {
-				next = append(next, merkleNode(level[i], level[i]))
-			}
-		}
-		level = next
+		proof.Siblings = append(proof.Siblings, nodeAt(lvl, sib))
+		proof.RightSibling = append(proof.RightSibling, sib >= pos)
 		pos /= 2
 	}
 	return proof, nil

@@ -1,0 +1,183 @@
+package crypto
+
+import (
+	"fmt"
+	"testing"
+)
+
+// refBuildProof is the pre-builder proof construction: rebuild every
+// level from the leaves and walk sibling positions. The incremental
+// builder must reproduce it bit for bit.
+func refBuildProof(leaves [][]byte, index int) MerkleProof {
+	level := make([]Hash, len(leaves))
+	for i, l := range leaves {
+		level[i] = merkleLeaf(l)
+	}
+	proof := MerkleProof{Index: index}
+	pos := index
+	for len(level) > 1 {
+		sib := pos ^ 1
+		if sib >= len(level) {
+			sib = pos
+		}
+		proof.Siblings = append(proof.Siblings, level[sib])
+		proof.RightSibling = append(proof.RightSibling, sib >= pos)
+
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, merkleNode(level[i], level[i+1]))
+			} else {
+				next = append(next, merkleNode(level[i], level[i]))
+			}
+		}
+		level = next
+		pos /= 2
+	}
+	return proof
+}
+
+func proofsEqual(a, b MerkleProof) bool {
+	if a.Index != b.Index || len(a.Siblings) != len(b.Siblings) || len(a.RightSibling) != len(b.RightSibling) {
+		return false
+	}
+	for i := range a.Siblings {
+		if a.Siblings[i] != b.Siblings[i] || a.RightSibling[i] != b.RightSibling[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMerkleBuilderMatchesMerkleRoot(t *testing.T) {
+	for n := 0; n <= 65; n++ {
+		leaves := makeLeaves(n)
+		b := NewMerkleBuilder(n)
+		for _, l := range leaves {
+			b.Add(l)
+		}
+		if b.Len() != n {
+			t.Fatalf("n=%d: Len() = %d", n, b.Len())
+		}
+		if got, want := b.Root(), MerkleRoot(leaves); got != want {
+			t.Fatalf("n=%d: builder root %s, MerkleRoot %s", n, got.Short(), want.Short())
+		}
+	}
+}
+
+func TestMerkleBuilderRootIsNonDestructive(t *testing.T) {
+	leaves := makeLeaves(13)
+	b := NewMerkleBuilder(0)
+	for i, l := range leaves {
+		b.Add(l)
+		if got, want := b.Root(), MerkleRoot(leaves[:i+1]); got != want {
+			t.Fatalf("after %d leaves: root %s, want %s", i+1, got.Short(), want.Short())
+		}
+	}
+}
+
+func TestMerkleBuilderProofMatchesReference(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		leaves := makeLeaves(n)
+		b := NewMerkleBuilder(n)
+		for _, l := range leaves {
+			b.Add(l)
+		}
+		root := b.Root()
+		for idx := 0; idx < n; idx++ {
+			got, err := b.Proof(idx)
+			if err != nil {
+				t.Fatalf("n=%d idx=%d: %v", n, idx, err)
+			}
+			if want := refBuildProof(leaves, idx); !proofsEqual(got, want) {
+				t.Fatalf("n=%d idx=%d: builder proof differs from reference", n, idx)
+			}
+			if !VerifyMerkleProof(root, leaves[idx], got) {
+				t.Fatalf("n=%d idx=%d: proof does not verify", n, idx)
+			}
+		}
+	}
+}
+
+func TestMerkleBuilderProofErrors(t *testing.T) {
+	b := NewMerkleBuilder(0)
+	if _, err := b.Proof(0); err != ErrEmptyTree {
+		t.Fatalf("empty builder: %v", err)
+	}
+	b.Add([]byte("x"))
+	for _, idx := range []int{-1, 1, 100} {
+		if _, err := b.Proof(idx); err == nil {
+			t.Fatalf("index %d: expected error", idx)
+		}
+	}
+}
+
+func TestMerkleBuilderResetReuse(t *testing.T) {
+	b := NewMerkleBuilder(4)
+	for round := 0; round < 4; round++ {
+		n := 1 + round*7
+		leaves := makeLeaves(n)
+		b.Reset()
+		for _, l := range leaves {
+			b.Add(l)
+		}
+		if got, want := b.Root(), MerkleRoot(leaves); got != want {
+			t.Fatalf("round %d (n=%d): root %s, want %s", round, n, got.Short(), want.Short())
+		}
+	}
+	b.Reset()
+	if got := b.Root(); got != ZeroHash {
+		t.Fatalf("reset builder root %s, want zero", got.Short())
+	}
+}
+
+func TestMerkleBuilderAddNoAllocsSteadyState(t *testing.T) {
+	b := NewMerkleBuilder(0)
+	leaf := []byte("steady-state leaf payload, fixed size")
+	// Warm the level and scratch storage well past what the measured
+	// runs will need.
+	for i := 0; i < 2048; i++ {
+		b.Add(leaf)
+	}
+	b.Reset()
+	allocs := testing.AllocsPerRun(200, func() {
+		if b.Len() >= 2048 {
+			b.Reset()
+		}
+		b.Add(leaf)
+	})
+	if allocs != 0 {
+		t.Fatalf("MerkleBuilder.Add allocates %.1f per op in steady state, want 0", allocs)
+	}
+}
+
+func TestMerkleBuildStatsAdvance(t *testing.T) {
+	before := MerkleBuildStats()
+	b := NewMerkleBuilder(0)
+	b.Add([]byte("a"))
+	b.Add([]byte("b"))
+	_ = b.Root()
+	after := MerkleBuildStats()
+	if after.Leaves-before.Leaves < 2 {
+		t.Fatalf("leaf counter advanced %d, want >= 2", after.Leaves-before.Leaves)
+	}
+	if after.Roots-before.Roots < 1 {
+		t.Fatalf("root counter advanced %d, want >= 1", after.Roots-before.Roots)
+	}
+}
+
+func BenchmarkMerkleIncremental(b *testing.B) {
+	leaves := makeLeaves(512)
+	mb := NewMerkleBuilder(512)
+	var root Hash
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mb.Reset()
+		for _, l := range leaves {
+			mb.Add(l)
+		}
+		root = mb.Root()
+	}
+	_ = fmt.Sprintf("%v", root)
+}

@@ -36,6 +36,15 @@ type VerifyCache struct {
 
 	hits   metrics.Counter
 	misses metrics.Counter
+
+	// Batch-path accounting (DESIGN.md §4f), exposed via BatchStats as
+	// the sigcache.batch_* gauges.
+	batchCalls    metrics.Counter
+	batchItems    metrics.Counter
+	batchHits     metrics.Counter
+	batchDeduped  metrics.Counter
+	batchVerified metrics.Counter
+	batchFailed   metrics.Counter
 }
 
 // verifyEntry is one cached verdict. ready is closed once ok holds the

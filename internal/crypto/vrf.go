@@ -35,12 +35,20 @@ type VRFOutput struct {
 	Proof []byte
 }
 
-// VRFEval evaluates the VRF at input alpha.
-func VRFEval(priv PrivateKey, alpha []byte) VRFOutput {
+// VRFProofMessage returns the exact byte string a VRF proof signs for
+// input alpha: the domain tag followed by alpha. Batch verifiers use it
+// to express proof checks as ordinary signature checks over the same
+// bytes VRFVerify would build.
+func VRFProofMessage(alpha []byte) []byte {
 	msg := make([]byte, 0, len(vrfDomainTag)+len(alpha))
 	msg = append(msg, vrfDomainTag...)
 	msg = append(msg, alpha...)
-	proof := priv.Sign(msg)
+	return msg
+}
+
+// VRFEval evaluates the VRF at input alpha.
+func VRFEval(priv PrivateKey, alpha []byte) VRFOutput {
+	proof := priv.Sign(VRFProofMessage(alpha))
 	return VRFOutput{Output: Sum(proof), Proof: proof}
 }
 
@@ -51,10 +59,7 @@ func VRFEval(priv PrivateKey, alpha []byte) VRFOutput {
 // other governor's tickets, so each proof is re-checked m−1 times per
 // round with identical inputs.
 func VRFVerify(pub PublicKey, alpha []byte, out VRFOutput) error {
-	msg := make([]byte, 0, len(vrfDomainTag)+len(alpha))
-	msg = append(msg, vrfDomainTag...)
-	msg = append(msg, alpha...)
-	if err := CachedVerify(pub, msg, out.Proof); err != nil {
+	if err := CachedVerify(pub, VRFProofMessage(alpha), out.Proof); err != nil {
 		return fmt.Errorf("vrf proof: %w", ErrBadProof)
 	}
 	if Sum(out.Proof) != out.Output {

@@ -119,24 +119,31 @@ type Block struct {
 	Signature []byte
 }
 
-// ComputeTxRoot returns the Merkle root over the block's records.
-func ComputeTxRoot(records []Record) crypto.Hash {
-	leaves := make([][]byte, len(records))
-	for i, r := range records {
-		e := codec.NewEncoder(256)
-		r.Encode(e)
-		leaf := make([]byte, e.Len())
-		copy(leaf, e.Bytes())
-		leaves[i] = leaf
+// AppendTxRoot feeds each record's canonical encoding into mb in
+// order. Proposers call it with the builder they fill while packing so
+// the root is ready at commit time; enc is a scratch encoder reused
+// across records.
+func AppendTxRoot(mb *crypto.MerkleBuilder, enc *codec.Encoder, records []Record) {
+	for _, r := range records {
+		enc.Reset()
+		r.Encode(enc)
+		mb.Add(enc.Bytes())
 	}
-	return crypto.MerkleRoot(leaves)
 }
 
-// hashableBytes returns the canonical encoding of everything the block
+// ComputeTxRoot returns the Merkle root over the block's records.
+func ComputeTxRoot(records []Record) crypto.Hash {
+	mb := crypto.NewMerkleBuilder(len(records))
+	enc := codec.GetEncoder(256)
+	AppendTxRoot(mb, enc, records)
+	enc.Release()
+	return mb.Root()
+}
+
+// encodeHashable appends the canonical encoding of everything the block
 // hash covers: serial, records, previous hash, transaction root, and
 // proposer — but not the proposer signature, which signs the hash.
-func (b Block) hashableBytes() []byte {
-	e := codec.NewEncoder(256 * (len(b.Records) + 1))
+func (b Block) encodeHashable(e *codec.Encoder) {
 	e.PutString("repchain/block/v1")
 	e.PutUint64(b.Serial)
 	e.PutInt(len(b.Records))
@@ -146,15 +153,16 @@ func (b Block) hashableBytes() []byte {
 	e.PutRaw(b.PrevHash[:])
 	e.PutRaw(b.TxRoot[:])
 	e.PutString(string(b.Proposer))
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
-	return out
 }
 
 // Hash returns H(B), the value the next block stores in its PrevHash
 // field.
 func (b Block) Hash() crypto.Hash {
-	return crypto.Sum(b.hashableBytes())
+	e := codec.GetEncoder(256 * (len(b.Records) + 1))
+	b.encodeHashable(e)
+	h := crypto.Sum(e.Bytes())
+	e.Release()
+	return h
 }
 
 // SignAs sets the proposer identity and signs the block hash.
@@ -177,24 +185,16 @@ func (b Block) VerifyProposer(pub crypto.PublicKey) error {
 
 // Encode appends the wire encoding of b to e.
 func (b Block) Encode(e *codec.Encoder) {
-	e.PutString("repchain/block/v1")
-	e.PutUint64(b.Serial)
-	e.PutInt(len(b.Records))
-	for _, r := range b.Records {
-		r.Encode(e)
-	}
-	e.PutRaw(b.PrevHash[:])
-	e.PutRaw(b.TxRoot[:])
-	e.PutString(string(b.Proposer))
+	b.encodeHashable(e)
 	e.PutBytes(b.Signature)
 }
 
 // EncodeBytes returns the standalone wire encoding of b.
 func (b Block) EncodeBytes() []byte {
-	e := codec.NewEncoder(256 * (len(b.Records) + 1))
+	e := codec.GetEncoder(256 * (len(b.Records) + 1))
 	b.Encode(e)
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
+	out := e.AppendTo(nil)
+	e.Release()
 	return out
 }
 
@@ -269,12 +269,20 @@ func DecodeBlockBytes(buf []byte) (Block, error) {
 // genesis), computing the transaction root. limit is b_limit; zero
 // means unlimited.
 func NewBlock(prev *Block, records []Record, limit int) (Block, error) {
+	return NewBlockWithRoot(prev, records, limit, ComputeTxRoot(records))
+}
+
+// NewBlockWithRoot is NewBlock for proposers that already fed the
+// records through an incremental crypto.MerkleBuilder while packing.
+// root must equal ComputeTxRoot(records); AppendTxRoot over the same
+// record sequence guarantees it.
+func NewBlockWithRoot(prev *Block, records []Record, limit int, root crypto.Hash) (Block, error) {
 	if limit > 0 && len(records) > limit {
 		return Block{}, fmt.Errorf("%d records with b_limit %d: %w", len(records), limit, ErrBlockTooLarge)
 	}
 	b := Block{
 		Records: append([]Record(nil), records...),
-		TxRoot:  ComputeTxRoot(records),
+		TxRoot:  root,
 	}
 	if prev == nil {
 		b.Serial = 1

@@ -1,0 +1,180 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+
+	"repchain/internal/identity"
+	"repchain/internal/ledger"
+	"repchain/internal/network"
+	"repchain/internal/tx"
+)
+
+// adversarialInbox builds a mixed message batch against the fixture's
+// roster: honest uploads, a forged collector signature, a sender
+// mismatch, an equivocation pair, an idempotent duplicate, a valid and
+// a malformed argue, and one message of a foreign kind.
+func adversarialInbox(t *testing.T, fx *fixture) []network.Message {
+	t.Helper()
+	prov := fx.roster.Providers[0]
+	coll0 := fx.roster.Collectors[0]
+	coll1 := fx.roster.Collectors[1]
+
+	mkTx := func(seq uint64, valid bool) tx.SignedTx {
+		payload := []byte{0, byte(seq)}
+		if valid {
+			payload[0] = 1
+		}
+		return tx.Sign(tx.Transaction{
+			Provider: prov.ID, Seq: seq, Timestamp: int64(seq), Kind: "parity", Payload: payload,
+		}, prov.PrivateKey)
+	}
+	upload := func(signed tx.SignedTx, label tx.Label, coll identity.Member, from identity.NodeID) network.Message {
+		labeled, err := tx.SignLabel(signed, label, coll.ID, coll.PrivateKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return network.Message{From: from, Kind: network.KindCollectorTx, Payload: labeled.EncodeBytes()}
+	}
+
+	tx1, tx2, tx3 := mkTx(1, true), mkTx(2, false), mkTx(3, true)
+
+	forged := upload(tx1, tx.LabelValid, coll0, coll0.ID)
+	forged.Payload = append([]byte(nil), forged.Payload...)
+	forged.Payload[len(forged.Payload)-3] ^= 0x20 // corrupt the collector signature
+
+	return []network.Message{
+		upload(tx1, tx.LabelValid, coll0, coll0.ID), // honest
+		upload(tx1, tx.LabelValid, coll1, coll1.ID), // honest, second reporter
+		forged, // bad collector signature
+		upload(tx2, tx.LabelInvalid, coll0, coll1.ID), // sender != signer
+		upload(tx2, tx.LabelInvalid, coll0, coll0.ID), // honest
+		upload(tx2, tx.LabelValid, coll0, coll0.ID),   // equivocation: same collector, flipped label
+		upload(tx2, tx.LabelInvalid, coll0, coll0.ID), // idempotent duplicate
+		upload(tx3, tx.LabelValid, coll1, coll1.ID),   // honest
+		{From: prov.ID, Kind: network.KindArgue,
+			Payload: NewArgue(tx3, 1, prov.PrivateKey).EncodeBytes()}, // valid argue
+		{From: prov.ID, Kind: network.KindArgue, Payload: []byte{0xFF}}, // malformed argue
+		{From: prov.ID, Kind: network.KindBlock, Payload: []byte{1}},    // not ours: must pass through
+	}
+}
+
+// TestHandleBatchMatchesSequential feeds the same adversarial inbox to
+// two identically-seeded governors — one message at a time versus one
+// HandleBatch call — and requires identical stats, identical
+// reputation tables, identical queued argues, and the same pass-through
+// messages. This is the batch-verification attribution-parity gate of
+// DESIGN.md §4f.
+func TestHandleBatchMatchesSequential(t *testing.T) {
+	seqFx := newFixture(t, nil)
+	batchFx := newFixture(t, nil)
+	msgs := adversarialInbox(t, seqFx)
+
+	var seqRest []network.Message
+	for _, m := range msgs {
+		consumed, err := seqFx.governor.HandleMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !consumed {
+			seqRest = append(seqRest, m)
+		}
+	}
+	batchRest, err := batchFx.governor.HandleBatch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if seqStats, batchStats := seqFx.governor.Stats(), batchFx.governor.Stats(); seqStats != batchStats {
+		t.Fatalf("stats diverge:\nsequential %+v\nbatch      %+v", seqStats, batchStats)
+	}
+	if !bytes.Equal(seqFx.governor.Table().Snapshot(), batchFx.governor.Table().Snapshot()) {
+		t.Fatal("reputation tables diverge")
+	}
+	if len(seqFx.governor.argues) != len(batchFx.governor.argues) {
+		t.Fatalf("queued argues: sequential %d, batch %d",
+			len(seqFx.governor.argues), len(batchFx.governor.argues))
+	}
+	if len(seqRest) != len(batchRest) {
+		t.Fatalf("pass-through: sequential %d, batch %d", len(seqRest), len(batchRest))
+	}
+	for i := range seqRest {
+		if seqRest[i].Kind != batchRest[i].Kind || !bytes.Equal(seqRest[i].Payload, batchRest[i].Payload) {
+			t.Fatalf("pass-through %d differs", i)
+		}
+	}
+
+	// Screening the admitted groups must also agree byte for byte.
+	seqRecs, err := seqFx.governor.ScreenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRecs, err := batchFx.governor.ScreenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRecs) != len(batchRecs) {
+		t.Fatalf("records: sequential %d, batch %d", len(seqRecs), len(batchRecs))
+	}
+	seqBlock, err := seqFx.governor.BuildBlock(seqRecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchBlock, err := batchFx.governor.BuildBlock(batchRecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqBlock.Hash() != batchBlock.Hash() {
+		t.Fatal("blocks diverge between sequential and batched ingestion")
+	}
+	if seqBlock.TxRoot != batchBlock.TxRoot {
+		t.Fatal("tx roots diverge")
+	}
+}
+
+// TestHandleBatchForgeryAttribution plants one forged upload among many
+// honest ones and checks the penalty lands on exactly the forging
+// collector, exactly once — same attribution as the per-message path.
+func TestHandleBatchForgeryAttribution(t *testing.T) {
+	fx := newFixture(t, nil)
+	msgs := adversarialInbox(t, fx)
+	if _, err := fx.governor.HandleBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	st := fx.governor.Stats()
+	// Three penalties in the inbox: the corrupted signature, the
+	// sender/signer mismatch, and the equivocation — all by collector 0's
+	// identity or against it.
+	if st.ForgeriesDetected != 3 {
+		t.Fatalf("ForgeriesDetected %d, want 3", st.ForgeriesDetected)
+	}
+	if st.ReportsReceived != 4 {
+		t.Fatalf("ReportsReceived %d, want 4", st.ReportsReceived)
+	}
+	if st.ArguesRejected != 1 {
+		t.Fatalf("ArguesRejected %d, want 1", st.ArguesRejected)
+	}
+}
+
+// TestBuildBlockIncrementalRootMatchesRecompute checks the packed
+// block's incrementally-built root against a from-scratch recompute.
+func TestBuildBlockIncrementalRootMatchesRecompute(t *testing.T) {
+	fx := newFixture(t, nil)
+	for seq := uint64(0); seq < 5; seq++ {
+		fx.runUpload(t, int(seq%2), seq%2 == 0)
+	}
+	recs, err := fx.governor.ScreenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records screened")
+	}
+	b, err := fx.governor.BuildBlock(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ledger.ComputeTxRoot(b.Records); b.TxRoot != want {
+		t.Fatalf("incremental root %s, recomputed %s", b.TxRoot.Short(), want.Short())
+	}
+}

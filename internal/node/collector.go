@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"strconv"
 
+	"repchain/internal/codec"
+	"repchain/internal/crypto"
 	"repchain/internal/identity"
 	"repchain/internal/network"
 	"repchain/internal/trace"
@@ -177,6 +179,12 @@ func (c *Collector) HandleProviderTx(m network.Message, sender Sender) (bool, er
 		c.discarded++
 		return false, nil
 	}
+	return c.uploadVerified(signed, sender)
+}
+
+// uploadVerified runs the post-verification tail of Algorithm 1: the
+// behaviour reaction, labeling, and the multicast to every governor.
+func (c *Collector) uploadVerified(signed tx.SignedTx, sender Sender) (bool, error) {
 	honest := tx.LabelFor(c.validator, signed.Tx)
 	reaction := c.behavior.React(honest, c.rng)
 	if !reaction.Report {
@@ -260,15 +268,90 @@ func (c *Collector) ForgeRound(sender Sender) (int, error) {
 // ordering — and therefore every downstream screening decision — is
 // identical at any worker count. A single collector is not safe for
 // concurrent invocation.
+// Provider-tx phase-1 classes for ProcessRound.
+const (
+	ptSkip       uint8 = iota // not a provider transaction
+	ptDecodeFail              // malformed payload
+	ptMismatch                // claimed provider is not the sender, or key unknown
+	ptVerify                  // signature checked through the batch
+)
+
 func (c *Collector) ProcessRound(sender Sender) (int, error) {
-	uploads := 0
-	for _, m := range c.ep.Receive() {
-		sent, err := c.HandleProviderTx(m, sender)
-		if err != nil {
-			return uploads, err
+	msgs := c.ep.Receive()
+
+	// Phase 1, in arrival order: decode and structurally screen every
+	// provider transaction, collecting the signature checks into one
+	// batch. Signing bytes go back to back into a pooled arena; spans
+	// are materialized only after all encoding since the arena may
+	// still reallocate while growing (DESIGN.md §4f).
+	kinds := make([]uint8, len(msgs))
+	itemOf := make([]int, len(msgs))
+	signeds := make([]tx.SignedTx, len(msgs))
+	arena := codec.GetEncoder(256 * len(msgs))
+	var items []crypto.BatchItem
+	var spans [][2]int
+	for i, m := range msgs {
+		if m.Kind != network.KindProviderTx {
+			kinds[i] = ptSkip
+			continue
 		}
-		if sent {
-			uploads++
+		signed, err := tx.DecodeSignedTxBytes(m.Payload)
+		if err != nil {
+			kinds[i] = ptDecodeFail
+			continue
+		}
+		// verify(p_k, tx): the provider's signature must check out and
+		// the claimed provider must be the actual sender.
+		if signed.Tx.Provider != m.From {
+			kinds[i] = ptMismatch
+			continue
+		}
+		pub, err := c.im.PublicKeyOf(signed.Tx.Provider)
+		if err != nil {
+			kinds[i] = ptMismatch
+			continue
+		}
+		kinds[i] = ptVerify
+		signeds[i] = signed
+		itemOf[i] = len(items)
+		start := arena.Len()
+		signed.Tx.EncodeSigning(arena)
+		items = append(items, crypto.BatchItem{Pub: pub, Sig: signed.Sig})
+		spans = append(spans, [2]int{start, arena.Len()})
+	}
+	buf := arena.Bytes()
+	for k := range items {
+		items[k].Msg = buf[spans[k][0]:spans[k][1]]
+	}
+	verdicts := crypto.VerifyBatch(items)
+	arena.Release()
+
+	// Phase 2 replays the verdicts in arrival order: counters advance
+	// and the behaviour RNG is consumed at exactly the positions the
+	// sequential per-message path would use, so labels and uploads are
+	// byte-identical to feeding each message through HandleProviderTx.
+	uploads := 0
+	for i := range msgs {
+		switch kinds[i] {
+		case ptSkip:
+		case ptDecodeFail:
+			c.discarded++
+		case ptMismatch:
+			c.received++
+			c.discarded++
+		case ptVerify:
+			c.received++
+			if verdicts[itemOf[i]] != nil {
+				c.discarded++
+				continue
+			}
+			sent, err := c.uploadVerified(signeds[i], sender)
+			if err != nil {
+				return uploads, err
+			}
+			if sent {
+				uploads++
+			}
 		}
 	}
 	forged, err := c.ForgeRound(sender)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strconv"
 
+	"repchain/internal/codec"
 	"repchain/internal/crypto"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
@@ -185,6 +186,11 @@ type Governor struct {
 	// Mempool admission counters; nil without a registry.
 	mpShed    *metrics.Counter
 	mpEvicted *metrics.Counter
+
+	// merkle is the incremental transaction-root builder BuildBlock
+	// feeds while packing, so the root is ready the moment the record
+	// list is final (DESIGN.md §4f).
+	merkle *crypto.MerkleBuilder
 }
 
 // NewGovernor builds a governor from its configuration.
@@ -218,6 +224,7 @@ func NewGovernor(cfg GovernorConfig) (*Governor, error) {
 		committedValid:  make(map[crypto.Hash]bool),
 		processedArgues: make(map[crypto.Hash]bool),
 		tracer:          cfg.Tracer,
+		merkle:          crypto.NewMerkleBuilder(64),
 	}
 	if cfg.Metrics != nil {
 		table.SetMetrics(cfg.Metrics)
@@ -268,10 +275,9 @@ func (g *Governor) Endpoint() *network.Endpoint { return g.cfg.Endpoint }
 // took the message.
 func (g *Governor) HandleMessage(m network.Message) (consumed bool, err error) {
 	switch m.Kind {
-	case network.KindCollectorTx:
-		return true, g.acceptUpload(m)
-	case network.KindArgue:
-		return true, g.acceptArgue(m)
+	case network.KindCollectorTx, network.KindArgue:
+		_, err := g.HandleBatch([]network.Message{m})
+		return true, err
 	default:
 		return false, nil
 	}
@@ -280,65 +286,198 @@ func (g *Governor) HandleMessage(m network.Message) (consumed bool, err error) {
 // DrainInbox consumes the round's uploads and argues, discarding
 // anything else.
 func (g *Governor) DrainInbox() error {
-	for _, m := range g.cfg.Endpoint.Receive() {
-		if _, err := g.HandleMessage(m); err != nil {
-			return err
+	_, err := g.HandleBatch(g.cfg.Endpoint.Receive())
+	return err
+}
+
+// Phase-1 routing classes for HandleBatch.
+const (
+	pmRest uint8 = iota // not a governor message: hand back to caller
+	pmDrop              // consumed silently (upload from a non-collector)
+	pmUpload
+	pmArgue
+)
+
+// pendingUpload carries a classified collector upload between the
+// signature-batching phase and the in-order replay phase. Signature
+// item indices of -1 mark structural failures discovered before any
+// cryptography (bad payload, identity mismatch, unknown key).
+type pendingUpload struct {
+	labeled      tx.LabeledTx
+	collectorIdx int
+	providerIdx  int // -1 when the provider is not an indexed provider
+	collSig      int // batch-item index of the collector signature, -1 = structural failure
+	provSig      int // batch-item index of the inner provider signature, -1 = structural failure
+	linked       bool
+}
+
+// pendingArgue is the argue counterpart of pendingUpload.
+type pendingArgue struct {
+	msg      ArgueMsg
+	innerSig int // batch-item index of the inner provider signature
+	argueSig int // batch-item index of the argue signature
+	rejected bool
+}
+
+// HandleBatch ingests a batch of delivered messages through one
+// crypto.VerifyBatch pass and returns the messages it did not consume,
+// in arrival order.
+//
+// Determinism (DESIGN.md §4f): phase 1 walks the batch in arrival
+// order doing only pure work — decoding, identity lookups, and
+// appending signature-check items into a pooled arena encoder. Phase 2
+// verifies every signature in one batch (cache hits skipped, in-batch
+// duplicates coalesced). Phase 3 replays the verdicts in arrival
+// order, applying exactly the state transitions the sequential
+// per-message path applies: forge penalties, admission shedding,
+// mempool insertion, report grouping, and argue queuing all happen in
+// the original order, so the governor's observable state is
+// byte-identical to feeding the messages through HandleMessage one at
+// a time. The only delta is cache-internal: a structurally valid
+// upload whose collector signature fails still gets its inner provider
+// signature verified (the sequential path short-circuits), which can
+// only add sigcache entries, never change a verdict.
+func (g *Governor) HandleBatch(msgs []network.Message) ([]network.Message, error) {
+	if len(msgs) == 0 {
+		return nil, nil
+	}
+	kinds := make([]uint8, len(msgs))
+	slots := make([]int, len(msgs))
+	var ups []pendingUpload
+	var args []pendingArgue
+
+	// Signing messages are encoded back to back into one pooled arena;
+	// only (start, end) spans are recorded during encoding because the
+	// arena may still reallocate while growing.
+	arena := codec.GetEncoder(256 * len(msgs))
+	var items []crypto.BatchItem
+	var spans [][2]int
+	addItem := func(pub crypto.PublicKey, start int, sig []byte) int {
+		items = append(items, crypto.BatchItem{Pub: pub, Sig: sig})
+		spans = append(spans, [2]int{start, arena.Len()})
+		return len(items) - 1
+	}
+
+	for i, m := range msgs {
+		switch m.Kind {
+		case network.KindCollectorTx:
+			collectorIdx, err := roleIndex(m.From, identity.RoleCollector)
+			if err != nil {
+				kinds[i] = pmDrop // not a collector: ignore
+				continue
+			}
+			u := pendingUpload{collectorIdx: collectorIdx, providerIdx: -1, collSig: -1, provSig: -1}
+			labeled, derr := tx.DecodeLabeledTxBytes(m.Payload)
+			// The upload must actually come from the collector that
+			// signed it.
+			if derr == nil && labeled.Collector == m.From {
+				if collPub, perr := g.cfg.IM.PublicKeyOf(labeled.Collector); perr == nil {
+					u.labeled = labeled
+					start := arena.Len()
+					labeled.EncodeSigning(arena)
+					u.collSig = addItem(collPub, start, labeled.Sig)
+					provID := labeled.Signed.Tx.Provider
+					if provPub, perr := g.cfg.IM.PublicKeyOf(provID); perr == nil {
+						start = arena.Len()
+						labeled.Signed.Tx.EncodeSigning(arena)
+						u.provSig = addItem(provPub, start, labeled.Signed.Sig)
+					}
+					u.linked = g.cfg.IM.Linked(provID, labeled.Collector)
+					if pi, rerr := roleIndex(provID, identity.RoleProvider); rerr == nil {
+						u.providerIdx = pi
+					}
+				}
+			}
+			kinds[i] = pmUpload
+			slots[i] = len(ups)
+			ups = append(ups, u)
+		case network.KindArgue:
+			a := pendingArgue{innerSig: -1, argueSig: -1, rejected: true}
+			msg, derr := DecodeArgueBytes(m.Payload)
+			// Only the authoring provider may argue its own transaction.
+			if derr == nil && msg.Signed.Tx.Provider == m.From {
+				if pub, perr := g.cfg.IM.PublicKeyOf(msg.Signed.Tx.Provider); perr == nil {
+					a.msg = msg
+					a.rejected = false
+					start := arena.Len()
+					msg.Signed.Tx.EncodeSigning(arena)
+					a.innerSig = addItem(pub, start, msg.Signed.Sig)
+					start = arena.Len()
+					encodeArgueSigning(arena, msg.Signed.ID(), msg.Serial)
+					a.argueSig = addItem(pub, start, msg.Sig)
+				}
+			}
+			kinds[i] = pmArgue
+			slots[i] = len(args)
+			args = append(args, a)
+		default:
+			kinds[i] = pmRest
 		}
+	}
+
+	// All encoding is done: the arena is stable, so the spans can be
+	// materialized into message slices and verified in one pass. The
+	// batch hashes every message during classification, so the arena
+	// can go back to the pool right after.
+	buf := arena.Bytes()
+	for k := range items {
+		items[k].Msg = buf[spans[k][0]:spans[k][1]]
+	}
+	verdicts := crypto.VerifyBatch(items)
+	arena.Release()
+
+	var rest []network.Message
+	for i, m := range msgs {
+		switch kinds[i] {
+		case pmRest:
+			rest = append(rest, m)
+		case pmDrop:
+		case pmUpload:
+			u := &ups[slots[i]]
+			// The verify(c_i, Tx) predicate chain, in the sequential
+			// path's order: decode, collector signature, provider key,
+			// provider signature, link, provider index.
+			if u.collSig < 0 || verdicts[u.collSig] != nil ||
+				u.provSig < 0 || verdicts[u.provSig] != nil ||
+				!u.linked || u.providerIdx < 0 {
+				if err := g.penalizeUpload(u.collectorIdx); err != nil {
+					return rest, err
+				}
+				continue
+			}
+			if err := g.admitUpload(u.collectorIdx, u.providerIdx, u.labeled); err != nil {
+				return rest, err
+			}
+		case pmArgue:
+			a := &args[slots[i]]
+			if a.rejected || verdicts[a.innerSig] != nil || verdicts[a.argueSig] != nil {
+				g.stats.ArguesRejected++
+				continue
+			}
+			g.argues = append(g.argues, a.msg)
+		}
+	}
+	return rest, nil
+}
+
+// penalizeUpload applies the Algorithm 3 case-1 forge penalty for a
+// failed upload verification.
+func (g *Governor) penalizeUpload(collectorIdx int) error {
+	g.stats.ForgeriesDetected++
+	if collectorIdx < 0 || collectorIdx >= g.table.Collectors() {
+		// An uploader outside the known collector set cannot be
+		// scored, only rejected.
+		return nil
+	}
+	if err := g.table.RecordForgery(collectorIdx); err != nil {
+		return fmt.Errorf("governor %s forge penalty: %w", g.cfg.Member.ID, err)
 	}
 	return nil
 }
 
-func (g *Governor) acceptUpload(m network.Message) error {
-	collectorIdx, err := roleIndex(m.From, identity.RoleCollector)
-	if err != nil {
-		return nil // not a collector: ignore
-	}
-	penalize := func() error {
-		g.stats.ForgeriesDetected++
-		if collectorIdx < 0 || collectorIdx >= g.table.Collectors() {
-			// An uploader outside the known collector set cannot be
-			// scored, only rejected.
-			return nil
-		}
-		if err := g.table.RecordForgery(collectorIdx); err != nil {
-			return fmt.Errorf("governor %s forge penalty: %w", g.cfg.Member.ID, err)
-		}
-		return nil
-	}
-
-	labeled, err := tx.DecodeLabeledTxBytes(m.Payload)
-	if err != nil {
-		return penalize()
-	}
-	// The upload must actually come from the collector that signed it.
-	if labeled.Collector != m.From {
-		return penalize()
-	}
-	collPub, err := g.cfg.IM.PublicKeyOf(labeled.Collector)
-	if err != nil {
-		return penalize()
-	}
-	if err := labeled.VerifyCollector(collPub); err != nil {
-		return penalize()
-	}
-	// The inner provider signature must verify and the provider must
-	// be linked with the uploading collector.
-	provID := labeled.Signed.Tx.Provider
-	provPub, err := g.cfg.IM.PublicKeyOf(provID)
-	if err != nil {
-		return penalize()
-	}
-	if err := labeled.Signed.VerifyProvider(provPub); err != nil {
-		return penalize()
-	}
-	if !g.cfg.IM.Linked(provID, labeled.Collector) {
-		return penalize()
-	}
-	providerIdx, err := roleIndex(provID, identity.RoleProvider)
-	if err != nil {
-		return penalize()
-	}
-
+// admitUpload runs the post-verification tail of upload ingestion:
+// admission control, mempool insertion, and report grouping.
+func (g *Governor) admitUpload(collectorIdx, providerIdx int, labeled tx.LabeledTx) error {
 	// Admission control: a verified upload from a collector this
 	// governor has learned to distrust for this provider is shed before
 	// it costs mempool space or screening work. The weight is the same
@@ -384,37 +523,13 @@ func (g *Governor) acceptUpload(m network.Message) error {
 		if prev != labeled.Label {
 			// Equivocation: two different signed labels for one
 			// transaction. Treat as fabrication.
-			return penalize()
+			return g.penalizeUpload(collectorIdx)
 		}
 		return nil // idempotent duplicate
 	}
 	grp.labels[collectorIdx] = labeled.Label
 	grp.reports = append(grp.reports, reputation.Report{Collector: collectorIdx, Label: labeled.Label})
 	g.stats.ReportsReceived++
-	return nil
-}
-
-func (g *Governor) acceptArgue(m network.Message) error {
-	msg, err := DecodeArgueBytes(m.Payload)
-	if err != nil {
-		g.stats.ArguesRejected++
-		return nil
-	}
-	// Only the authoring provider may argue its own transaction.
-	if msg.Signed.Tx.Provider != m.From {
-		g.stats.ArguesRejected++
-		return nil
-	}
-	pub, err := g.cfg.IM.PublicKeyOf(msg.Signed.Tx.Provider)
-	if err != nil {
-		g.stats.ArguesRejected++
-		return nil
-	}
-	if err := msg.Verify(pub); err != nil {
-		g.stats.ArguesRejected++
-		return nil
-	}
-	g.argues = append(g.argues, msg)
 	return nil
 }
 
@@ -647,24 +762,38 @@ func (g *Governor) expireOld(k int) error {
 // re-validation pending); records beyond BlockLimit are carried over
 // to the next block.
 func (g *Governor) BuildBlock(records []ledger.Record) (ledger.Block, error) {
+	// The transaction root is built incrementally while the block is
+	// packed: each record that survives the duplicate filter (up to the
+	// block limit) is hashed into the Merkle builder as it is placed,
+	// so the root is ready the moment the record list is final and the
+	// records are never re-walked for hashing (DESIGN.md §4f).
+	g.merkle.Reset()
+	enc := codec.GetEncoder(256)
+	limit := g.cfg.BlockLimit
 	fresh := records[:0]
 	for _, r := range records {
 		if r.Status == tx.StatusValid && g.committedValid[r.Signed.ID()] {
 			continue
 		}
 		fresh = append(fresh, r)
+		if limit <= 0 || len(fresh) <= limit {
+			enc.Reset()
+			r.Encode(enc)
+			g.merkle.Add(enc.Bytes())
+		}
 	}
+	enc.Release()
 	records = fresh
-	if g.cfg.BlockLimit > 0 && len(records) > g.cfg.BlockLimit {
-		g.pendingRecords = append(records[g.cfg.BlockLimit:], g.pendingRecords...)
-		records = records[:g.cfg.BlockLimit]
+	if limit > 0 && len(records) > limit {
+		g.pendingRecords = append(records[limit:], g.pendingRecords...)
+		records = records[:limit]
 	}
 	head, err := g.store.Head()
 	var prev *ledger.Block
 	if err == nil {
 		prev = &head
 	}
-	b, err := ledger.NewBlock(prev, records, g.cfg.BlockLimit)
+	b, err := ledger.NewBlockWithRoot(prev, records, g.cfg.BlockLimit, g.merkle.Root())
 	if err != nil {
 		return ledger.Block{}, fmt.Errorf("governor %s build block: %w", g.cfg.Member.ID, err)
 	}

@@ -42,14 +42,18 @@ type ArgueMsg struct {
 	Sig []byte
 }
 
-func argueSigningBytes(id crypto.Hash, serial uint64) []byte {
-	e := codec.NewEncoder(64)
+// encodeArgueSigning appends the byte string the arguing provider signs
+// — the disputed transaction ID and the block serial — to e.
+func encodeArgueSigning(e *codec.Encoder, id crypto.Hash, serial uint64) {
 	e.PutString("repchain/argue/v1")
 	e.PutRaw(id[:])
 	e.PutUint64(serial)
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
-	return out
+}
+
+func argueSigningBytes(id crypto.Hash, serial uint64) []byte {
+	e := codec.Wrap(make([]byte, 0, 64))
+	encodeArgueSigning(&e, id, serial)
+	return e.Bytes()
 }
 
 // NewArgue builds a signed argue message for a transaction recorded in
@@ -76,12 +80,12 @@ func (a ArgueMsg) Verify(pub crypto.PublicKey) error {
 
 // EncodeBytes returns the wire encoding of a.
 func (a ArgueMsg) EncodeBytes() []byte {
-	e := codec.NewEncoder(256)
+	e := codec.GetEncoder(256)
 	a.Signed.Encode(e)
 	e.PutUint64(a.Serial)
 	e.PutBytes(a.Sig)
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
+	out := e.AppendTo(nil)
+	e.Release()
 	return out
 }
 

@@ -458,21 +458,19 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 		sleepUntil(cfg.Clock.at(r, phaseScreen))
 		ticketsFrom := make(map[int][]consensus.Ticket)
 		drain := func() error {
-			for _, f := range ep.Receive() {
-				m := network.Message{From: f.From, Kind: f.Kind, Payload: f.Payload}
-				consumed, err := gov.HandleMessage(m)
-				if err != nil {
-					return err
-				}
-				if consumed {
-					continue
-				}
-				if f.Kind == network.KindVRF {
-					senderIdx, err := governorIndexOf(f.From)
+			// One HandleBatch call verifies every upload and argue
+			// signature of the drained inbox in a single batch pass.
+			rest, err := gov.HandleBatch(toNetworkMessages(ep.Receive()))
+			if err != nil {
+				return err
+			}
+			for _, m := range rest {
+				if m.Kind == network.KindVRF {
+					senderIdx, err := governorIndexOf(m.From)
 					if err != nil {
 						continue
 					}
-					ticketRound, ts, err := decodeRoundTickets(f.Payload)
+					ticketRound, ts, err := decodeRoundTickets(m.Payload)
 					if err != nil || ticketRound != round {
 						continue // stale or malformed ticket batch
 					}
@@ -548,17 +546,15 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 		}
 		sleepUntil(cfg.Clock.at(r, phaseAdopt))
 		stageStart = time.Now()
-		for _, f := range ep.Receive() {
-			m := network.Message{From: f.From, Kind: f.Kind, Payload: f.Payload}
-			if consumed, err := gov.HandleMessage(m); err != nil {
-				return report, err
-			} else if consumed {
+		adoptRest, err := gov.HandleBatch(toNetworkMessages(ep.Receive()))
+		if err != nil {
+			return report, err
+		}
+		for _, m := range adoptRest {
+			if m.Kind != network.KindBlock {
 				continue
 			}
-			if f.Kind != network.KindBlock {
-				continue
-			}
-			b, err := ledger.DecodeBlockBytes(f.Payload)
+			b, err := ledger.DecodeBlockBytes(m.Payload)
 			if err != nil {
 				continue
 			}

@@ -1,0 +1,50 @@
+package tx
+
+import (
+	"testing"
+
+	"repchain/internal/codec"
+	"repchain/internal/crypto"
+)
+
+// TestEncodeSigningNoAllocsSteadyState pins the zero-allocation
+// contract of the per-transaction encode hot path into a reused
+// encoder (explicitly reused, never sync.Pool — GC may empty pools
+// mid-test and break the count).
+func TestEncodeSigningNoAllocsSteadyState(t *testing.T) {
+	_, priv := testKey(t, 9)
+	signed := Sign(sampleTx(7), priv)
+	labeled, err := SignLabel(signed, LabelValid, "collector/0", priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := codec.NewEncoder(512)
+	allocs := testing.AllocsPerRun(200, func() {
+		e.Reset()
+		signed.Tx.EncodeSigning(e)
+		signed.Encode(e)
+		labeled.EncodeSigning(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("per-tx encode path allocated %v times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkTxEncodeSigning measures the pooled per-transaction encode
+// path feeding BENCH_round.json.
+func BenchmarkTxEncodeSigning(b *testing.B) {
+	seed := make([]byte, crypto.SeedSize)
+	seed[0] = 9
+	_, priv, err := crypto.KeyFromSeed(seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	signed := Sign(sampleTx(7), priv)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := codec.GetEncoder(256)
+		signed.Tx.EncodeSigning(e)
+		e.Release()
+	}
+}

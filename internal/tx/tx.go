@@ -118,19 +118,33 @@ func (t Transaction) encode(e *codec.Encoder) {
 	e.PutBytes(t.Payload)
 }
 
+// EncodeSigning appends the canonical signing encoding of t to e — the
+// same bytes SigningBytes returns. Batch verifiers use it to build many
+// signing messages in one shared buffer.
+func (t Transaction) EncodeSigning(e *codec.Encoder) { t.encode(e) }
+
+// AppendSigningBytes appends the canonical signing bytes of t to dst
+// and returns the extended slice, allocating only if dst lacks
+// capacity.
+func (t Transaction) AppendSigningBytes(dst []byte) []byte {
+	e := codec.Wrap(dst)
+	t.encode(&e)
+	return e.Bytes()
+}
+
 // SigningBytes returns the canonical byte string the provider signs.
 func (t Transaction) SigningBytes() []byte {
-	e := codec.NewEncoder(64 + len(t.Payload))
-	t.encode(e)
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
-	return out
+	return t.AppendSigningBytes(make([]byte, 0, 64+len(t.Payload)))
 }
 
 // ID returns the transaction identifier: the hash of the canonical
 // encoding. Two transactions with equal contents share an ID.
 func (t Transaction) ID() crypto.Hash {
-	return crypto.Sum(t.SigningBytes())
+	e := codec.GetEncoder(64 + len(t.Payload))
+	t.encode(e)
+	h := crypto.Sum(e.Bytes())
+	e.Release()
+	return h
 }
 
 func decodeTransaction(d *codec.Decoder) (Transaction, error) {
@@ -182,7 +196,11 @@ func Sign(t Transaction, key crypto.PrivateKey) SignedTx {
 // provider signature on every upload, and the first check pays for
 // all m.
 func (s SignedTx) VerifyProvider(pub crypto.PublicKey) error {
-	if err := crypto.CachedVerify(pub, s.Tx.SigningBytes(), s.Sig); err != nil {
+	e := codec.GetEncoder(64 + len(s.Tx.Payload))
+	s.Tx.encode(e)
+	err := crypto.CachedVerify(pub, e.Bytes(), s.Sig)
+	e.Release()
+	if err != nil {
 		return fmt.Errorf("provider signature on %s: %w", s.Tx.ID().Short(), ErrBadSignature)
 	}
 	return nil
@@ -199,10 +217,10 @@ func (s SignedTx) Encode(e *codec.Encoder) {
 
 // EncodeBytes returns the standalone wire encoding of s.
 func (s SignedTx) EncodeBytes() []byte {
-	e := codec.NewEncoder(128 + len(s.Tx.Payload))
+	e := codec.GetEncoder(128 + len(s.Tx.Payload))
 	s.Encode(e)
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
+	out := e.AppendTo(nil)
+	e.Release()
 	return out
 }
 
@@ -246,17 +264,28 @@ type LabeledTx struct {
 	Sig []byte
 }
 
-// labelSigningBytes returns the canonical byte string the collector
-// signs: the provider envelope, the label, and the collector identity.
-func labelSigningBytes(s SignedTx, l Label, collector identity.NodeID) []byte {
-	e := codec.NewEncoder(160 + len(s.Tx.Payload))
+// EncodeLabelSigning appends the canonical byte string the collector
+// signs — the provider envelope, the label, and the collector identity
+// — to e. Batch verifiers use it to build many signing messages in one
+// shared buffer.
+func EncodeLabelSigning(e *codec.Encoder, s SignedTx, l Label, collector identity.NodeID) {
 	e.PutString("repchain/labeled/v1")
 	s.Encode(e)
 	e.PutVarint(int64(l))
 	e.PutString(string(collector))
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
-	return out
+}
+
+// EncodeSigning appends the collector-signed byte string of lt to e.
+func (lt LabeledTx) EncodeSigning(e *codec.Encoder) {
+	EncodeLabelSigning(e, lt.Signed, lt.Label, lt.Collector)
+}
+
+// labelSigningBytes returns the canonical byte string the collector
+// signs: the provider envelope, the label, and the collector identity.
+func labelSigningBytes(s SignedTx, l Label, collector identity.NodeID) []byte {
+	e := codec.Wrap(make([]byte, 0, 160+len(s.Tx.Payload)))
+	EncodeLabelSigning(&e, s, l, collector)
+	return e.Bytes()
 }
 
 // SignLabel produces the collector envelope for s with label l.
@@ -279,8 +308,11 @@ func (lt LabeledTx) VerifyCollector(pub crypto.PublicKey) error {
 	if !lt.Label.Valid() {
 		return fmt.Errorf("label %d on %s: %w", lt.Label, lt.ID().Short(), ErrBadLabel)
 	}
-	msg := labelSigningBytes(lt.Signed, lt.Label, lt.Collector)
-	if err := crypto.CachedVerify(pub, msg, lt.Sig); err != nil {
+	e := codec.GetEncoder(160 + len(lt.Signed.Tx.Payload))
+	lt.EncodeSigning(e)
+	err := crypto.CachedVerify(pub, e.Bytes(), lt.Sig)
+	e.Release()
+	if err != nil {
 		return fmt.Errorf("collector signature on %s: %w", lt.ID().Short(), ErrBadSignature)
 	}
 	return nil
@@ -299,10 +331,10 @@ func (lt LabeledTx) Encode(e *codec.Encoder) {
 
 // EncodeBytes returns the standalone wire encoding of lt.
 func (lt LabeledTx) EncodeBytes() []byte {
-	e := codec.NewEncoder(192 + len(lt.Signed.Tx.Payload))
+	e := codec.GetEncoder(192 + len(lt.Signed.Tx.Payload))
 	lt.Encode(e)
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
+	out := e.AppendTo(nil)
+	e.Release()
 	return out
 }
 
