@@ -3,7 +3,7 @@
 GO ?= go
 BENCHTIME ?= 1s
 
-.PHONY: all ci build test test-short race vet fmt-check lint tools-test vuln bench bench-round bench-check bench-baseline experiments examples demo apidiff clean
+.PHONY: all ci build test test-short race vet fmt-check lint tools-test vuln bench bench-round bench-check bench-baseline crash-consistency fuzz-smoke soak experiments examples demo apidiff clean
 
 all: build vet test race lint
 
@@ -60,12 +60,13 @@ bench:
 
 # End-to-end round latency across worker counts plus the hot-path
 # micro-benches behind it (batch signature verification, incremental
-# Merkle, pooled per-tx encoding); raw `go test -json` output lands in
+# Merkle, pooled per-tx encoding) and the store-reopen latency matrix
+# (replay vs snapshot recovery); raw `go test -json` output lands in
 # BENCH_round.json for the bench-check gate and dashboards.
 bench-round:
 	$(GO) test -json -run '^$$' \
-		-bench 'BenchmarkFullProtocolRound|BenchmarkVerifyBatch|BenchmarkVerifySequential|BenchmarkMerkleIncremental|BenchmarkTxEncodeSigning' \
-		-benchtime $(BENCHTIME) -benchmem . ./internal/crypto ./internal/tx > BENCH_round.json
+		-bench 'BenchmarkFullProtocolRound|BenchmarkVerifyBatch|BenchmarkVerifySequential|BenchmarkMerkleIncremental|BenchmarkTxEncodeSigning|BenchmarkStoreReopen' \
+		-benchtime $(BENCHTIME) -benchmem . ./internal/crypto ./internal/tx ./internal/ledger > BENCH_round.json
 
 # Bench-regression gate (DESIGN.md §4f): compare the fresh
 # BENCH_round.json against the checked-in BENCH_baseline.json.
@@ -84,6 +85,37 @@ bench-baseline: bench-round
 	$(GO) run ./cmd/repchain-benchcheck -baseline BENCH_baseline.json \
 		-current BENCH_round.json -benchtime $(BENCHTIME) -update \
 		-machine "$$(uname -sm), $$(nproc 2>/dev/null || echo '?') cores"
+
+# Crash-consistency matrix (DESIGN.md §4g): torn-tail truncation,
+# mid-segment corruption, damaged indexes, kill-during-snapshot,
+# forged snapshots, and legacy-file migration, plus the engine-level
+# restart-from-snapshot paths. Mirrors the CI crash-consistency job.
+crash-consistency:
+	$(GO) test -count=1 ./internal/ledger \
+		-run 'Torn|Truncated|Corrupt|KillDuring|Snapshot|Migration|Prune'
+	$(GO) test -count=1 ./internal/core -run 'Snapshot|Restart|Persist'
+	$(GO) test -count=1 ./internal/transport -run 'Persistence'
+
+# Short coverage-guided fuzz pass over the segment and snapshot
+# decoders. `go test -fuzz` accepts one target per invocation, hence
+# the loop. FUZZTIME=30s in CI; keep it short locally.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	@for target in FuzzSegmentOpen FuzzSnapshotLoad; do \
+		$(GO) test ./internal/ledger -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+# Long-running segmented-store soak (nightly CI): many rounds against
+# a small segment size with pruning on, asserting bounded heap growth
+# and a bounded live segment count. SOAK_ROUNDS=100000 in the nightly
+# workflow; the default keeps local runs quick.
+# SOAK_OUT is resolved to an absolute path because the test runs with
+# the package directory as its working directory.
+SOAK_ROUNDS ?= 2000
+SOAK_OUT ?= $(CURDIR)/SOAK_metrics.json
+soak:
+	REPCHAIN_SOAK_ROUNDS=$(SOAK_ROUNDS) REPCHAIN_SOAK_OUT=$(SOAK_OUT) \
+		$(GO) test -count=1 -v ./internal/ledger -run TestSoakSegmentedStore
 
 # Regenerate every evaluation table (EXPERIMENTS.md source).
 experiments:

@@ -15,7 +15,12 @@
 //     inverse of tx/s where that metric exists, and pure noise across
 //     runner generations where it does not);
 //   - a benchmark present in the baseline but missing from the current
-//     run fails — silently dropping a benchmark would erode the gate.
+//     run fails — silently dropping a benchmark would erode the gate;
+//   - the baseline may pin ns/op *ratios* between two benchmarks of the
+//     same run ("slow" must be at least Min× "fast"). Ratios compare
+//     two numbers captured on the same machine in the same run, so they
+//     are hardware-independent and gate hard — the reopen-latency gate
+//     (snapshot recovery must beat full replay by ≥10×) lives here.
 //
 // Usage:
 //
@@ -58,6 +63,23 @@ type baselineFile struct {
 	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to
 	// its metric values, e.g. {"ns/op": 1.2e6, "allocs/op": 340}.
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	// Ratios pins minimum ns/op ratios between benchmark pairs of the
+	// current run. They are hand-written, survive -update, and fail the
+	// check when either side is missing.
+	Ratios []ratioGate `json:"ratios,omitempty"`
+}
+
+// ratioGate requires cur[Slow].ns/op ≥ Min × cur[Fast].ns/op — i.e.
+// the Fast benchmark must beat the Slow one by at least Min×.
+type ratioGate struct {
+	// Slow and Fast are benchmark names as they appear in the run
+	// (GOMAXPROCS suffix stripped).
+	Slow string `json:"slow"`
+	Fast string `json:"fast"`
+	// Min is the minimum allowed Slow/Fast ns/op ratio.
+	Min float64 `json:"min"`
+	// Note documents what the ratio protects; informational.
+	Note string `json:"note,omitempty"`
 }
 
 // parseBenchJSON reads a `go test -json` stream and returns the metric
@@ -178,11 +200,21 @@ func main() {
 		fatal(err)
 	}
 	if *update {
-		if err := writeBaseline(*baselinePath, cur, *benchtime, *machine); err != nil {
+		// Ratio gates are hand-written policy, not measurements: carry
+		// them over from the existing baseline so -update cannot erode
+		// them.
+		var ratios []ratioGate
+		if raw, err := os.ReadFile(*baselinePath); err == nil {
+			var old baselineFile
+			if err := json.Unmarshal(raw, &old); err == nil {
+				ratios = old.Ratios
+			}
+		}
+		if err := writeBaseline(*baselinePath, cur, ratios, *benchtime, *machine); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("repchain-benchcheck: wrote %s (%d benchmarks, benchtime %s)\n",
-			*baselinePath, len(cur), *benchtime)
+		fmt.Printf("repchain-benchcheck: wrote %s (%d benchmarks, %d ratio gates, benchtime %s)\n",
+			*baselinePath, len(cur), len(ratios), *benchtime)
 		return
 	}
 
@@ -200,6 +232,7 @@ func main() {
 	}
 
 	failures := check(base.Benchmarks, cur, *txsTol, *allocsTol, *allocsSlack)
+	failures = append(failures, checkRatios(base.Ratios, cur)...)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "FAIL:", f)
@@ -207,7 +240,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repchain-benchcheck: %d regression(s) against %s\n", len(failures), *baselinePath)
 		os.Exit(1)
 	}
-	fmt.Printf("repchain-benchcheck: %d benchmarks within tolerance of %s\n", len(base.Benchmarks), *baselinePath)
+	fmt.Printf("repchain-benchcheck: %d benchmarks within tolerance of %s (%d ratio gates)\n",
+		len(base.Benchmarks), *baselinePath, len(base.Ratios))
+}
+
+// checkRatios enforces the baseline's ns/op ratio gates against the
+// current run. Both sides must be present — a ratio whose benchmark
+// vanished is gate erosion, not a pass.
+func checkRatios(ratios []ratioGate, cur map[string]map[string]float64) []string {
+	var failures []string
+	for _, r := range ratios {
+		slow, okS := cur[r.Slow]["ns/op"]
+		fast, okF := cur[r.Fast]["ns/op"]
+		switch {
+		case !okS:
+			failures = append(failures, fmt.Sprintf(
+				"ratio %s / %s: %s missing ns/op in current run (gate erosion)", r.Slow, r.Fast, r.Slow))
+		case !okF:
+			failures = append(failures, fmt.Sprintf(
+				"ratio %s / %s: %s missing ns/op in current run (gate erosion)", r.Slow, r.Fast, r.Fast))
+		case fast <= 0:
+			failures = append(failures, fmt.Sprintf(
+				"ratio %s / %s: non-positive fast ns/op %g", r.Slow, r.Fast, fast))
+		case slow/fast < r.Min:
+			failures = append(failures, fmt.Sprintf(
+				"ratio %s / %s = %.1fx below required %.1fx (%s)",
+				r.Slow, r.Fast, slow/fast, r.Min, r.Note))
+		default:
+			fmt.Printf("info: ratio %s / %s = %.1fx (required %.1fx)\n",
+				r.Slow, r.Fast, slow/fast, r.Min)
+		}
+	}
+	return failures
 }
 
 // check applies the gates and returns human-readable failures.
@@ -263,8 +327,8 @@ func check(base, cur map[string]map[string]float64, txsTol, allocsTol, allocsSla
 	return failures
 }
 
-func writeBaseline(path string, cur map[string]map[string]float64, benchtime, machine string) error {
-	out := baselineFile{Machine: machine, Benchtime: benchtime, Benchmarks: cur}
+func writeBaseline(path string, cur map[string]map[string]float64, ratios []ratioGate, benchtime, machine string) error {
+	out := baselineFile{Machine: machine, Benchtime: benchtime, Benchmarks: cur, Ratios: ratios}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

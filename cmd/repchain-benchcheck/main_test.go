@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -96,5 +97,66 @@ func TestCheckGates(t *testing.T) {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("failures %v missing %q", f, want)
 		}
+	}
+}
+
+func TestCheckRatios(t *testing.T) {
+	cur := map[string]map[string]float64{
+		"BenchmarkStoreReopen/height=100000/mode=replay":   {"ns/op": 60e6},
+		"BenchmarkStoreReopen/height=100000/mode=snapshot": {"ns/op": 2e6},
+	}
+	pass := []ratioGate{{
+		Slow: "BenchmarkStoreReopen/height=100000/mode=replay",
+		Fast: "BenchmarkStoreReopen/height=100000/mode=snapshot",
+		Min:  10,
+	}}
+	if f := checkRatios(pass, cur); len(f) != 0 {
+		t.Fatalf("30x run failed a 10x gate: %v", f)
+	}
+
+	tight := []ratioGate{{Slow: pass[0].Slow, Fast: pass[0].Fast, Min: 50, Note: "reopen"}}
+	f := checkRatios(tight, cur)
+	if len(f) != 1 || !strings.Contains(f[0], "below required 50.0x") {
+		t.Fatalf("30x run passed a 50x gate: %v", f)
+	}
+
+	// Either side missing from the run is gate erosion, not a pass.
+	for _, gone := range []string{pass[0].Slow, pass[0].Fast} {
+		trimmed := map[string]map[string]float64{}
+		for k, v := range cur {
+			if k != gone {
+				trimmed[k] = v
+			}
+		}
+		f := checkRatios(pass, trimmed)
+		if len(f) != 1 || !strings.Contains(f[0], "gate erosion") {
+			t.Fatalf("missing %s not flagged: %v", gone, f)
+		}
+	}
+}
+
+// TestUpdatePreservesRatios writes a baseline with a ratio gate,
+// rewrites it via writeBaseline with ratios carried over (the -update
+// path), and checks the gate survived the round trip.
+func TestUpdatePreservesRatios(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	ratios := []ratioGate{{Slow: "BenchmarkA", Fast: "BenchmarkB", Min: 10, Note: "reopen gate"}}
+	cur := map[string]map[string]float64{"BenchmarkA": {"ns/op": 100}}
+	if err := writeBaseline(path, cur, ratios, "1s", "test"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got baselineFile
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ratios) != 1 || got.Ratios[0] != ratios[0] {
+		t.Fatalf("ratios did not survive rewrite: %+v", got.Ratios)
+	}
+	if got.Benchmarks["BenchmarkA"]["ns/op"] != 100 {
+		t.Fatalf("benchmarks lost: %+v", got.Benchmarks)
 	}
 }

@@ -1,8 +1,10 @@
-// Command repchain-inspect audits and displays a persisted chain file
-// (the `governor-<j>.chain` files written under WithChainDir /
-// Config.ChainDir). It replays the append-only file, verifies serial
-// ordering, hash links, transaction-root commitments, and provider
-// signatures, and prints a block-by-block summary. It can also scrape
+// Command repchain-inspect audits and displays a persisted chain
+// (the `governor-<j>.chain` segment directories written under
+// WithChainDir / Config.ChainDir; pre-segmented single-file chains are
+// migrated on open). It recovers the segmented store, verifies serial
+// ordering, hash links, transaction-root commitments, and — on pruned
+// chains — the snapshot anchor, and prints a block-by-block summary of
+// every retrievable block. It can also scrape
 // a running node's admin endpoint (repchain-node -admin-addr).
 //
 // Usage:
@@ -41,7 +43,7 @@ func main() {
 	}
 
 	var (
-		chainPath = flag.String("chain", "", "path to a governor-<j>.chain file")
+		chainPath = flag.String("chain", "", "path to a governor-<j>.chain directory (or legacy single-file chain)")
 		blockNum  = flag.Uint64("block", 0, "print one block in detail (0 = summary of all)")
 		quiet     = flag.Bool("q", false, "verify only; print nothing but errors")
 	)
@@ -75,12 +77,26 @@ func run(chainPath string, blockNum uint64, quiet bool) error {
 		return nil
 	}
 	height := store.Height()
-	fmt.Printf("%s: %d blocks, chain verified (serials, hash links, tx roots)\n", chainPath, height)
+	first := store.FirstAvailable()
+	if first > 1 {
+		fmt.Printf("%s: height %d, blocks %d-%d retrievable (1-%d pruned behind snapshot), chain verified (serials, hash links, tx roots, snapshot anchor)\n",
+			chainPath, height, first, height, first-1)
+	} else {
+		fmt.Printf("%s: %d blocks, chain verified (serials, hash links, tx roots)\n", chainPath, height)
+	}
+	if snapH, head, ok := store.SnapshotAnchor(); ok {
+		fmt.Printf("snapshot  height %d  head %s\n", snapH, head.Short())
+	}
+	ri := store.Recovery()
+	if ri.TornBytesDropped > 0 || ri.SnapshotsSkipped > 0 {
+		fmt.Printf("recovery  dropped %d torn tail bytes, skipped %d damaged snapshots\n",
+			ri.TornBytesDropped, ri.SnapshotsSkipped)
+	}
 
 	if blockNum > 0 {
 		return printBlock(store, blockNum)
 	}
-	for s := uint64(1); s <= height; s++ {
+	for s := first; s <= height; s++ {
 		b, err := store.Get(s)
 		if err != nil {
 			return err

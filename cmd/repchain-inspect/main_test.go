@@ -65,12 +65,16 @@ func TestInspectVerifiesGoodChain(t *testing.T) {
 func TestInspectRejectsCorruptChain(t *testing.T) {
 	dir := buildChainDir(t)
 	path := filepath.Join(dir, "governor-1.chain")
-	data, err := os.ReadFile(path)
+	segs, err := filepath.Glob(filepath.Join(path, "chain-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no chain segments in %s (err=%v)", path, err)
+	}
+	data, err := os.ReadFile(segs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)/2] ^= 0xff
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := run(path, 0, true); err == nil {
@@ -96,5 +100,45 @@ func TestInspectMissingBlock(t *testing.T) {
 	path := filepath.Join(dir, "governor-0.chain")
 	if err := run(path, 99, false); err == nil {
 		t.Fatal("out-of-range block accepted")
+	}
+}
+
+// TestInspectPrunedChain verifies the inspector handles a snapshotted,
+// pruned chain directory: anchored verification and a summary starting
+// at the first retrievable block.
+func TestInspectPrunedChain(t *testing.T) {
+	dir := t.TempDir()
+	chain, err := repchain.New(
+		repchain.WithTopology(2, 2, 1),
+		repchain.WithGovernors(2),
+		repchain.WithValidator(testValidator),
+		repchain.WithSeed(8),
+		repchain.WithChainDir(dir),
+		repchain.WithSnapshotEvery(2),
+		repchain.WithSegmentBytes(512),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 6; r++ {
+		if _, err := chain.Submit(0, "inspect/demo", []byte{1, byte(r)}, true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := chain.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "governor-0.chain")
+	if err := run(path, 0, false); err != nil {
+		t.Fatalf("run() over pruned chain error = %v", err)
+	}
+	if err := run(path, 0, true); err != nil {
+		t.Fatalf("run(-q) over pruned chain error = %v", err)
+	}
+	if err := run(path, 6, false); err != nil {
+		t.Fatalf("run(-block 6) over pruned chain error = %v", err)
 	}
 }

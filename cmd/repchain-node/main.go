@@ -60,6 +60,9 @@ func main() {
 		admissionFloor = flag.Float64("admission-floor", 0, "shed uploads from collectors whose reputation weight is below this floor (0 = off)")
 		blockLimit     = flag.Int("block-limit", 0, "transactions per block, b_limit (0 = unlimited)")
 		inflightLimit  = flag.Int("inflight-limit", 0, "max undrained frames held per peer (0 = unbounded)")
+
+		snapshotEvery = flag.Int("snapshot-every", 0, "write a recovery snapshot and prune chain segments every N rounds (0 = off; needs -state)")
+		segmentBytes  = flag.Int64("segment-bytes", 0, "chain segment roll threshold in bytes (0 = 4 MiB default)")
 	)
 	flag.Parse()
 
@@ -76,6 +79,8 @@ func main() {
 		admissionFloor: *admissionFloor,
 		blockLimit:     *blockLimit,
 		inflightLimit:  *inflightLimit,
+		snapshotEvery:  *snapshotEvery,
+		segmentBytes:   *segmentBytes,
 	}
 	if err := run(*rosterPath, *id, *demo, *rounds, *roundDur, *epoch, *txPerRound, *seed, *stateDir, *adminAddr, *traceCap, retry, pool); err != nil {
 		fmt.Fprintln(os.Stderr, "repchain-node:", err)
@@ -83,13 +88,15 @@ func main() {
 	}
 }
 
-// poolOptions bundles the mempool / backpressure flags.
+// poolOptions bundles the mempool / backpressure / storage flags.
 type poolOptions struct {
 	mempoolShards  int
 	mempoolCap     int
 	admissionFloor float64
 	blockLimit     int
 	inflightLimit  int
+	snapshotEvery  int
+	segmentBytes   int64
 }
 
 func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, epochStr string, txPerRound int, seed int64, stateDir, adminAddr string, traceCap int, retry transport.RetryPolicy, pool poolOptions) error {
@@ -134,6 +141,8 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 		AdmissionFloor:  pool.admissionFloor,
 		BlockLimit:      pool.blockLimit,
 		InflightLimit:   pool.inflightLimit,
+		SnapshotEvery:   pool.snapshotEvery,
+		SegmentBytes:    pool.segmentBytes,
 	}
 
 	if adminAddr != "" {

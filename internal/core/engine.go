@@ -144,6 +144,16 @@ type Config struct {
 	// collectors whose draw-time reputation weight for the submitting
 	// provider is below the floor. Zero admits everything.
 	AdmissionFloor float64
+	// SnapshotEvery, with ChainDir set, writes an atomic snapshot of
+	// each governor's recovery state (round counter, reputation table,
+	// stake vector) every N committed rounds and prunes chain segments
+	// fully behind the snapshot horizon. Restart cost then scales with
+	// N, not with chain height, and disk usage stays bounded. Zero
+	// disables snapshots (full-suffix replay, no pruning).
+	SnapshotEvery int
+	// SegmentBytes overrides the chain segment roll threshold (bytes)
+	// for file-backed stores. Zero keeps the ledger default (4 MiB).
+	SegmentBytes int64
 }
 
 // Engine is a running alliance chain.
@@ -361,7 +371,10 @@ func New(cfg Config) (*Engine, error) {
 		}
 		var store ledger.Store
 		if cfg.ChainDir != "" {
-			fs, err := ledger.OpenFileStore(filepath.Join(cfg.ChainDir, fmt.Sprintf("governor-%d.chain", j)))
+			fs, err := ledger.OpenFileStoreOptions(
+				filepath.Join(cfg.ChainDir, fmt.Sprintf("governor-%d.chain", j)),
+				ledger.StoreOptions{SegmentBytes: cfg.SegmentBytes},
+			)
 			if err != nil {
 				return nil, fmt.Errorf("governor %d chain file: %w", j, err)
 			}
@@ -398,25 +411,105 @@ func New(cfg Config) (*Engine, error) {
 		p.SetRound(e.round + 1)
 	}
 
-	// Reload persisted reputation state, if present, so a restarted
-	// governor keeps its learned weights instead of re-trusting every
-	// collector equally.
+	// Reload persisted reputation state so a restarted governor keeps
+	// its learned weights instead of re-trusting every collector
+	// equally. The sidecar .rep file (rewritten at every Close and
+	// every snapshot) is preferred; when it is missing — e.g. a crash
+	// wiped it or only the chain dir was copied — the governor falls
+	// back to the GovernorState inside the chain's latest ledger
+	// snapshot. A present-but-corrupt .rep stays a hard error: silently
+	// re-trusting everyone would be a reputation reset.
 	if cfg.ChainDir != "" {
 		for j, g := range e.governors {
 			path := e.reputationPath(j)
 			data, err := os.ReadFile(path)
-			if errors.Is(err, os.ErrNotExist) {
+			if err != nil && !errors.Is(err, os.ErrNotExist) {
+				return nil, fmt.Errorf("governor %d reputation state: %w", j, err)
+			}
+			if err == nil {
+				if err := g.Table().RestoreSnapshot(data); err != nil {
+					return nil, fmt.Errorf("governor %d reputation state: %w", j, err)
+				}
 				continue
 			}
-			if err != nil {
-				return nil, fmt.Errorf("governor %d reputation state: %w", j, err)
+			fs, ok := g.Store().(*ledger.FileStore)
+			if !ok {
+				continue
 			}
-			if err := g.Table().RestoreSnapshot(data); err != nil {
-				return nil, fmt.Errorf("governor %d reputation state: %w", j, err)
+			snap, found := fs.LatestSnapshot()
+			if !found || len(snap.App) == 0 {
+				continue
+			}
+			st, err := node.DecodeGovernorState(snap.App)
+			if err != nil {
+				return nil, fmt.Errorf("governor %d ledger snapshot state: %w", j, err)
+			}
+			if err := g.Table().RestoreSnapshot(st.Reputation); err != nil {
+				return nil, fmt.Errorf("governor %d ledger snapshot state: %w", j, err)
+			}
+		}
+		// The stake vector travels in the same snapshots; the first
+		// governor's is authoritative (replicas are byte-identical).
+		// Configured initial stakes only seed a chain with no snapshot.
+		if fs, ok := e.governors[0].Store().(*ledger.FileStore); ok {
+			if snap, found := fs.LatestSnapshot(); found && len(snap.App) > 0 {
+				st, err := node.DecodeGovernorState(snap.App)
+				if err != nil {
+					return nil, fmt.Errorf("governor 0 ledger snapshot state: %w", err)
+				}
+				if len(st.Stakes) > 0 {
+					if err := e.stake.Apply(st.Stakes); err != nil {
+						return nil, fmt.Errorf("restore stake state: %w", err)
+					}
+				}
 			}
 		}
 	}
 	return e, nil
+}
+
+// maybeSnapshotLocked writes the per-governor recovery snapshots and
+// prunes segments behind them, at the SnapshotEvery cadence. Called at
+// the end of a committed round. The .rep sidecar is rewritten at the
+// same moment so both recovery sources stay equally fresh. Snapshot
+// failures are returned (durability was promised and not delivered);
+// prune failures only lose disk space, not data, so they are returned
+// too but after all governors were attempted.
+func (e *Engine) maybeSnapshot() error {
+	if e.cfg.SnapshotEvery <= 0 || e.cfg.ChainDir == "" {
+		return nil
+	}
+	if e.round%uint64(e.cfg.SnapshotEvery) != 0 {
+		return nil
+	}
+	var firstErr error
+	for j, g := range e.governors {
+		fs, ok := g.Store().(*ledger.FileStore)
+		if !ok {
+			continue
+		}
+		app := node.GovernorState{
+			Round:      e.round,
+			Reputation: g.Table().Snapshot(),
+			Stakes:     e.stake.Snapshot(),
+		}.Encode()
+		if _, err := fs.WriteSnapshot(app); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("governor %d snapshot: %w", j, err)
+			}
+			continue
+		}
+		e.reg.Counter("ledger.snapshots_total").Inc()
+		if err := os.WriteFile(e.reputationPath(j), g.Table().Snapshot(), 0o644); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("governor %d reputation state: %w", j, err)
+		}
+		n, err := fs.Prune()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("governor %d prune: %w", j, err)
+		}
+		e.reg.Counter("ledger.segments_pruned_total").Add(int64(n))
+	}
+	return firstErr
 }
 
 func (e *Engine) reputationPath(j int) string {
@@ -953,6 +1046,9 @@ func (e *Engine) runRoundCtx(ctx context.Context) (RoundResult, error) {
 	e.publishCryptoMetrics()
 	e.publishChaosMetrics()
 	e.publishRoundMetrics(&result)
+	if err := e.maybeSnapshot(); err != nil {
+		return result, err
+	}
 	return result, nil
 }
 

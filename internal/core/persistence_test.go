@@ -252,3 +252,176 @@ func TestPersistentChainDeterministicAcrossBackends(t *testing.T) {
 		t.Fatal("storage backend changed the chain contents")
 	}
 }
+
+// TestSnapshotCadenceWritesAndPrunes drives an engine past several
+// snapshot intervals with tiny segments and checks the cadence
+// machinery end to end: snapshots land on disk, old segments are
+// pruned, and the metrics counters move.
+func TestSnapshotCadenceWritesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := defaultConfig()
+	cfg.ChainDir = dir
+	cfg.SnapshotEvery = 2
+	cfg.SegmentBytes = 1024
+
+	e := newTestEngine(t, cfg)
+	defer func() {
+		if err := e.Close(); err != nil {
+			t.Errorf("Close() error = %v", err)
+		}
+	}()
+	for r := 0; r < 6; r++ {
+		submitRound(t, e, 8, r, 3)
+		if _, err := e.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < e.Governors(); j++ {
+		fs, ok := e.Governor(j).Store().(*ledger.FileStore)
+		if !ok {
+			t.Fatalf("governor %d store is not file-backed", j)
+		}
+		snap, found := fs.LatestSnapshot()
+		if !found {
+			t.Fatalf("governor %d has no ledger snapshot after 6 rounds at cadence 2", j)
+		}
+		if snap.Height != 6 {
+			t.Fatalf("governor %d snapshot height = %d, want 6", j, snap.Height)
+		}
+		st, err := node.DecodeGovernorState(snap.App)
+		if err != nil {
+			t.Fatalf("governor %d snapshot app state: %v", j, err)
+		}
+		if st.Round != 6 {
+			t.Fatalf("governor %d snapshot round = %d, want 6", j, st.Round)
+		}
+		if fs.FirstAvailable() <= 1 {
+			t.Fatalf("governor %d FirstAvailable() = %d, want pruning to have moved it", j, fs.FirstAvailable())
+		}
+		if err := ledger.VerifyChain(fs); err != nil {
+			t.Fatalf("governor %d pruned chain fails verification: %v", j, err)
+		}
+	}
+	ms := e.Metrics().Snapshot()
+	if ms.Counters["ledger.snapshots_total"] == 0 {
+		t.Fatal("ledger.snapshots_total did not move")
+	}
+	if ms.Counters["ledger.segments_pruned_total"] == 0 {
+		t.Fatal("ledger.segments_pruned_total did not move")
+	}
+}
+
+// TestRestartFromSnapshotWithoutRepFile deletes the .rep sidecars
+// after a snapshotting run — the crash model where only the chain
+// directory survives — and verifies the restarted engine recovers
+// reputation from the ledger snapshot and continues committing rounds
+// identically to a node restored from .rep.
+func TestRestartFromSnapshotWithoutRepFile(t *testing.T) {
+	dir := t.TempDir()
+	cfg := defaultConfig()
+	cfg.ChainDir = dir
+	cfg.SnapshotEvery = 2
+
+	e1 := newTestEngine(t, cfg)
+	for r := 0; r < 4; r++ {
+		submitRound(t, e1, 8, r, 3)
+		if _, err := e1.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantRep := make([][]byte, e1.Governors())
+	for j := 0; j < e1.Governors(); j++ {
+		wantRep[j] = e1.Governor(j).Table().Snapshot()
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := filepath.Glob(filepath.Join(dir, "governor-*.rep"))
+	if err != nil || len(reps) == 0 {
+		t.Fatalf("no .rep files to delete (err=%v)", err)
+	}
+	for _, p := range reps {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	e2 := newTestEngine(t, cfg)
+	defer func() {
+		if err := e2.Close(); err != nil {
+			t.Errorf("Close() error = %v", err)
+		}
+	}()
+	for j := 0; j < e2.Governors(); j++ {
+		got := e2.Governor(j).Table().Snapshot()
+		if !bytes.Equal(got, wantRep[j]) {
+			t.Fatalf("governor %d reputation after snapshot-only restart differs from pre-restart state", j)
+		}
+	}
+	if e2.Round() != 4 {
+		t.Fatalf("restarted Round() = %d, want 4", e2.Round())
+	}
+	submitRound(t, e2, 6, 9, 0)
+	res, err := e2.RunRound()
+	if err != nil {
+		t.Fatalf("post-restart RunRound() error = %v", err)
+	}
+	if res.Serial != 5 {
+		t.Fatalf("post-restart serial = %d, want 5", res.Serial)
+	}
+}
+
+// TestRestartAfterPruningStillVerifies makes sure a restart over a
+// pruned chain directory (blocks 1..H gone, snapshot anchor present)
+// opens, verifies, and extends.
+func TestRestartAfterPruningStillVerifies(t *testing.T) {
+	dir := t.TempDir()
+	cfg := defaultConfig()
+	cfg.ChainDir = dir
+	cfg.SnapshotEvery = 2
+	cfg.SegmentBytes = 512
+
+	e1 := newTestEngine(t, cfg)
+	for r := 0; r < 8; r++ {
+		submitRound(t, e1, 8, r, 3)
+		if _, err := e1.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pruned := false
+	for j := 0; j < e1.Governors(); j++ {
+		if fs, ok := e1.Governor(j).Store().(*ledger.FileStore); ok && fs.FirstAvailable() > 1 {
+			pruned = true
+		}
+	}
+	if !pruned {
+		t.Fatal("no governor pruned anything at 512-byte segments over 8 rounds")
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newTestEngine(t, cfg)
+	defer func() {
+		if err := e2.Close(); err != nil {
+			t.Errorf("Close() error = %v", err)
+		}
+	}()
+	for j := 0; j < e2.Governors(); j++ {
+		store := e2.Governor(j).Store()
+		if store.Height() != 8 {
+			t.Fatalf("governor %d reloaded height %d, want 8", j, store.Height())
+		}
+		if err := ledger.VerifyChain(store); err != nil {
+			t.Fatalf("governor %d pruned chain after restart: %v", j, err)
+		}
+	}
+	submitRound(t, e2, 6, 9, 0)
+	res, err := e2.RunRound()
+	if err != nil {
+		t.Fatalf("post-restart RunRound() error = %v", err)
+	}
+	if res.Serial != 9 {
+		t.Fatalf("post-restart serial = %d, want 9", res.Serial)
+	}
+}

@@ -44,6 +44,9 @@ var (
 	ErrCorruptChain = errors.New("ledger: chain verification failed")
 	// ErrDecode reports a malformed block encoding.
 	ErrDecode = errors.New("ledger: decode failed")
+	// ErrPruned reports a retrieve for a block that was discarded
+	// behind the snapshot horizon.
+	ErrPruned = errors.New("ledger: block pruned behind snapshot")
 )
 
 // Record is one TXList entry: a provider-signed transaction together

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -394,12 +395,22 @@ func TestFileStoreDetectsCorruptFile(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Flip one byte mid-file.
-	if err := flipByte(path, 20); err != nil {
+	// Flip one byte mid-segment: the damaged frame is followed by real
+	// data, so it is corruption, not a torn tail, and open must fail —
+	// naming the segment and offset so an operator can act on it.
+	seg := filepath.Join(path, segmentName(1))
+	if err := flipByte(seg, 20); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenFileStore(path); err == nil {
-		t.Fatal("OpenFileStore() accepted a corrupted chain file")
+	_, err = OpenFileStore(path)
+	if err == nil {
+		t.Fatal("OpenFileStore() accepted a corrupted chain segment")
+	}
+	if !errors.Is(err, ErrCorruptChain) {
+		t.Fatalf("OpenFileStore() error = %v, want ErrCorruptChain", err)
+	}
+	if !strings.Contains(err.Error(), filepath.Base(seg)) || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("OpenFileStore() error %q does not name the segment and offset", err)
 	}
 }
 

@@ -1,0 +1,242 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// On-disk layout of one chain segment (DESIGN.md §4g):
+//
+//	header:  8-byte magic "RPSG0001" + big-endian uint64 first serial
+//	frames:  repeated [uint32 length | uint32 CRC-32 (IEEE) of payload | payload]
+//
+// A segment file is named chain-<first>.seg where <first> is the
+// zero-padded serial of its first block, so a lexical directory sort
+// is also the serial sort. Frames are appended strictly in serial
+// order; frame i of a segment holds block first+i, which is why the
+// offset index needs no per-frame serial field.
+//
+// Sealed segments (every segment except the newest) carry a sidecar
+// chain-<first>.idx offset index:
+//
+//	header:  8-byte magic "RPIX0001"
+//	body:    uint64 first serial | uint64 segment byte size |
+//	         uint32 frame count | count × uint64 frame offsets
+//	footer:  uint32 CRC-32 (IEEE) of the body
+//
+// The index is advisory: it only lets open skip re-scanning a sealed
+// segment. A missing, corrupt, or size-mismatched index falls back to
+// a frame scan and is rewritten at the next seal.
+const (
+	segMagic = "RPSG0001"
+	idxMagic = "RPIX0001"
+
+	segHeaderSize   = 16 // magic + first serial
+	frameHeadSize   = 8  // length + CRC
+	maxFramePayload = 1 << 28
+)
+
+// segmentName returns the file name for the segment whose first block
+// has the given serial.
+func segmentName(first uint64) string {
+	return fmt.Sprintf("chain-%020d.seg", first)
+}
+
+func indexName(first uint64) string {
+	return fmt.Sprintf("chain-%020d.idx", first)
+}
+
+// parseSegmentName extracts the first serial from a chain-<first>.seg
+// file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "chain-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, "chain-"), ".seg")
+	if len(digits) != 20 {
+		return 0, false
+	}
+	first, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return first, true
+}
+
+// segmentInfo is the in-memory per-segment offset index.
+type segmentInfo struct {
+	path    string
+	first   uint64  // serial of the first frame
+	offsets []int64 // byte offset of each frame header, in serial order
+	size    int64   // current byte size of the segment file
+	sealed  bool
+}
+
+func (s *segmentInfo) count() int { return len(s.offsets) }
+
+// last returns the serial of the newest block in the segment; callers
+// must check count() > 0 first.
+func (s *segmentInfo) last() uint64 { return s.first + uint64(s.count()) - 1 }
+
+// writeSegmentHeader starts a fresh segment file.
+func writeSegmentHeader(w io.Writer, first uint64) error {
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], segMagic)
+	binary.BigEndian.PutUint64(hdr[8:], first)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// readSegmentHeader validates a segment file's header and returns its
+// first serial.
+func readSegmentHeader(r io.Reader, path string) (uint64, error) {
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("segment %s: header: %w", filepath.Base(path), ErrCorruptChain)
+	}
+	if string(hdr[:8]) != segMagic {
+		return 0, fmt.Errorf("segment %s: bad magic: %w", filepath.Base(path), ErrCorruptChain)
+	}
+	return binary.BigEndian.Uint64(hdr[8:]), nil
+}
+
+// appendFrame writes one length+CRC framed payload.
+func appendFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeadSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// frameScanResult classifies why a segment scan stopped.
+type frameScanResult int
+
+const (
+	scanEOF       frameScanResult = iota // clean end of segment
+	scanTruncated                        // frame extends past end of file
+	scanBadFrame                         // CRC or decode failure
+)
+
+// readFrame reads one frame. On success it returns the payload;
+// payloadErr distinguishes a CRC mismatch from a clean read so the
+// caller can apply its torn-tail policy.
+func readFrame(r *bufio.Reader, verify bool) (payload []byte, n int64, res frameScanResult) {
+	var hdr [frameHeadSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, scanEOF
+		}
+		return nil, 0, scanTruncated
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	sum := binary.BigEndian.Uint32(hdr[4:])
+	if length > maxFramePayload {
+		return nil, frameHeadSize, scanBadFrame
+	}
+	if !verify {
+		// Index-only scan: skip the payload without buffering or
+		// checksumming it. Discard reports how many bytes it skipped,
+		// so a short segment still surfaces as truncation.
+		skipped, err := r.Discard(int(length))
+		if err != nil || skipped != int(length) {
+			return nil, frameHeadSize + int64(skipped), scanTruncated
+		}
+		return nil, frameHeadSize + int64(length), scanEOF
+	}
+	payload = make([]byte, length)
+	if m, err := io.ReadFull(r, payload); err != nil {
+		return nil, frameHeadSize + int64(m), scanTruncated
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, frameHeadSize + int64(length), scanBadFrame
+	}
+	return payload, frameHeadSize + int64(length), scanEOF
+}
+
+// writeIndexFile writes the sidecar offset index for a sealed segment
+// (tmp + rename so a crash never leaves a half-written index to trust).
+func writeIndexFile(dir string, seg *segmentInfo) error {
+	body := make([]byte, 0, 8+8+4+8*len(seg.offsets))
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], seg.first)
+	body = append(body, u64[:]...)
+	binary.BigEndian.PutUint64(u64[:], uint64(seg.size))
+	body = append(body, u64[:]...)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(seg.offsets)))
+	body = append(body, u32[:]...)
+	for _, off := range seg.offsets {
+		binary.BigEndian.PutUint64(u64[:], uint64(off))
+		body = append(body, u64[:]...)
+	}
+	binary.BigEndian.PutUint32(u32[:], crc32.ChecksumIEEE(body))
+
+	path := filepath.Join(dir, indexName(seg.first))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(idxMagic)); err == nil {
+		if _, err2 := f.Write(body); err2 == nil {
+			_, err = f.Write(u32[:])
+		} else {
+			err = err2
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadIndexFile reads a sealed segment's sidecar index. Any
+// inconsistency — bad magic, CRC mismatch, first-serial mismatch, or a
+// recorded size that disagrees with the segment file on disk — returns
+// ok=false so the caller falls back to a frame scan.
+func loadIndexFile(dir string, first uint64, segSize int64) (offsets []int64, ok bool) {
+	data, err := os.ReadFile(filepath.Join(dir, indexName(first)))
+	if err != nil || len(data) < 8+8+8+4+4 || string(data[:8]) != idxMagic {
+		return nil, false
+	}
+	body, foot := data[8:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(foot) {
+		return nil, false
+	}
+	if binary.BigEndian.Uint64(body[:8]) != first {
+		return nil, false
+	}
+	if int64(binary.BigEndian.Uint64(body[8:16])) != segSize {
+		return nil, false
+	}
+	count := int(binary.BigEndian.Uint32(body[16:20]))
+	if count < 0 || len(body) != 20+8*count {
+		return nil, false
+	}
+	offsets = make([]int64, count)
+	prev := int64(segHeaderSize) - 1
+	for i := 0; i < count; i++ {
+		off := int64(binary.BigEndian.Uint64(body[20+8*i:]))
+		if off <= prev || off >= segSize {
+			return nil, false
+		}
+		offsets[i] = off
+		prev = off
+	}
+	return offsets, true
+}

@@ -1,0 +1,179 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repchain/internal/crypto"
+)
+
+// Snapshot is a durable recovery point: the chain height it was taken
+// at, the hash of the block at that height (the anchor every replayed
+// suffix must link from), and an opaque application payload — the
+// engine stores the governor's reputation table, the stake vector, and
+// the round counter there (node.GovernorState).
+//
+// On-disk layout of snapshot-<height>.snap (DESIGN.md §4g):
+//
+//	header:  8-byte magic "RPSN0001" | uint32 body length |
+//	         uint32 CRC-32 (IEEE) of body
+//	body:    uint64 height | 32-byte head hash | uint32 app length | app
+//
+// Snapshots are written to a .tmp file, fsynced, renamed into place,
+// and the directory is fsynced — a crash at any point leaves either
+// the previous snapshot set intact or the new file complete, never a
+// half-written file that loads.
+type Snapshot struct {
+	// Height is the chain height the snapshot covers.
+	Height uint64
+	// Head is the hash of block Height (ZeroHash when Height is 0).
+	Head crypto.Hash
+	// App is the opaque application state captured at Height.
+	App []byte
+}
+
+const snapMagic = "RPSN0001"
+
+// snapshotName returns the file name for a snapshot at height h.
+func snapshotName(h uint64) string {
+	return fmt.Sprintf("snapshot-%020d.snap", h)
+}
+
+// parseSnapshotName extracts the height from a snapshot-<height>.snap
+// file name.
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), ".snap")
+	if len(digits) != 20 {
+		return 0, false
+	}
+	h, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return h, true
+}
+
+// encodeSnapshot renders the full snapshot file contents.
+func encodeSnapshot(s Snapshot) []byte {
+	body := make([]byte, 0, 8+crypto.HashSize+4+len(s.App))
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], s.Height)
+	body = append(body, u64[:]...)
+	body = append(body, s.Head[:]...)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(s.App)))
+	body = append(body, u32[:]...)
+	body = append(body, s.App...)
+
+	out := make([]byte, 0, 16+len(body))
+	out = append(out, snapMagic...)
+	binary.BigEndian.PutUint32(u32[:], uint32(len(body)))
+	out = append(out, u32[:]...)
+	binary.BigEndian.PutUint32(u32[:], crc32.ChecksumIEEE(body))
+	out = append(out, u32[:]...)
+	return append(out, body...)
+}
+
+// decodeSnapshot parses and validates a snapshot file's contents.
+func decodeSnapshot(data []byte) (Snapshot, error) {
+	if len(data) < 16 || string(data[:8]) != snapMagic {
+		return Snapshot{}, fmt.Errorf("snapshot magic: %w", ErrCorruptChain)
+	}
+	bodyLen := binary.BigEndian.Uint32(data[8:12])
+	sum := binary.BigEndian.Uint32(data[12:16])
+	body := data[16:]
+	if uint32(len(body)) != bodyLen {
+		return Snapshot{}, fmt.Errorf("snapshot body %d bytes, header claims %d: %w", len(body), bodyLen, ErrCorruptChain)
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return Snapshot{}, fmt.Errorf("snapshot checksum mismatch: %w", ErrCorruptChain)
+	}
+	if len(body) < 8+crypto.HashSize+4 {
+		return Snapshot{}, fmt.Errorf("snapshot body truncated: %w", ErrCorruptChain)
+	}
+	var s Snapshot
+	s.Height = binary.BigEndian.Uint64(body[:8])
+	head, err := crypto.HashFromBytes(body[8 : 8+crypto.HashSize])
+	if err != nil {
+		return Snapshot{}, err
+	}
+	s.Head = head
+	appLen := binary.BigEndian.Uint32(body[8+crypto.HashSize:])
+	app := body[8+crypto.HashSize+4:]
+	if uint32(len(app)) != appLen {
+		return Snapshot{}, fmt.Errorf("snapshot app state %d bytes, header claims %d: %w", len(app), appLen, ErrCorruptChain)
+	}
+	s.App = append([]byte(nil), app...)
+	return s, nil
+}
+
+// writeSnapshotFile persists a snapshot atomically: temp file, fsync,
+// rename, directory fsync.
+func writeSnapshotFile(dir string, s Snapshot) error {
+	path := filepath.Join(dir, snapshotName(s.Height))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("snapshot temp file: %w", err)
+	}
+	if _, err = f.Write(encodeSnapshot(s)); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("snapshot write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("snapshot rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename into it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// loadLatestSnapshot walks the snapshot heights newest-first and
+// returns the first one that validates. Half-written or corrupt files
+// (a crash mid-snapshot before the atomic rename cannot produce one,
+// but operators and disks can) are skipped and counted, never
+// selected.
+func loadLatestSnapshot(dir string, heights []uint64) (snap Snapshot, found bool, skipped int) {
+	sort.Slice(heights, func(i, j int) bool { return heights[i] > heights[j] })
+	for _, h := range heights {
+		data, err := os.ReadFile(filepath.Join(dir, snapshotName(h)))
+		if err != nil {
+			skipped++
+			continue
+		}
+		s, err := decodeSnapshot(data)
+		if err != nil || s.Height != h {
+			skipped++
+			continue
+		}
+		return s, true, skipped
+	}
+	return Snapshot{}, false, skipped
+}

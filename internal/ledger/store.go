@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"repchain/internal/crypto"
@@ -68,7 +71,7 @@ func (s *MemoryStore) Height() uint64 {
 }
 
 // appendChecked enforces the No Skipping and Chain Integrity invariants
-// shared by both stores.
+// for the in-memory store.
 func appendChecked(blocks *[]Block, b Block) error {
 	height := uint64(len(*blocks))
 	if b.Serial != height+1 {
@@ -96,14 +99,46 @@ func getChecked(blocks []Block, serial uint64) (Block, error) {
 	return blocks[serial-1], nil
 }
 
-// VerifyChain replays the whole chain in store, checking serial
+// PrunedStore is implemented by stores that may have discarded a
+// prefix of the chain behind a snapshot horizon.
+type PrunedStore interface {
+	// FirstAvailable returns the lowest serial Get can still serve
+	// (1 when nothing has been pruned).
+	FirstAvailable() uint64
+	// SnapshotAnchor returns the latest durable snapshot's height and
+	// head hash; ok is false when no snapshot exists.
+	SnapshotAnchor() (height uint64, head crypto.Hash, ok bool)
+}
+
+// VerifyChain replays the retrievable chain in store, checking serial
 // ordering, previous-hash links, and transaction-root commitments. It
 // is the auditor's offline check of the Chain Integrity and No
 // Skipping properties.
+//
+// On a PrunedStore the verification starts at the first available
+// block and anchors against the snapshot instead of genesis: the hash
+// chain computed over the surviving blocks must reproduce the
+// snapshot's head hash at the snapshot height, which transitively
+// certifies every link back to the recovery point.
 func VerifyChain(store Store) error {
 	height := store.Height()
+	first := uint64(1)
+	var anchorHeight uint64
+	var anchorHead crypto.Hash
+	haveAnchor := false
+	if ps, ok := store.(PrunedStore); ok {
+		first = ps.FirstAvailable()
+		anchorHeight, anchorHead, haveAnchor = ps.SnapshotAnchor()
+	}
+	if first > 1 && (!haveAnchor || first > anchorHeight+1) {
+		return fmt.Errorf("blocks before %d pruned with no covering snapshot: %w", first, ErrCorruptChain)
+	}
 	var prevHash crypto.Hash
-	for s := uint64(1); s <= height; s++ {
+	prevKnown := first == 1
+	if haveAnchor && first == anchorHeight+1 {
+		prevHash, prevKnown = anchorHead, true
+	}
+	for s := first; s <= height; s++ {
 		b, err := store.Get(s)
 		if err != nil {
 			return fmt.Errorf("retrieve %d: %w", s, err)
@@ -111,80 +146,517 @@ func VerifyChain(store Store) error {
 		if b.Serial != s {
 			return fmt.Errorf("block at position %d has serial %d: %w", s, b.Serial, ErrCorruptChain)
 		}
-		if b.PrevHash != prevHash {
+		if prevKnown && b.PrevHash != prevHash {
 			return fmt.Errorf("block %d previous hash mismatch: %w", s, ErrCorruptChain)
 		}
 		if got := ComputeTxRoot(b.Records); got != b.TxRoot {
 			return fmt.Errorf("block %d transaction root mismatch: %w", s, ErrCorruptChain)
 		}
-		prevHash = b.Hash()
+		prevHash, prevKnown = b.Hash(), true
+		if haveAnchor && s == anchorHeight && prevHash != anchorHead {
+			return fmt.Errorf("block %d hash does not match the snapshot anchor: %w", s, ErrCorruptChain)
+		}
 	}
 	return nil
 }
 
-// FileStore is an append-only on-disk chain: a sequence of
-// length-prefixed block encodings. It keeps an in-memory index of
-// decoded blocks for reads and appends synchronously to the file.
-type FileStore struct {
-	mu     sync.RWMutex
-	blocks []Block       // guarded by mu
-	f      *os.File      // guarded by mu
-	w      *bufio.Writer // guarded by mu
-	path   string
+// StoreOptions tunes the segmented FileStore.
+type StoreOptions struct {
+	// SegmentBytes is the roll threshold: once the active segment
+	// exceeds it, the segment is sealed (fsynced, sidecar index
+	// written) and the next append starts a new one. Zero means the
+	// 4 MiB default. A single oversized block still gets written — a
+	// segment always holds at least one frame.
+	SegmentBytes int64
+	// TailBlocks caps the in-memory cache of most recent blocks that
+	// serves Head, resync, and recent Get calls without disk reads.
+	// Zero means the 256 default.
+	TailBlocks int
+	// SnapshotKeep is how many snapshot generations WriteSnapshot
+	// retains (older ones are deleted). Zero means the 2 default —
+	// the newest plus one fallback.
+	SnapshotKeep int
 }
 
-var _ Store = (*FileStore)(nil)
+const (
+	defaultSegmentBytes = 4 << 20
+	defaultTailBlocks   = 256
+	defaultSnapshotKeep = 2
+)
 
-// OpenFileStore opens or creates the chain file at path, replaying any
-// existing blocks and verifying their links.
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.TailBlocks <= 0 {
+		o.TailBlocks = defaultTailBlocks
+	}
+	if o.SnapshotKeep <= 0 {
+		o.SnapshotKeep = defaultSnapshotKeep
+	}
+	return o
+}
+
+// RecoveryInfo reports what OpenFileStore did to bring the store up.
+type RecoveryInfo struct {
+	// SnapshotHeight is the height of the snapshot recovery loaded
+	// from (0 = opened with no snapshot).
+	SnapshotHeight uint64
+	// SnapshotsSkipped counts snapshot files that failed validation
+	// and were passed over for an older generation.
+	SnapshotsSkipped int
+	// BlocksIndexed counts frames indexed without decoding (at or
+	// below the snapshot horizon, or covered by a sealed-segment
+	// sidecar index).
+	BlocksIndexed int
+	// BlocksReplayed counts blocks decoded and link-verified (the log
+	// suffix above the snapshot horizon).
+	BlocksReplayed int
+	// TornBytesDropped is how many trailing bytes of the newest
+	// segment were discarded as a torn write.
+	TornBytesDropped int64
+	// SegmentsScanned counts sealed segments that had to be re-scanned
+	// because their sidecar index was missing or invalid.
+	SegmentsScanned int
+	// MigratedLegacy reports that a pre-segmented single-file chain
+	// was converted to the segmented layout on open.
+	MigratedLegacy bool
+}
+
+// FileStore is the segmented append-only on-disk chain. The directory
+// holds fixed-size segments of length+CRC framed block encodings
+// (chain-<first>.seg), sidecar offset indexes for sealed segments
+// (chain-<first>.idx), and atomic state snapshots
+// (snapshot-<height>.snap).
+//
+// Unlike the pre-segmented store it replaces, FileStore does not keep
+// the chain in memory: it holds a bounded tail cache plus per-segment
+// offset indexes, reads older blocks from disk on demand, and on open
+// decodes only the log suffix above the latest valid snapshot.
+type FileStore struct {
+	mu   sync.RWMutex
+	dir  string
+	opts StoreOptions
+
+	segments []*segmentInfo // guarded by mu; serial order, last is active
+	active   *os.File       // guarded by mu; nil until the first append needs it
+	w        *bufio.Writer  // guarded by mu
+
+	height   uint64      // guarded by mu
+	headHash crypto.Hash // guarded by mu; hash of block height
+	headBlk  Block       // guarded by mu; the block at height
+	headOK   bool        // guarded by mu; headBlk holds a real block
+	pruned   uint64      // guarded by mu; serials ≤ pruned are gone
+
+	tail []Block // guarded by mu; ring keyed by serial % TailBlocks
+
+	snap     Snapshot // guarded by mu; latest durable snapshot
+	haveSnap bool     // guarded by mu
+
+	recovery RecoveryInfo // set at open, immutable afterwards
+}
+
+var (
+	_ Store       = (*FileStore)(nil)
+	_ PrunedStore = (*FileStore)(nil)
+)
+
+// OpenFileStore opens or creates the segmented chain store at path
+// with default options. A pre-segmented single-file chain at path is
+// migrated to the segmented layout in place.
 func OpenFileStore(path string) (*FileStore, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("open chain file: %w", err)
-	}
-	fs := &FileStore{f: f, w: bufio.NewWriter(f), path: path}
-	if err := fs.replay(); err != nil {
-		if cerr := f.Close(); cerr != nil {
-			return nil, fmt.Errorf("replay chain (close also failed: %v): %w", cerr, err)
+	return OpenFileStoreOptions(path, StoreOptions{})
+}
+
+// OpenFileStoreOptions is OpenFileStore with explicit tuning.
+//
+// Recovery procedure: load the newest snapshot that validates, index
+// every surviving segment (sealed ones through their sidecar index
+// when possible), and decode only the frames above the snapshot
+// height, verifying their hash links from the snapshot's head hash. A
+// torn tail — an incomplete or checksum-failing final frame of the
+// newest segment — is truncated and recovery proceeds; corruption
+// anywhere else fails open with the segment file and byte offset of
+// the bad frame so an operator can inspect or truncate manually.
+func OpenFileStoreOptions(path string, opts StoreOptions) (*FileStore, error) {
+	opts = opts.withDefaults()
+	if fi, err := os.Stat(path); err == nil && fi.Mode().IsRegular() {
+		if err := migrateLegacyChain(path); err != nil {
+			return nil, err
 		}
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("open chain dir: %w", err)
+	}
+	migrated := false
+	if fi, err := os.Stat(filepath.Join(path, legacyBackupName)); err == nil && fi.Mode().IsRegular() {
+		// A parked legacy chain (fresh move-aside, or a crash before a
+		// previous migration finished): (re)build the segments from it.
+		if err := completeMigration(path, opts); err != nil {
+			return nil, err
+		}
+		migrated = true
+	}
+	fs := &FileStore{
+		dir:  path,
+		opts: opts,
+		tail: make([]Block, opts.TailBlocks),
+	}
+	fs.recovery.MigratedLegacy = migrated
+	if err := fs.load(); err != nil {
 		return nil, err
-	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		if cerr := f.Close(); cerr != nil {
-			return nil, fmt.Errorf("seek chain end (close also failed: %v): %w", cerr, err)
-		}
-		return nil, fmt.Errorf("seek chain end: %w", err)
 	}
 	return fs, nil
 }
 
-//repchain:lockguard-ok construction-time only: OpenFileStore calls replay before the store is reachable by any other goroutine
-func (fs *FileStore) replay() error {
-	r := bufio.NewReader(fs.f)
-	for {
-		var lenBuf [4]byte
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			return fmt.Errorf("chain file %s truncated frame header: %w", fs.path, ErrCorruptChain)
+// legacyBackupName is where migrateLegacyChain parks the original
+// single-file chain inside the new directory until the migration has
+// fully replayed, after which it is deleted.
+const legacyBackupName = "legacy-chain.migrating"
+
+// migrateLegacyChain parks a pre-segmented single-file chain inside a
+// fresh directory at the same path; completeMigration then rebuilds
+// the segments from it. Splitting the move from the rebuild makes the
+// migration crash-resumable: the parked file survives until the
+// segments fully exist.
+func migrateLegacyChain(path string) error {
+	if err := os.Rename(path, path+".migrating"); err != nil {
+		return fmt.Errorf("move legacy chain aside: %w", err)
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return fmt.Errorf("create chain dir: %w", err)
+	}
+	if err := os.Rename(path+".migrating", filepath.Join(path, legacyBackupName)); err != nil {
+		return fmt.Errorf("park legacy chain: %w", err)
+	}
+	return nil
+}
+
+// completeMigration decodes the parked legacy chain (plain 4-byte
+// length frames, no header, no CRC), discards any partial segments a
+// previous interrupted attempt left behind, re-appends every block
+// through a fresh segmented store, and only then deletes the backup.
+func completeMigration(path string, opts StoreOptions) error {
+	backup := filepath.Join(path, legacyBackupName)
+	data, err := os.ReadFile(backup)
+	if err != nil {
+		return fmt.Errorf("read legacy chain file: %w", err)
+	}
+	var blocks []Block
+	for off := 0; off < len(data); {
+		if off+4 > len(data) {
+			return fmt.Errorf("legacy chain file %s truncated frame header at offset %d: %w", backup, off, ErrCorruptChain)
 		}
-		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n > 1<<28 {
-			return fmt.Errorf("chain file %s frame of %d bytes: %w", fs.path, n, ErrCorruptChain)
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		if n > maxFramePayload || off+4+n > len(data) {
+			return fmt.Errorf("legacy chain file %s truncated frame at offset %d: %w", backup, off, ErrCorruptChain)
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return fmt.Errorf("chain file %s truncated frame: %w", fs.path, ErrCorruptChain)
-		}
-		b, err := DecodeBlockBytes(buf)
+		b, err := DecodeBlockBytes(data[off+4 : off+4+n])
 		if err != nil {
-			return fmt.Errorf("chain file %s block decode: %w", fs.path, err)
+			return fmt.Errorf("legacy chain file %s block decode at offset %d: %w", backup, off, err)
 		}
-		if err := appendChecked(&fs.blocks, b); err != nil {
-			return fmt.Errorf("chain file %s replay: %w", fs.path, err)
+		blocks = append(blocks, b)
+		off += 4 + n
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return fmt.Errorf("read chain dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		_, isSeg := parseSegmentName(name)
+		_, isSnap := parseSnapshotName(name)
+		if isSeg || isSnap || strings.HasSuffix(name, ".idx") || strings.HasSuffix(name, ".tmp") {
+			if err := os.Remove(filepath.Join(path, name)); err != nil {
+				return fmt.Errorf("clear partial migration: %w", err)
+			}
 		}
 	}
+	fs := &FileStore{dir: path, opts: opts, tail: make([]Block, opts.TailBlocks)}
+	if err := fs.load(); err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		if err := fs.Append(b); err != nil {
+			_ = fs.Close()
+			return fmt.Errorf("migrate legacy chain: %w", err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		return err
+	}
+	return os.Remove(backup)
+}
+
+//repchain:lockguard-ok construction-time only: load runs before the store is reachable by any other goroutine
+func (fs *FileStore) load() error {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return fmt.Errorf("read chain dir: %w", err)
+	}
+	var segFirsts, snapHeights []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(fs.dir, name)) // interrupted atomic write
+			continue
+		}
+		if first, ok := parseSegmentName(name); ok {
+			segFirsts = append(segFirsts, first)
+		}
+		if h, ok := parseSnapshotName(name); ok {
+			snapHeights = append(snapHeights, h)
+		}
+	}
+	sort.Slice(segFirsts, func(i, j int) bool { return segFirsts[i] < segFirsts[j] })
+
+	snap, haveSnap, skipped := loadLatestSnapshot(fs.dir, snapHeights)
+	fs.snap, fs.haveSnap = snap, haveSnap
+	fs.recovery.SnapshotsSkipped = skipped
+	horizon := uint64(0)
+	if haveSnap {
+		horizon = snap.Height
+		fs.recovery.SnapshotHeight = snap.Height
+		// Frames at or below the horizon are only indexed, never
+		// decoded, so the first replayed block (horizon+1) must link
+		// against the snapshot's head hash instead of a recomputed one.
+		fs.headHash = snap.Head
+	}
+
+	if len(segFirsts) == 0 {
+		if haveSnap {
+			// Fully pruned log: the snapshot is the whole state.
+			fs.height, fs.headHash, fs.pruned = snap.Height, snap.Head, snap.Height
+		}
+		return nil
+	}
+	if segFirsts[0] > 1 && (!haveSnap || segFirsts[0] > horizon+1) {
+		return fmt.Errorf("chain dir %s: first segment starts at %d with no covering snapshot: %w",
+			fs.dir, segFirsts[0], ErrCorruptChain)
+	}
+	fs.pruned = segFirsts[0] - 1
+	fs.height = fs.pruned
+
+	for i, first := range segFirsts {
+		lastSeg := i == len(segFirsts)-1
+		seg := &segmentInfo{
+			path:   filepath.Join(fs.dir, segmentName(first)),
+			first:  first,
+			sealed: !lastSeg,
+		}
+		if first != fs.height+1 {
+			return fmt.Errorf("segment %s starts at %d, previous segment ends at %d: %w",
+				filepath.Base(seg.path), first, fs.height, ErrCorruptChain)
+		}
+		fi, err := os.Stat(seg.path)
+		if err != nil {
+			return fmt.Errorf("segment %s: %w", filepath.Base(seg.path), err)
+		}
+		seg.size = fi.Size()
+		// A sealed segment entirely behind the horizon can load its
+		// sidecar index and skip the scan; anything above the horizon
+		// must be decoded and link-verified, so it always scans.
+		if seg.sealed {
+			if offsets, ok := loadIndexFile(fs.dir, first, seg.size); ok && first+uint64(len(offsets))-1 <= horizon {
+				seg.offsets = offsets
+				fs.height = seg.last()
+				fs.recovery.BlocksIndexed += seg.count()
+				fs.segments = append(fs.segments, seg)
+				continue
+			}
+			fs.recovery.SegmentsScanned++
+		}
+		if err := fs.scanSegment(seg, horizon, lastSeg); err != nil {
+			return err
+		}
+		if seg.count() == 0 && lastSeg && len(fs.segments) > 0 {
+			// The newest segment lost its only frames to a torn write;
+			// drop the empty file so the previous segment becomes
+			// active again on the next open. For this session, keep it
+			// as the (empty) active segment — appends continue into it.
+		}
+		fs.segments = append(fs.segments, seg)
+	}
+
+	if fs.haveSnap && fs.height < fs.snap.Height {
+		return fmt.Errorf("chain dir %s: log height %d behind snapshot height %d (snapshots are only written over fsynced logs): %w",
+			fs.dir, fs.height, fs.snap.Height, ErrCorruptChain)
+	}
+
+	// Reopen the newest segment for appending.
+	last := fs.segments[len(fs.segments)-1]
+	f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("open active segment: %w", err)
+	}
+	if _, err := f.Seek(last.size, io.SeekStart); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("seek active segment end: %w", err)
+	}
+	fs.active = f
+	fs.w = bufio.NewWriter(f)
+
+	// Make sure Head can answer: the head block is always in the
+	// newest segments (pruning never removes the active one), but if
+	// the whole suffix sat below the horizon it was only indexed, not
+	// decoded.
+	if !fs.headOK && fs.height > fs.pruned {
+		b, err := fs.readBlockAt(fs.height)
+		if err != nil {
+			return fmt.Errorf("read head block: %w", err)
+		}
+		fs.headBlk, fs.headOK = b, true
+		fs.headHash = b.Hash()
+	}
+	return nil
+}
+
+// scanSegment walks a segment's frames, indexing every frame and
+// decoding + link-verifying those above the snapshot horizon. In the
+// newest segment a torn tail is truncated; everywhere else any bad
+// frame is fatal, reported with its segment and offset.
+//
+//repchain:lockguard-ok construction-time only: called from load before the store is shared
+func (fs *FileStore) scanSegment(seg *segmentInfo, horizon uint64, lastSeg bool) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("segment %s: %w", filepath.Base(seg.path), err)
+	}
+	defer func() { _ = f.Close() }()
+	r := bufio.NewReaderSize(f, 1<<16)
+	if _, err := readSegmentHeader(r, seg.path); err != nil {
+		return err
+	}
+	first, err := fileHeaderSerial(seg.path)
+	if err != nil {
+		return err
+	}
+	if first != seg.first {
+		return fmt.Errorf("segment %s header claims first serial %d: %w", filepath.Base(seg.path), first, ErrCorruptChain)
+	}
+
+	off := int64(segHeaderSize)
+	for {
+		serial := seg.first + uint64(seg.count())
+		verify := serial > horizon
+		payload, n, res := readFrame(r, verify)
+		if res == scanEOF && payload == nil && n == 0 {
+			return nil // clean end of segment
+		}
+		bad := res != scanEOF
+		var blk Block
+		if !bad && verify {
+			b, derr := DecodeBlockBytes(payload)
+			switch {
+			case derr != nil:
+				bad, res = true, scanBadFrame
+			case b.Serial != serial:
+				bad, res = true, scanBadFrame
+			default:
+				blk = b
+			}
+		}
+		if bad {
+			if lastSeg && verify {
+				if torn, terr := fs.tornTail(f, off, n, res); terr != nil {
+					return terr
+				} else if torn {
+					return nil
+				}
+			}
+			return fmt.Errorf("segment %s: corrupt frame for block %d at offset %d: %w",
+				filepath.Base(seg.path), serial, off, ErrCorruptChain)
+		}
+		if verify {
+			if err := fs.linkBlock(blk); err != nil {
+				return fmt.Errorf("segment %s: block %d at offset %d: %w",
+					filepath.Base(seg.path), serial, off, err)
+			}
+			fs.recovery.BlocksReplayed++
+		} else {
+			fs.height = serial
+			fs.recovery.BlocksIndexed++
+		}
+		seg.offsets = append(seg.offsets, off)
+		off += n
+	}
+}
+
+// tornTail decides whether a bad frame in the newest segment is a
+// recoverable torn write: the frame runs past end-of-file, is the
+// final frame, or is followed only by zero bytes (a zero-filled
+// allocation the crash never overwrote). If so the file is truncated
+// at the frame's start and recovery continues; a bad frame followed by
+// real data is corruption, not a tear, and stays fatal.
+//
+//repchain:lockguard-ok construction-time only: called from scanSegment during load
+func (fs *FileStore) tornTail(f *os.File, off, n int64, res frameScanResult) (bool, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return false, err
+	}
+	size := fi.Size()
+	torn := res == scanTruncated || off+n >= size
+	if !torn {
+		// Bad frame with data after it: a tear only if everything from
+		// the frame start to EOF is zero.
+		rest := make([]byte, size-off)
+		if _, err := f.ReadAt(rest, off); err != nil {
+			return false, err
+		}
+		torn = true
+		for _, b := range rest {
+			if b != 0 {
+				torn = false
+				break
+			}
+		}
+	}
+	if !torn {
+		return false, nil
+	}
+	if err := os.Truncate(f.Name(), off); err != nil {
+		return false, fmt.Errorf("truncate torn tail: %w", err)
+	}
+	fs.recovery.TornBytesDropped += size - off
+	return true, nil
+}
+
+// fileHeaderSerial re-reads just the header serial of a segment file.
+func fileHeaderSerial(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = f.Close() }()
+	return readSegmentHeader(f, path)
+}
+
+// linkBlock verifies a replayed block against the running head state
+// and adopts it as the new head.
+//
+//repchain:lockguard-ok construction-time only: called from scanSegment during load
+func (fs *FileStore) linkBlock(b Block) error {
+	if b.Serial != fs.height+1 {
+		return fmt.Errorf("serial %d at height %d: %w", b.Serial, fs.height, ErrCorruptChain)
+	}
+	if fs.height == 0 {
+		if !b.PrevHash.IsZero() {
+			return fmt.Errorf("genesis block with nonzero previous hash: %w", ErrCorruptChain)
+		}
+	} else if b.PrevHash != fs.headHash {
+		return fmt.Errorf("previous hash mismatch: %w", ErrCorruptChain)
+	}
+	fs.height = b.Serial
+	fs.headHash = b.Hash()
+	fs.headBlk, fs.headOK = b, true
+	fs.cacheTail(b)
+	return nil
+}
+
+//repchain:lockguard-ok callers hold mu (Append) or run construction-time (load path)
+func (fs *FileStore) cacheTail(b Block) {
+	fs.tail[b.Serial%uint64(len(fs.tail))] = b
 }
 
 // Append implements Store, persisting the block before indexing it.
@@ -192,69 +664,318 @@ func (fs *FileStore) Append(b Block) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 
-	// Validate against the in-memory head first so a bad block never
+	// Validate against the head state first so a bad block never
 	// reaches disk.
-	height := uint64(len(fs.blocks))
-	if b.Serial != height+1 {
-		return fmt.Errorf("append serial %d at height %d: %w", b.Serial, height, ErrBadSerial)
+	if b.Serial != fs.height+1 {
+		return fmt.Errorf("append serial %d at height %d: %w", b.Serial, fs.height, ErrBadSerial)
 	}
-	if height == 0 {
+	if fs.height == 0 {
 		if !b.PrevHash.IsZero() {
 			return fmt.Errorf("genesis block with nonzero previous hash: %w", ErrBadPrevHash)
 		}
-	} else if b.PrevHash != fs.blocks[height-1].Hash() {
-		return fmt.Errorf("block %d previous hash mismatch: %w", b.Serial, ErrBadPrevHash)
+	} else if b.PrevHash != fs.headHash {
+		return fmt.Errorf("block %d previous hash %s, head is %s: %w",
+			b.Serial, b.PrevHash.Short(), fs.headHash.Short(), ErrBadPrevHash)
 	}
 
 	enc := b.EncodeBytes()
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(enc)))
-	if _, err := fs.w.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("write block frame: %w", err)
+	frameLen := int64(frameHeadSize + len(enc))
+	seg, err := fs.activeSegmentLocked(frameLen, b.Serial)
+	if err != nil {
+		return err
 	}
-	if _, err := fs.w.Write(enc); err != nil {
-		return fmt.Errorf("write block: %w", err)
+	if err := appendFrame(fs.w, enc); err != nil {
+		return fmt.Errorf("write block frame: %w", err)
 	}
 	if err := fs.w.Flush(); err != nil {
 		return fmt.Errorf("flush block: %w", err)
 	}
-	fs.blocks = append(fs.blocks, b)
+	seg.offsets = append(seg.offsets, seg.size)
+	seg.size += frameLen
+
+	fs.height = b.Serial
+	fs.headHash = b.Hash()
+	fs.headBlk, fs.headOK = b, true
+	fs.cacheTail(b)
 	return nil
 }
 
-// Get implements Store.
+// activeSegmentLocked returns the segment the next frame should go to,
+// sealing and rolling the current one when the new frame would push it
+// past the size threshold. Callers hold mu.
+func (fs *FileStore) activeSegmentLocked(frameLen int64, serial uint64) (*segmentInfo, error) {
+	if n := len(fs.segments); n > 0 && fs.active != nil {
+		seg := fs.segments[n-1]
+		if seg.size+frameLen <= fs.opts.SegmentBytes || seg.count() == 0 {
+			return seg, nil
+		}
+		if err := fs.sealActiveLocked(); err != nil {
+			return nil, err
+		}
+	}
+	seg := &segmentInfo{
+		path:  filepath.Join(fs.dir, segmentName(serial)),
+		first: serial,
+		size:  segHeaderSize,
+	}
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("create segment: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := writeSegmentHeader(w, serial); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("write segment header: %w", err)
+	}
+	fs.active, fs.w = f, w
+	fs.segments = append(fs.segments, seg)
+	return seg, nil
+}
+
+// sealActiveLocked flushes, fsyncs, and closes the active segment and
+// writes its sidecar offset index. Callers hold mu.
+func (fs *FileStore) sealActiveLocked() error {
+	if fs.active == nil {
+		return nil
+	}
+	if err := fs.w.Flush(); err != nil {
+		return fmt.Errorf("flush segment: %w", err)
+	}
+	if err := fs.active.Sync(); err != nil {
+		return fmt.Errorf("sync segment: %w", err)
+	}
+	if err := fs.active.Close(); err != nil {
+		return fmt.Errorf("close segment: %w", err)
+	}
+	fs.active, fs.w = nil, nil
+	seg := fs.segments[len(fs.segments)-1]
+	seg.sealed = true
+	if err := writeIndexFile(fs.dir, seg); err != nil {
+		return fmt.Errorf("write segment index: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store. Recent blocks come from the tail cache; older
+// ones are read from their segment through the offset index. Serials
+// at or below the prune horizon fail with ErrPruned.
 func (fs *FileStore) Get(serial uint64) (Block, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	return getChecked(fs.blocks, serial)
+	if serial == 0 || serial > fs.height {
+		return Block{}, fmt.Errorf("serial %d at height %d: %w", serial, fs.height, ErrNotFound)
+	}
+	if serial <= fs.pruned {
+		return Block{}, fmt.Errorf("serial %d at or below prune horizon %d: %w", serial, fs.pruned, ErrPruned)
+	}
+	if b := fs.tail[serial%uint64(len(fs.tail))]; b.Serial == serial {
+		return b, nil
+	}
+	return fs.readBlockAt(serial)
+}
+
+// readBlockAt reads one block from its segment file. Callers hold at
+// least an RLock; every append flushes, so file contents are current.
+//
+//repchain:lockguard-ok read-only index walk; callers hold mu or RLock, and load runs construction-time
+func (fs *FileStore) readBlockAt(serial uint64) (Block, error) {
+	i := sort.Search(len(fs.segments), func(i int) bool { return fs.segments[i].first > serial }) - 1
+	if i < 0 {
+		return Block{}, fmt.Errorf("serial %d below first segment: %w", serial, ErrNotFound)
+	}
+	seg := fs.segments[i]
+	if serial < seg.first || serial > seg.last() {
+		return Block{}, fmt.Errorf("serial %d not indexed in segment %s: %w", serial, filepath.Base(seg.path), ErrCorruptChain)
+	}
+	off := seg.offsets[serial-seg.first]
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return Block{}, fmt.Errorf("segment %s: %w", filepath.Base(seg.path), err)
+	}
+	defer func() { _ = f.Close() }()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return Block{}, fmt.Errorf("segment %s: seek %d: %w", filepath.Base(seg.path), off, err)
+	}
+	payload, _, res := readFrame(bufio.NewReader(f), true)
+	if res != scanEOF {
+		return Block{}, fmt.Errorf("segment %s: corrupt frame for block %d at offset %d: %w",
+			filepath.Base(seg.path), serial, off, ErrCorruptChain)
+	}
+	b, err := DecodeBlockBytes(payload)
+	if err != nil {
+		return Block{}, fmt.Errorf("segment %s: block %d at offset %d: %w", filepath.Base(seg.path), serial, off, err)
+	}
+	if b.Serial != serial {
+		return Block{}, fmt.Errorf("segment %s: frame at offset %d holds serial %d, want %d: %w",
+			filepath.Base(seg.path), off, b.Serial, serial, ErrCorruptChain)
+	}
+	return b, nil
 }
 
 // Head implements Store.
 func (fs *FileStore) Head() (Block, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	if len(fs.blocks) == 0 {
+	if fs.height == 0 {
 		return Block{}, fmt.Errorf("empty chain: %w", ErrNotFound)
 	}
-	return fs.blocks[len(fs.blocks)-1], nil
+	if !fs.headOK {
+		return Block{}, fmt.Errorf("head block %d behind prune horizon: %w", fs.height, ErrPruned)
+	}
+	return fs.headBlk, nil
 }
 
 // Height implements Store.
 func (fs *FileStore) Height() uint64 {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	return uint64(len(fs.blocks))
+	return fs.height
 }
 
-// Close flushes and closes the underlying file.
+// FirstAvailable implements PrunedStore.
+func (fs *FileStore) FirstAvailable() uint64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.pruned + 1
+}
+
+// SnapshotAnchor implements PrunedStore.
+func (fs *FileStore) SnapshotAnchor() (uint64, crypto.Hash, bool) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.snap.Height, fs.snap.Head, fs.haveSnap
+}
+
+// LatestSnapshot returns the newest durable snapshot, if any.
+func (fs *FileStore) LatestSnapshot() (Snapshot, bool) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if !fs.haveSnap {
+		return Snapshot{}, false
+	}
+	s := fs.snap
+	s.App = append([]byte(nil), fs.snap.App...)
+	return s, true
+}
+
+// Recovery reports what OpenFileStore found and repaired.
+func (fs *FileStore) Recovery() RecoveryInfo { return fs.recovery }
+
+// WriteSnapshot captures the current height, head hash, and the given
+// application state as a durable recovery point. The active segment is
+// fsynced first so the snapshot never claims a height the log could
+// lose, then the snapshot file is written atomically (temp + fsync +
+// rename + directory fsync). Older snapshot generations beyond
+// StoreOptions.SnapshotKeep are deleted.
+func (fs *FileStore) WriteSnapshot(app []byte) (Snapshot, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.active != nil {
+		if err := fs.w.Flush(); err != nil {
+			return Snapshot{}, fmt.Errorf("flush before snapshot: %w", err)
+		}
+		if err := fs.active.Sync(); err != nil {
+			return Snapshot{}, fmt.Errorf("sync before snapshot: %w", err)
+		}
+	}
+	snap := Snapshot{
+		Height: fs.height,
+		Head:   fs.headHash,
+		App:    append([]byte(nil), app...),
+	}
+	if err := writeSnapshotFile(fs.dir, snap); err != nil {
+		return Snapshot{}, err
+	}
+	fs.snap, fs.haveSnap = snap, true
+	fs.gcSnapshotsLocked()
+	return snap, nil
+}
+
+// gcSnapshotsLocked deletes snapshot generations beyond SnapshotKeep.
+// Deletion failures are ignored: stale snapshots are harmless, newer
+// ones always win at open. Callers hold mu.
+func (fs *FileStore) gcSnapshotsLocked() {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return
+	}
+	var heights []uint64
+	for _, e := range entries {
+		if h, ok := parseSnapshotName(e.Name()); ok && h < fs.snap.Height {
+			heights = append(heights, h)
+		}
+	}
+	sort.Slice(heights, func(i, j int) bool { return heights[i] > heights[j] })
+	for _, h := range heights[min(len(heights), fs.opts.SnapshotKeep-1):] {
+		_ = os.Remove(filepath.Join(fs.dir, snapshotName(h)))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Prune deletes sealed segments that lie entirely at or below the
+// latest snapshot height, along with their sidecar indexes, and
+// returns how many segments were removed. The active segment is never
+// pruned — it holds the head block — so Head and every Get above the
+// horizon keep working. Safety invariant: a block is only ever deleted
+// once a durable snapshot at or above it exists, so the recovery state
+// (snapshot + surviving suffix) always reproduces the chain head.
+func (fs *FileStore) Prune() (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.haveSnap {
+		return 0, nil
+	}
+	removed := 0
+	for len(fs.segments) > 1 {
+		seg := fs.segments[0]
+		if !seg.sealed || seg.count() == 0 || seg.last() > fs.snap.Height {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return removed, fmt.Errorf("prune segment: %w", err)
+		}
+		_ = os.Remove(filepath.Join(fs.dir, indexName(seg.first)))
+		fs.pruned = seg.last()
+		fs.segments = fs.segments[1:]
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(fs.dir); err != nil {
+			return removed, fmt.Errorf("prune sync: %w", err)
+		}
+	}
+	return removed, nil
+}
+
+// Segments reports how many segment files the store currently holds.
+func (fs *FileStore) Segments() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.segments)
+}
+
+// Close flushes, fsyncs, and closes the active segment.
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fs.active == nil {
+		return nil
+	}
 	if err := fs.w.Flush(); err != nil {
-		return fmt.Errorf("flush chain file: %w", err)
+		return fmt.Errorf("flush chain segment: %w", err)
 	}
-	if err := fs.f.Close(); err != nil {
-		return fmt.Errorf("close chain file: %w", err)
+	if err := fs.active.Sync(); err != nil {
+		return fmt.Errorf("sync chain segment: %w", err)
 	}
+	if err := fs.active.Close(); err != nil {
+		return fmt.Errorf("close chain segment: %w", err)
+	}
+	fs.active, fs.w = nil, nil
 	return nil
 }

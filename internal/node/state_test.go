@@ -1,0 +1,54 @@
+package node
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestGovernorStateRoundTrip(t *testing.T) {
+	s := GovernorState{
+		Round:      9001,
+		Reputation: []byte("reputation snapshot bytes"),
+		Stakes:     []uint64{10, 0, 35, 7},
+	}
+	got, err := DecodeGovernorState(s.Encode())
+	if err != nil {
+		t.Fatalf("DecodeGovernorState() error = %v", err)
+	}
+	if got.Round != s.Round || !bytes.Equal(got.Reputation, s.Reputation) {
+		t.Fatalf("round trip changed state: %+v != %+v", got, s)
+	}
+	if len(got.Stakes) != len(s.Stakes) {
+		t.Fatalf("stake count %d, want %d", len(got.Stakes), len(s.Stakes))
+	}
+	for i, v := range s.Stakes {
+		if got.Stakes[i] != v {
+			t.Fatalf("stake[%d] = %d, want %d", i, got.Stakes[i], v)
+		}
+	}
+	// Empty state is legal (fresh chain, nothing staked).
+	if _, err := DecodeGovernorState(GovernorState{}.Encode()); err != nil {
+		t.Fatalf("DecodeGovernorState(zero state) error = %v", err)
+	}
+}
+
+func TestGovernorStateDecodeRejectsDamage(t *testing.T) {
+	enc := GovernorState{Round: 3, Reputation: []byte("rep"), Stakes: []uint64{1, 2}}.Encode()
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad-tag", append([]byte{enc[0]}, bytes.ToUpper(enc[1:])...)},
+		{"truncated", enc[:len(enc)-1]},
+		{"trailing-bytes", append(append([]byte(nil), enc...), 0x00)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeGovernorState(tc.data); !errors.Is(err, ErrBadMessage) {
+				t.Fatalf("DecodeGovernorState() error = %v, want ErrBadMessage", err)
+			}
+		})
+	}
+}

@@ -151,6 +151,15 @@ type RuntimeConfig struct {
 	// every node's endpoint (0 = unbounded). Overflow frames are
 	// dropped and counted in transport.inflight_dropped.
 	InflightLimit int
+	// SnapshotEvery, with StateDir set, writes an atomic recovery
+	// snapshot (round counter, reputation table, stake vector) into a
+	// governor's chain directory every N rounds and prunes segments
+	// behind it, bounding both restart replay and disk usage. Zero
+	// disables snapshots.
+	SnapshotEvery int
+	// SegmentBytes overrides the chain segment roll threshold in
+	// bytes; zero keeps the ledger default (4 MiB).
+	SegmentBytes int64
 }
 
 // Report summarizes a node's run.
@@ -360,12 +369,16 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 		return Report{}, err
 	}
 	var store ledger.Store
+	var chainFS *ledger.FileStore
 	if cfg.StateDir != "" {
-		fs, err := ledger.OpenFileStore(filepath.Join(cfg.StateDir, fmt.Sprintf("governor-%d.chain", spec.Index)))
+		fs, err := ledger.OpenFileStoreOptions(
+			filepath.Join(cfg.StateDir, fmt.Sprintf("governor-%d.chain", spec.Index)),
+			ledger.StoreOptions{SegmentBytes: cfg.SegmentBytes},
+		)
 		if err != nil {
 			return Report{}, fmt.Errorf("governor chain file: %w", err)
 		}
-		store = fs
+		store, chainFS = fs, fs
 		defer func() { _ = fs.Close() }()
 	}
 	gov, err := node.NewGovernor(node.GovernorConfig{
@@ -396,6 +409,20 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			}
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return Report{}, fmt.Errorf("governor reputation state: %w", err)
+		} else if chainFS != nil {
+			// No .rep sidecar: fall back to the GovernorState inside
+			// the chain's latest ledger snapshot (§4g). Stake state in
+			// this runtime comes from the deployment spec, so only the
+			// reputation table is applied.
+			if snap, found := chainFS.LatestSnapshot(); found && len(snap.App) > 0 {
+				st, err := node.DecodeGovernorState(snap.App)
+				if err != nil {
+					return Report{}, fmt.Errorf("governor ledger snapshot state: %w", err)
+				}
+				if err := gov.Table().RestoreSnapshot(st.Reputation); err != nil {
+					return Report{}, fmt.Errorf("governor ledger snapshot state: %w", err)
+				}
+			}
 		}
 	}
 	defer func() {
@@ -567,6 +594,31 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 		cfg.Health.SetHeight(string(cfg.ID), height)
 		if heightG != nil {
 			heightG.Set(float64(height))
+		}
+		if chainFS != nil && cfg.SnapshotEvery > 0 && height > 0 && height%uint64(cfg.SnapshotEvery) == 0 {
+			app := node.GovernorState{
+				Round:      height,
+				Reputation: gov.Table().Snapshot(),
+				Stakes:     stakes,
+			}.Encode()
+			if _, err := chainFS.WriteSnapshot(app); err != nil {
+				return report, fmt.Errorf("governor snapshot: %w", err)
+			}
+			if cfg.Metrics != nil {
+				cfg.Metrics.Counter("ledger.snapshots_total").Inc()
+			}
+			if repPath != "" {
+				if err := os.WriteFile(repPath, gov.Table().Snapshot(), 0o644); err != nil {
+					return report, fmt.Errorf("governor reputation state: %w", err)
+				}
+			}
+			pruned, err := chainFS.Prune()
+			if err != nil {
+				return report, fmt.Errorf("governor prune: %w", err)
+			}
+			if cfg.Metrics != nil {
+				cfg.Metrics.Counter("ledger.segments_pruned_total").Add(int64(pruned))
+			}
 		}
 		report.Rounds++
 	}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -457,6 +459,10 @@ func TestRuntimeGovernorPersistence(t *testing.T) {
 			ValidFrac:  0.8,
 			Seed:       6,
 			StateDir:   stateDir,
+			// Snapshot every round with tiny segments so the restart
+			// also exercises snapshot recovery and pruning.
+			SnapshotEvery: 1,
+			SegmentBytes:  512,
 		}
 		var (
 			wg      sync.WaitGroup
@@ -491,6 +497,25 @@ func TestRuntimeGovernorPersistence(t *testing.T) {
 	first := runAlliance(d, 2)
 	if first["governor/0"].Height != 2 {
 		t.Fatalf("first run height = %d", first["governor/0"].Height)
+	}
+	// The cadence must have produced on-disk snapshots for every
+	// governor.
+	for _, gid := range []string{"governor-0", "governor-1"} {
+		snaps, err := filepath.Glob(filepath.Join(stateDir, gid+".chain", "snapshot-*.snap"))
+		if err != nil || len(snaps) == 0 {
+			t.Fatalf("%s: no ledger snapshots after run 1 (err=%v)", gid, err)
+		}
+	}
+	// Delete the .rep sidecars: the restart below must recover
+	// reputation from the ledger snapshots alone.
+	reps, err := filepath.Glob(filepath.Join(stateDir, "governor-*.rep"))
+	if err != nil || len(reps) == 0 {
+		t.Fatalf("no .rep files after run 1 (err=%v)", err)
+	}
+	for _, p := range reps {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
 	}
 	// Fresh ports for the restart (listeners from run 1 are closed,
 	// but avoid TIME_WAIT flakes).

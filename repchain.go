@@ -154,6 +154,35 @@ func WithChainDir(dir string) Option {
 	}
 }
 
+// WithSnapshotEvery writes an atomic recovery snapshot (round counter,
+// reputation tables, stake vector) into every governor's chain
+// directory each n committed rounds and prunes chain segments fully
+// behind the snapshot, so restart cost scales with n instead of chain
+// height and disk stays bounded. Requires WithChainDir to have any
+// effect.
+func WithSnapshotEvery(n int) Option {
+	return func(o *options) error {
+		if n <= 0 {
+			return fmt.Errorf("snapshot cadence %d: %w", n, ErrBadOption)
+		}
+		o.cfg.SnapshotEvery = n
+		return nil
+	}
+}
+
+// WithSegmentBytes overrides the chain segment roll threshold for
+// file-backed governor stores (default 4 MiB). Smaller segments prune
+// at a finer grain; larger ones mean fewer files.
+func WithSegmentBytes(n int64) Option {
+	return func(o *options) error {
+		if n <= 0 {
+			return fmt.Errorf("segment bytes %d: %w", n, ErrBadOption)
+		}
+		o.cfg.SegmentBytes = n
+		return nil
+	}
+}
+
 // WithGovernors sets m, the number of governors.
 func WithGovernors(m int) Option {
 	return func(o *options) error {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -219,6 +220,9 @@ func TestWithMempoolValidation(t *testing.T) {
 		{"negative cap", WithMempool(4, -1), "shard cap"},
 		{"floor below zero", WithAdmissionFloor(-0.2), "admission floor"},
 		{"floor above one", WithAdmissionFloor(1.2), "admission floor"},
+		{"zero snapshot cadence", WithSnapshotEvery(0), "snapshot cadence"},
+		{"negative snapshot cadence", WithSnapshotEvery(-3), "snapshot cadence"},
+		{"zero segment bytes", WithSegmentBytes(0), "segment bytes"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -442,6 +446,60 @@ func TestChainPersistence(t *testing.T) {
 	}
 	if c2.Height() != 2 {
 		t.Fatalf("post-restart height = %d, want 2", c2.Height())
+	}
+}
+
+func TestChainSnapshotPersistence(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Chain {
+		c, err := New(
+			WithTopology(2, 2, 1),
+			WithGovernors(2),
+			WithValidator(testValidator),
+			WithSeed(4),
+			WithChainDir(dir),
+			WithSnapshotEvery(2),
+			WithSegmentBytes(1024),
+		)
+		if err != nil {
+			t.Fatalf("New() error = %v", err)
+		}
+		return c
+	}
+	c1 := open()
+	for i := 0; i < 6; i++ {
+		if _, err := c1.Submit(0, "t", []byte{byte(i)}, true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c1.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("Close() error = %v", err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "governor-0.chain", "snapshot-*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshots on disk after 6 rounds at cadence 2 (err=%v)", err)
+	}
+
+	c2 := open()
+	defer func() {
+		if err := c2.Close(); err != nil {
+			t.Errorf("Close() error = %v", err)
+		}
+	}()
+	if c2.Height() != 6 {
+		t.Fatalf("reloaded height = %d, want 6", c2.Height())
+	}
+	if err := c2.VerifyChain(); err != nil {
+		t.Fatalf("VerifyChain() over snapshotted chain: %v", err)
+	}
+	if _, err := c2.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Height() != 7 {
+		t.Fatalf("post-restart height = %d, want 7", c2.Height())
 	}
 }
 
