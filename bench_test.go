@@ -198,6 +198,59 @@ func BenchmarkFullProtocolRound(b *testing.B) {
 		})
 	}
 
+	// The workers=1 workload with the full observability pipeline on —
+	// span recorder and structured event log — sized so neither ring
+	// wraps during a 1s run. The benchcheck ratio gate pins this
+	// variant's ns/op to ≤1.05× the tracing-off workers=1 run: the
+	// telemetry rings must stay passive (DESIGN.md §4h).
+	b.Run("tracing=on", func(b *testing.B) {
+		validator := repchain.ValidatorFunc(func(t repchain.Transaction) bool {
+			return len(t.Payload) > 0 && t.Payload[0] == 1
+		})
+		chain, err := repchain.New(
+			repchain.WithTopology(8, 4, 2),
+			repchain.WithGovernors(3),
+			repchain.WithValidator(validator),
+			repchain.WithSeed(1),
+			repchain.WithWorkers(1),
+			repchain.WithTracing(1<<16),
+			repchain.WithEventLog(1<<16),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const txPerRound = 32
+		crypto.DefaultVerifyCache.Purge()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < txPerRound; j++ {
+				valid := j%4 != 3
+				payload := []byte{0, byte(j), byte(i), byte(i >> 8)}
+				if valid {
+					payload[0] = 1
+				}
+				if _, err := chain.Submit(j%8, "bench", payload, valid); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := chain.RunRound(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(txPerRound, "tx/round")
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N*txPerRound)/secs, "tx/s")
+		}
+		// Per-round emission rates, not ring lengths: the rings cap out
+		// at their capacity once b.N is large, which would make raw
+		// counts benchtime-dependent noise in the baseline.
+		evlog := chain.EventLog()
+		b.ReportMetric(float64(evlog.Len()+int(evlog.Dropped()))/float64(b.N), "events/round")
+		rec := chain.Engine().Tracer()
+		b.ReportMetric(float64(rec.Len()+int(rec.Dropped()))/float64(b.N), "spans/round")
+	})
+
 	// The same workload through the sharded mempool (DESIGN.md §4d):
 	// submissions stage into 4 bounded shards and each round drains at
 	// most one BlockLimit-sized batch, so BENCH_round.json also records

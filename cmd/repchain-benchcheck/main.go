@@ -69,15 +69,20 @@ type baselineFile struct {
 	Ratios []ratioGate `json:"ratios,omitempty"`
 }
 
-// ratioGate requires cur[Slow].ns/op ≥ Min × cur[Fast].ns/op — i.e.
-// the Fast benchmark must beat the Slow one by at least Min×.
+// ratioGate bounds the cur[Slow].ns/op / cur[Fast].ns/op ratio: Min
+// requires the Fast benchmark to beat the Slow one by at least Min×
+// (speedup gates, e.g. snapshot recovery vs replay), Max caps how much
+// slower Slow may be (overhead gates, e.g. tracing-on vs tracing-off).
+// Either bound may be zero to disable it.
 type ratioGate struct {
 	// Slow and Fast are benchmark names as they appear in the run
 	// (GOMAXPROCS suffix stripped).
 	Slow string `json:"slow"`
 	Fast string `json:"fast"`
-	// Min is the minimum allowed Slow/Fast ns/op ratio.
-	Min float64 `json:"min"`
+	// Min is the minimum allowed Slow/Fast ns/op ratio (0 = no floor).
+	Min float64 `json:"min,omitempty"`
+	// Max is the maximum allowed Slow/Fast ns/op ratio (0 = no cap).
+	Max float64 `json:"max,omitempty"`
 	// Note documents what the ratio protects; informational.
 	Note string `json:"note,omitempty"`
 }
@@ -122,18 +127,39 @@ func parseBenchJSON(path string) (map[string]map[string]float64, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 
-	out := make(map[string]map[string]float64)
+	// A benchmark appearing several times in the stream (-count > 1, or
+	// a second targeted invocation appended by make bench-round) is
+	// averaged per metric: ratio gates on noisy wall-clock numbers are
+	// far more stable on a mean of temporally adjacent samples than on
+	// any single run.
+	sums := make(map[string]map[string]float64)
+	counts := make(map[string]map[string]float64)
 	for _, pkg := range pkgs {
 		for _, line := range strings.Split(perPkg[pkg].String(), "\n") {
 			name, metrics, ok := parseBenchLine(line)
 			if !ok {
 				continue
 			}
-			out[name] = metrics
+			if sums[name] == nil {
+				sums[name] = make(map[string]float64)
+				counts[name] = make(map[string]float64)
+			}
+			for unit, v := range metrics {
+				sums[name][unit] += v
+				counts[name][unit]++
+			}
 		}
 	}
-	if len(out) == 0 {
+	if len(sums) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	out := make(map[string]map[string]float64, len(sums))
+	for name, m := range sums {
+		avg := make(map[string]float64, len(m))
+		for unit, sum := range m {
+			avg[unit] = sum / counts[name][unit]
+		}
+		out[name] = avg
 	}
 	return out, nil
 }
@@ -262,13 +288,17 @@ func checkRatios(ratios []ratioGate, cur map[string]map[string]float64) []string
 		case fast <= 0:
 			failures = append(failures, fmt.Sprintf(
 				"ratio %s / %s: non-positive fast ns/op %g", r.Slow, r.Fast, fast))
-		case slow/fast < r.Min:
+		case r.Min > 0 && slow/fast < r.Min:
 			failures = append(failures, fmt.Sprintf(
 				"ratio %s / %s = %.1fx below required %.1fx (%s)",
 				r.Slow, r.Fast, slow/fast, r.Min, r.Note))
+		case r.Max > 0 && slow/fast > r.Max:
+			failures = append(failures, fmt.Sprintf(
+				"ratio %s / %s = %.2fx above allowed %.2fx (%s)",
+				r.Slow, r.Fast, slow/fast, r.Max, r.Note))
 		default:
-			fmt.Printf("info: ratio %s / %s = %.1fx (required %.1fx)\n",
-				r.Slow, r.Fast, slow/fast, r.Min)
+			fmt.Printf("info: ratio %s / %s = %.2fx (min %g, max %g)\n",
+				r.Slow, r.Fast, slow/fast, r.Min, r.Max)
 		}
 	}
 	return failures

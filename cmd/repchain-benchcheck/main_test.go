@@ -70,6 +70,33 @@ func TestParseBenchJSONReassembly(t *testing.T) {
 	}
 }
 
+// TestParseBenchJSONAveragesRepeats checks that a benchmark appearing
+// several times in the stream (-count > 1, or an appended re-run) is
+// reduced to the per-metric mean rather than last-sample-wins.
+func TestParseBenchJSONAveragesRepeats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "round.json")
+	stream := strings.Join([]string{
+		`{"Action":"output","Package":"repchain","Output":"BenchmarkFullProtocolRound/workers=1-4 \t 100\t 1000 ns/op\t 600 tx/s\n"}`,
+		`{"Action":"output","Package":"repchain","Output":"BenchmarkFullProtocolRound/workers=1-4 \t 100\t 3000 ns/op\t 800 tx/s\n"}`,
+		`{"Action":"output","Package":"repchain","Output":"BenchmarkFullProtocolRound/workers=1-4 \t 100\t 2000 ns/op\n"}`,
+	}, "\n")
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got["BenchmarkFullProtocolRound/workers=1"]
+	if m["ns/op"] != 2000 {
+		t.Fatalf("ns/op mean = %v, want 2000", m["ns/op"])
+	}
+	// tx/s appeared on only two of the three lines: mean over two.
+	if m["tx/s"] != 700 {
+		t.Fatalf("tx/s mean = %v, want 700", m["tx/s"])
+	}
+}
+
 func TestCheckGates(t *testing.T) {
 	base := map[string]map[string]float64{
 		"BenchmarkA": {"ns/op": 1000, "allocs/op": 100, "tx/s": 1000},
@@ -118,6 +145,17 @@ func TestCheckRatios(t *testing.T) {
 	f := checkRatios(tight, cur)
 	if len(f) != 1 || !strings.Contains(f[0], "below required 50.0x") {
 		t.Fatalf("30x run passed a 50x gate: %v", f)
+	}
+
+	// Max caps overhead: a 30x ratio passes max=35 but fails max=20.
+	overhead := []ratioGate{{Slow: pass[0].Slow, Fast: pass[0].Fast, Max: 35}}
+	if f := checkRatios(overhead, cur); len(f) != 0 {
+		t.Fatalf("30x run failed a max=35 cap: %v", f)
+	}
+	capped := []ratioGate{{Slow: pass[0].Slow, Fast: pass[0].Fast, Max: 20, Note: "tracing overhead"}}
+	f = checkRatios(capped, cur)
+	if len(f) != 1 || !strings.Contains(f[0], "above allowed 20.00x") {
+		t.Fatalf("30x run passed a max=20 cap: %v", f)
 	}
 
 	// Either side missing from the run is gate erosion, not a pass.

@@ -13,6 +13,9 @@
 //	repchain-inspect -chain data/governor-0.chain -block 7   # one block in detail
 //	repchain-inspect metrics -admin 127.0.0.1:9180           # live metrics snapshot
 //	repchain-inspect trace -admin 127.0.0.1:9180 <txhash>    # tx lifecycle spans
+//	repchain-inspect cluster -admins host:p1,host:p2         # fleet health + merged metrics
+//	repchain-inspect cluster -admins ... trace <txhash>      # cross-node stitched trace
+//	repchain-inspect events -admin 127.0.0.1:9180 -follow    # tail the consensus event stream
 package main
 
 import (
@@ -36,6 +39,18 @@ func main() {
 		case "trace":
 			if err := runTrace(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "repchain-inspect trace:", err)
+				os.Exit(1)
+			}
+			return
+		case "cluster":
+			if err := runCluster(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "repchain-inspect cluster:", err)
+				os.Exit(1)
+			}
+			return
+		case "events":
+			if err := runEvents(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "repchain-inspect events:", err)
 				os.Exit(1)
 			}
 			return

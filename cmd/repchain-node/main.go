@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
@@ -23,6 +24,7 @@ import (
 
 	"repchain/internal/admin"
 	"repchain/internal/crypto"
+	"repchain/internal/events"
 	"repchain/internal/identity"
 	"repchain/internal/metrics"
 	"repchain/internal/reputation"
@@ -46,8 +48,11 @@ func main() {
 		txPerRound = flag.Int("tx", 4, "transactions per provider per round")
 		seed       = flag.Int64("seed", 1, "seed for workload randomness")
 		stateDir   = flag.String("state", "", "directory persisting governor chain + reputation state across restarts")
-		adminAddr  = flag.String("admin-addr", "", "serve /metrics, /healthz, /readyz, /traces, and pprof on this address (e.g. 127.0.0.1:9180; empty = off)")
+		adminAddr  = flag.String("admin-addr", "", "serve /metrics, /healthz, /readyz, /traces, /events, and pprof on this address (e.g. 127.0.0.1:9180; empty = off)")
 		traceCap   = flag.Int("trace-cap", 8192, "lifecycle span ring-buffer capacity behind /traces (0 = tracing off)")
+		eventsCap  = flag.Int("events-cap", 8192, "consensus event ring-buffer capacity behind /events (0 = events off)")
+		propagate  = flag.Bool("trace-propagate", false, "stamp trace context onto outgoing frames so traces stitch across processes (v2 frames; off keeps the v1 wire format)")
+		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
 
 		retryMax     = flag.Int("retry-max", 0, "delivery attempts per frame (0 = default)")
 		retryBase    = flag.Duration("retry-base", 0, "backoff before the first retry (0 = default)")
@@ -66,6 +71,12 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repchain-node:", err)
+		os.Exit(1)
+	}
+
 	retry := transport.RetryPolicy{
 		MaxAttempts:  *retryMax,
 		BaseBackoff:  *retryBase,
@@ -82,9 +93,28 @@ func main() {
 		snapshotEvery:  *snapshotEvery,
 		segmentBytes:   *segmentBytes,
 	}
-	if err := run(*rosterPath, *id, *demo, *rounds, *roundDur, *epoch, *txPerRound, *seed, *stateDir, *adminAddr, *traceCap, retry, pool); err != nil {
-		fmt.Fprintln(os.Stderr, "repchain-node:", err)
+	obs := obsOptions{
+		adminAddr: *adminAddr,
+		traceCap:  *traceCap,
+		eventsCap: *eventsCap,
+		propagate: *propagate,
+		logger:    logger,
+	}
+	if err := run(*rosterPath, *id, *demo, *rounds, *roundDur, *epoch, *txPerRound, *seed, *stateDir, obs, retry, pool); err != nil {
+		logger.Error("exiting", slog.String("err", err.Error()))
 		os.Exit(1)
+	}
+}
+
+// buildLogger constructs the process logger from the -log-format flag.
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
 }
 
@@ -99,7 +129,17 @@ type poolOptions struct {
 	segmentBytes   int64
 }
 
-func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, epochStr string, txPerRound int, seed int64, stateDir, adminAddr string, traceCap int, retry transport.RetryPolicy, pool poolOptions) error {
+// obsOptions bundles the observability flags.
+type obsOptions struct {
+	adminAddr string
+	traceCap  int
+	eventsCap int
+	propagate bool
+	logger    *slog.Logger
+}
+
+func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, epochStr string, txPerRound int, seed int64, stateDir string, obs obsOptions, retry transport.RetryPolicy, pool poolOptions) error {
+	logger := obs.logger
 	var deployment *transport.Deployment
 	if demo {
 		d, err := demoDeployment(seed)
@@ -135,6 +175,7 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 		Seed:       seed,
 		StateDir:   stateDir,
 		Retry:      retry,
+		Logger:     logger,
 
 		MempoolShards:   pool.mempoolShards,
 		MempoolShardCap: pool.mempoolCap,
@@ -145,11 +186,22 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 		SegmentBytes:    pool.segmentBytes,
 	}
 
-	if adminAddr != "" {
-		// One shared registry/tracer/health for the process. In demo
-		// mode that aggregates the whole alliance; in single-node mode
-		// readiness only tracks what this process can see — its own
-		// governor height, if it is a governor at all.
+	// One shared registry/tracer/event-log/health for the process. In
+	// demo mode that aggregates the whole alliance; in single-node mode
+	// readiness only tracks what this process can see — its own
+	// governor height, if it is a governor at all. The tracer and
+	// event log are wired even without an admin endpoint so -trace-
+	// propagate works standalone; wall clocks are on because this is
+	// the TCP runtime, not a deterministic simulation.
+	rec := trace.NewRecorder(obs.traceCap)
+	rec.EnableWallClock()
+	evlog := events.NewLog(obs.eventsCap)
+	evlog.EnableWallClock()
+	base.Tracer = rec
+	base.Events = evlog
+	base.PropagateTrace = obs.propagate
+
+	if obs.adminAddr != "" {
 		governors := 0
 		if demo {
 			for _, spec := range deployment.Nodes {
@@ -161,8 +213,6 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 			governors = 1
 		}
 		reg := metrics.NewRegistry()
-		rec := trace.NewRecorder(traceCap)
-		rec.EnableWallClock()
 		var health *transport.Health
 		var ready func() (bool, string)
 		if governors > 0 {
@@ -170,19 +220,21 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 			ready = health.Ready
 		}
 		base.Metrics = reg
-		base.Tracer = rec
 		base.Health = health
 		srv, err := admin.Start(admin.Config{
-			Addr:       adminAddr,
+			Addr:       obs.adminAddr,
 			Registries: []*metrics.Registry{reg},
 			Tracer:     rec,
+			Events:     evlog,
 			Ready:      ready,
 		})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("admin endpoint on http://%s (/metrics /healthz /readyz /traces /debug/pprof)\n", srv.Addr())
+		logger.Info("admin endpoint up",
+			slog.String("addr", srv.Addr()),
+			slog.String("paths", "/metrics /healthz /readyz /traces /events /debug/pprof"))
 	}
 
 	if !demo {
@@ -195,13 +247,16 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 		if err != nil {
 			return err
 		}
-		printReport(id, report)
+		logReport(logger, id, report)
 		return nil
 	}
 
 	// Demo: one goroutine per node, real loopback sockets.
-	fmt.Printf("demo alliance: %d nodes, %d rounds of %v starting %s\n",
-		len(deployment.Nodes), rounds, roundDur, epoch.Format(time.RFC3339))
+	logger.Info("demo alliance starting",
+		slog.Int("nodes", len(deployment.Nodes)),
+		slog.Int("rounds", rounds),
+		slog.Duration("round", roundDur),
+		slog.String("epoch", epoch.Format(time.RFC3339)))
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
@@ -229,24 +284,34 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 		return failed
 	}
 	for _, spec := range deployment.Nodes {
-		printReport(spec.ID, reports[spec.ID])
+		logReport(logger, spec.ID, reports[spec.ID])
 	}
 	return nil
 }
 
-func printReport(id string, r transport.Report) {
+func logReport(logger *slog.Logger, id string, r transport.Report) {
 	switch r.Role {
 	case "provider":
-		fmt.Printf("%-14s %d rounds, %d submitted, %d settled valid, %d pending\n",
-			id, r.Rounds, r.Submitted, r.SettledValid, r.PendingValid)
+		logger.Info("provider done", slog.String("node", id),
+			slog.Int("rounds", r.Rounds),
+			slog.Int("submitted", r.Submitted),
+			slog.Int("settled_valid", r.SettledValid),
+			slog.Int("pending_valid", r.PendingValid))
 	case "collector":
-		fmt.Printf("%-14s %d rounds, %d uploads\n", id, r.Rounds, r.Uploads)
+		logger.Info("collector done", slog.String("node", id),
+			slog.Int("rounds", r.Rounds),
+			slog.Int("uploads", r.Uploads))
 	case "governor":
-		fmt.Printf("%-14s %d rounds, height %d, %d checked, %d unchecked, %d argues accepted\n",
-			id, r.Rounds, r.Height, r.Stats.Checked, r.Stats.Unchecked, r.Stats.ArguesAccepted)
+		logger.Info("governor done", slog.String("node", id),
+			slog.Int("rounds", r.Rounds),
+			slog.Uint64("height", r.Height),
+			slog.Int("checked", r.Stats.Checked),
+			slog.Int("unchecked", r.Stats.Unchecked),
+			slog.Int("argues_accepted", r.Stats.ArguesAccepted))
 	}
 	if r.SendFailures > 0 {
-		fmt.Printf("%-14s %d multicasts degraded (some peers unreachable after retries)\n", id, r.SendFailures)
+		logger.Warn("multicasts degraded", slog.String("node", id),
+			slog.Int("send_failures", r.SendFailures))
 	}
 }
 

@@ -1,11 +1,23 @@
 package main
 
 import (
+	"io"
+	"log/slog"
 	"testing"
 	"time"
 
 	"repchain/internal/transport"
 )
+
+// quietObs builds obsOptions with a discarding logger for tests.
+func quietObs(adminAddr string, traceCap int) obsOptions {
+	return obsOptions{
+		adminAddr: adminAddr,
+		traceCap:  traceCap,
+		eventsCap: traceCap,
+		logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+}
 
 // TestDemoAlliance runs the full loopback demo: 11 nodes over real TCP
 // sockets for 2 rounds.
@@ -13,7 +25,7 @@ func TestDemoAlliance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second wall-clock demo")
 	}
-	if err := run("", "", true, 2, 800*time.Millisecond, "", 2, 99, "", "127.0.0.1:0", 1024, transport.RetryPolicy{}, poolOptions{}); err != nil {
+	if err := run("", "", true, 2, 800*time.Millisecond, "", 2, 99, "", quietObs("127.0.0.1:0", 1024), transport.RetryPolicy{}, poolOptions{}); err != nil {
 		t.Fatalf("demo run error = %v", err)
 	}
 }
@@ -21,13 +33,13 @@ func TestDemoAlliance(t *testing.T) {
 func TestRunRequiresID(t *testing.T) {
 	// Without -demo, -id is mandatory; with a missing roster the
 	// loader must fail first.
-	if err := run("/nonexistent/roster.json", "governor/0", false, 1, time.Second, "", 1, 1, "", "", 0, transport.RetryPolicy{}, poolOptions{}); err == nil {
+	if err := run("/nonexistent/roster.json", "governor/0", false, 1, time.Second, "", 1, 1, "", quietObs("", 0), transport.RetryPolicy{}, poolOptions{}); err == nil {
 		t.Fatal("missing roster accepted")
 	}
 }
 
 func TestRunRejectsBadEpoch(t *testing.T) {
-	if err := run("", "", true, 1, time.Second, "not-a-time", 1, 1, "", "", 0, transport.RetryPolicy{}, poolOptions{}); err == nil {
+	if err := run("", "", true, 1, time.Second, "not-a-time", 1, 1, "", quietObs("", 0), transport.RetryPolicy{}, poolOptions{}); err == nil {
 		t.Fatal("bad epoch accepted")
 	}
 }

@@ -2,11 +2,13 @@ package admin
 
 import (
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync/atomic"
 	"testing"
 
+	"repchain/internal/events"
 	"repchain/internal/metrics"
 	"repchain/internal/trace"
 )
@@ -77,6 +79,89 @@ func TestServerEndpoints(t *testing.T) {
 
 	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
 		t.Fatalf("pprof = %d", code)
+	}
+}
+
+func TestServerEventsEndpoint(t *testing.T) {
+	evlog := events.NewLog(16)
+	evlog.Emit(events.TypeBlockCommitted, 1, "governor/0", slog.Uint64("serial", 1))
+	evlog.Emit(events.TypeBlockCommitted, 2, "governor/1", slog.Uint64("serial", 2))
+	evlog.Emit(events.TypeLeaderElected, 2, "governor/0")
+
+	srv, err := Start(Config{Addr: "127.0.0.1:0", Events: evlog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/events")
+	if code != 200 {
+		t.Fatalf("/events = %d", code)
+	}
+	evs, err := events.Replay(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("replayed %d events, want 3", len(evs))
+	}
+
+	if code, body := get(t, base+"/events?node=governor/1"); code != 200 || strings.Count(body, "\n") != 1 {
+		t.Fatalf("node filter = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/events?round=2"); code != 200 || strings.Count(body, "\n") != 2 {
+		t.Fatalf("round filter = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/events?after=2"); code != 200 || strings.Count(body, "\n") != 1 {
+		t.Fatalf("after filter = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/events?after=zz"); code != http.StatusBadRequest {
+		t.Fatalf("bad after param = %d, want 400", code)
+	}
+	if code, _ := get(t, base+"/events?round=zz"); code != http.StatusBadRequest {
+		t.Fatalf("bad round param = %d, want 400", code)
+	}
+}
+
+// TestServerRingGauges checks that each /metrics scrape publishes the
+// observability rings' occupancy and drop gauges.
+func TestServerRingGauges(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec := trace.NewRecorder(2)
+	rec.Emit(trace.Span{Trace: "aaaabbbbcccc", Stage: trace.StageSign})
+	rec.Emit(trace.Span{Trace: "aaaabbbbcccc", Stage: trace.StageUpload})
+	rec.Emit(trace.Span{Trace: "aaaabbbbcccc", Stage: trace.StageScreen}) // evicts one
+	evlog := events.NewLog(8)
+	evlog.Emit(events.TypeLeaderElected, 1, "governor/0")
+
+	srv, err := Start(Config{
+		Addr:       "127.0.0.1:0",
+		Registries: []*metrics.Registry{reg},
+		Tracer:     rec,
+		Events:     evlog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"trace_spans 2",
+		"trace_capacity 2",
+		"trace_dropped_total 1",
+		"events_len 1",
+		"events_capacity 8",
+		"events_dropped_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
 	}
 }
 

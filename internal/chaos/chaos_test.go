@@ -4,13 +4,17 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"testing"
 
 	"repchain/internal/chaos"
 	"repchain/internal/core"
+	"repchain/internal/events"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
 	"repchain/internal/reputation"
+	tracepkg "repchain/internal/trace"
 	"repchain/internal/tx"
 )
 
@@ -34,9 +38,13 @@ func config(seed int64, workers int) core.Config {
 		Seed:        seed,
 		Validator:   oracle,
 		Workers:     workers,
-		// Tracing stays on through the whole fault matrix: spans must
-		// never perturb recovery or determinism.
-		TraceCapacity: 2048,
+		// Tracing and the event log stay on through the whole fault
+		// matrix: spans and events must never perturb recovery or
+		// determinism. Capacities are sized so a full run never wraps —
+		// runTrace asserts Dropped() == 0 for both rings, making the
+		// canonical comparisons below total rather than windowed.
+		TraceCapacity: 8192,
+		EventCapacity: 8192,
 	}
 }
 
@@ -48,6 +56,56 @@ type trace struct {
 	rounds []string
 	reps   [][]byte
 	heads  []string
+	// spans is the canonical span-tree rendering (sorted, with the
+	// scheduling-dependent Seq and the always-zero Wall stripped) and
+	// events the canonical per-node event subsequences; both must be
+	// byte-identical across worker counts.
+	spans  string
+	events string
+}
+
+// canonicalSpans renders the recorder's spans with Seq and Wall
+// stripped (Seq depends on goroutine interleaving, Wall is zero in
+// deterministic mode) and sorts the lines: the span *tree* must be
+// identical across worker counts even though emission order is not.
+func canonicalSpans(spans []tracepkg.Span) string {
+	lines := make([]string, 0, len(spans))
+	for _, s := range spans {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s|%s|%s|%d", s.Trace, s.Stage, s.Node, s.Round)
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&b, "|%s=%s", a.Key, a.Value)
+		}
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// canonicalEvents renders each node's event subsequence in emission
+// order (each node is single-threaded, so its order is deterministic)
+// with the globally-interleaved Seq stripped, then concatenates the
+// nodes sorted by name.
+func canonicalEvents(evs []events.Event) string {
+	byNode := make(map[string][]string)
+	for _, e := range evs {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s|%d", e.Type, e.Round)
+		for _, a := range e.Attrs {
+			fmt.Fprintf(&b, "|%s=%s", a.Key, a.Value)
+		}
+		byNode[e.Node] = append(byNode[e.Node], b.String())
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	var b strings.Builder
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "## %s\n%s\n", n, strings.Join(byNode[n], "\n"))
+	}
+	return b.String()
 }
 
 // runTrace executes an 8-round chaos run and asserts the in-run safety
@@ -128,6 +186,34 @@ func runTrace(t *testing.T, plan chaos.Plan, seed int64, workers int) trace {
 		}
 	}
 
+	// Neither ring may have wrapped, or the canonical comparisons and
+	// the replay below would silently run on a truncated window.
+	if d := e.Tracer().Dropped(); d != 0 {
+		t.Fatalf("trace ring dropped %d spans; raise TraceCapacity", d)
+	}
+	if d := e.Events().Dropped(); d != 0 {
+		t.Fatalf("event ring dropped %d events; raise EventCapacity", d)
+	}
+	tr.spans = canonicalSpans(e.Tracer().Spans())
+	tr.events = canonicalEvents(e.Events().Events())
+
+	// The event log alone must reconstruct every governor's reputation
+	// table: replay each governor's reputation.* subsequence into a
+	// fresh table and demand snapshot equality with the live one.
+	for j := 0; j < e.Governors(); j++ {
+		fresh, err := reputation.NewTable(e.Roster().Topology, reputation.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gid := string(e.Governor(j).ID())
+		if err := events.ReplayReputation(e.Events().Events(), gid, fresh); err != nil {
+			t.Fatalf("governor %d event replay: %v", j, err)
+		}
+		if !bytes.Equal(fresh.Snapshot(), e.Governor(j).Table().Snapshot()) {
+			t.Fatalf("governor %d: replayed reputation table diverges from the live one", j)
+		}
+	}
+
 	for j := 0; j < e.Governors(); j++ {
 		tr.reps = append(tr.reps, e.Governor(j).Table().Snapshot())
 		st := e.Governor(j).Store()
@@ -170,6 +256,12 @@ func TestChaosMatrix(t *testing.T) {
 					if !bytes.Equal(t1.reps[j], t4.reps[j]) {
 						t.Fatalf("governor %d reputation snapshot diverges across workers", j)
 					}
+				}
+				if t1.spans != t4.spans {
+					t.Fatal("canonical span tree diverges across workers")
+				}
+				if t1.events != t4.events {
+					t.Fatal("canonical per-node event streams diverge across workers")
 				}
 			})
 		}

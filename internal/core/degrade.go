@@ -24,7 +24,26 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
+
+	"repchain/internal/events"
 )
+
+// emitQuorum records a node.crash/node.restart transition plus the
+// resulting governor quorum in the structured event stream. Collector
+// transitions change no quorum, so they emit only the node event.
+func (e *Engine) emitNodeEvent(typ, node, cause string, quorum bool) {
+	if e.events == nil {
+		return
+	}
+	e.events.Emit(typ, e.round, node, slog.String("cause", cause))
+	if quorum {
+		e.events.Emit(events.TypeQuorumChange, e.round, node,
+			slog.Int("live", len(e.liveGovernors())),
+			slog.Int("total", len(e.governors)),
+			slog.String("cause", cause))
+	}
+}
 
 // CrashCollector marks collector c crashed: the bus drops its traffic
 // in both directions and its queued inbox is discarded, as a real
@@ -37,6 +56,7 @@ func (e *Engine) CrashCollector(c int) error {
 	e.bus.SetDown(e.roster.Collectors[c].ID, true)
 	e.collectors[c].Endpoint().Purge()
 	e.reg.Counter("chaos.collector_crashes").Inc()
+	e.emitNodeEvent(events.TypeNodeCrash, string(e.roster.Collectors[c].ID), "crash", false)
 	return nil
 }
 
@@ -51,6 +71,7 @@ func (e *Engine) RestartCollector(c int) error {
 	e.bus.SetDown(e.roster.Collectors[c].ID, false)
 	e.collectors[c].Endpoint().Purge()
 	e.reg.Counter("chaos.collector_restarts").Inc()
+	e.emitNodeEvent(events.TypeNodeRestart, string(e.roster.Collectors[c].ID), "restart", false)
 	return nil
 }
 
@@ -75,6 +96,7 @@ func (e *Engine) CrashGovernor(j int) error {
 	e.bus.SetDown(e.governorIDs[j], true)
 	e.governors[j].Endpoint().Purge()
 	e.reg.Counter("chaos.governor_crashes").Inc()
+	e.emitNodeEvent(events.TypeNodeCrash, string(e.governorIDs[j]), "crash", true)
 	return nil
 }
 
@@ -90,6 +112,7 @@ func (e *Engine) RestartGovernor(j int) error {
 	e.bus.SetDown(e.governorIDs[j], false)
 	e.governors[j].Endpoint().Purge()
 	e.reg.Counter("chaos.governor_restarts").Inc()
+	e.emitNodeEvent(events.TypeNodeRestart, string(e.governorIDs[j]), "restart", true)
 	return nil
 }
 
@@ -104,6 +127,7 @@ func (e *Engine) IsolateGovernor(j int) error {
 	}
 	e.governorDown[j] = true
 	e.reg.Counter("chaos.governor_isolations").Inc()
+	e.emitNodeEvent(events.TypeNodeCrash, string(e.governorIDs[j]), "partition", true)
 	return nil
 }
 
@@ -117,6 +141,7 @@ func (e *Engine) ReconnectGovernor(j int) error {
 	e.governorDown[j] = false
 	e.governors[j].Endpoint().Purge()
 	e.reg.Counter("chaos.governor_reconnects").Inc()
+	e.emitNodeEvent(events.TypeNodeRestart, string(e.governorIDs[j]), "reconnect", true)
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 	"repchain/internal/codec"
 	"repchain/internal/consensus"
 	"repchain/internal/crypto"
+	"repchain/internal/events"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
 	"repchain/internal/mempool"
@@ -126,6 +128,13 @@ type Config struct {
 	// changes no ordering — so any run stays byte-identical with it on
 	// or off. Zero disables tracing at zero hot-path cost.
 	TraceCapacity int
+	// EventCapacity, when positive, enables the structured consensus
+	// event log: every node appends consensus-significant events
+	// (upload screened, leader elected, block packed/committed,
+	// reputation deltas with their arguments, quorum changes) into a
+	// shared ring holding the most recent EventCapacity events. Like
+	// tracing it is purely observational; zero disables it entirely.
+	EventCapacity int
 	// MempoolShards enables the sharded ingress mempool: submissions
 	// are signed and staged in per-provider-shard bounded queues, and
 	// each round's collecting phase drains them in (shard, seq) order —
@@ -197,6 +206,9 @@ type Engine struct {
 	// tracer is the shared lifecycle span ring buffer; nil when
 	// Config.TraceCapacity is zero.
 	tracer *trace.Recorder
+	// events is the shared structured consensus event log; nil when
+	// Config.EventCapacity is zero.
+	events *events.Log
 	// stageSeconds is the per-stage round latency histogram family
 	// (label "stage"). Wall-clock observations only — never fed back
 	// into protocol decisions, so determinism is untouched.
@@ -318,6 +330,7 @@ func New(cfg Config) (*Engine, error) {
 		workers:     resolveWorkers(cfg.Workers),
 		reg:         metrics.NewRegistry(),
 		tracer:      trace.NewRecorder(cfg.TraceCapacity),
+		events:      events.NewLog(cfg.EventCapacity),
 	}
 	e.ingress = mempool.New[ingressTx](cfg.MempoolShards, cfg.MempoolShardCap)
 	e.stageSeconds = e.reg.HistogramVec("round.stage_seconds", metrics.DefBuckets, "stage")
@@ -397,6 +410,7 @@ func New(cfg Config) (*Engine, error) {
 			AdmissionFloor:  cfg.AdmissionFloor,
 			Metrics:         e.reg,
 			Tracer:          e.tracer,
+			Events:          e.events,
 		})
 		if err != nil {
 			return nil, err
@@ -573,6 +587,10 @@ func (e *Engine) Workers() int { return e.workers }
 // Tracer exposes the engine's lifecycle span recorder; nil when
 // Config.TraceCapacity is zero.
 func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
+
+// Events exposes the engine's structured consensus event log; nil when
+// Config.EventCapacity is zero.
+func (e *Engine) Events() *events.Log { return e.events }
 
 // observeStage records the wall-clock duration of one round stage into
 // the "round.stage_seconds" histogram family and returns a fresh stage
@@ -922,6 +940,8 @@ func (e *Engine) runRoundCtx(ctx context.Context) (RoundResult, error) {
 			Attrs: []trace.Attr{{Key: "leader", Value: strconv.Itoa(leader)}},
 		})
 	}
+	e.events.Emit(events.TypeLeaderElected, e.round, string(e.governorIDs[leader]),
+		slog.Int("leader", leader))
 
 	// --- Processing phase: block proposal ---
 	block, err := e.governors[leader].BuildBlock(recordsByGov[leader])

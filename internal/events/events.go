@@ -1,0 +1,458 @@
+// Package events records consensus-significant happenings — uploads
+// screened, tickets drawn, blocks packed and committed, reputation
+// deltas with their causes, quorum changes, crash/restart — as an
+// append-only structured stream built on log/slog. Every event carries
+// (round, seq) ordering and the emitting node's identity, so streams
+// scraped from different processes merge into one causally ordered
+// cluster history, and a stream replayed offline reconstructs the
+// exact reputation state the ledger recorded (see ReplayReputation).
+//
+// Like the span recorder in package trace, the log is deliberately
+// passive: it never consumes protocol randomness, never blocks the
+// round pipeline (one mutex-guarded ring append per event), and in
+// deterministic mode never reads the wall clock — so enabling it
+// cannot perturb the byte-identical replay guarantees the parallel
+// pipeline and the chaos matrix enforce.
+package events
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repchain/internal/reputation"
+	"repchain/internal/tx"
+)
+
+// Event type names. The set mirrors the consensus-significant moments
+// of the protocol; reputation.* events carry enough arguments to
+// re-apply the delta to a fresh table (ReplayReputation).
+const (
+	// TypeUploadScreened is a governor's screening decision for one
+	// upload: the drawn collector (the paper's ticket draw), whether
+	// the draw checked, and the adopted label.
+	TypeUploadScreened = "upload.screened"
+	// TypeLeaderElected is the round's VRF leader election outcome.
+	TypeLeaderElected = "leader.elected"
+	// TypeBlockPacked is the leader packing a block proposal.
+	TypeBlockPacked = "block.packed"
+	// TypeBlockCommitted is a replica committing a block.
+	TypeBlockCommitted = "block.committed"
+	// TypeReputationForge is an Algorithm 3 case-1 forge penalty.
+	TypeReputationForge = "reputation.forge"
+	// TypeReputationChecked is an Algorithm 3 case-2 update after a
+	// checked screening.
+	TypeReputationChecked = "reputation.checked"
+	// TypeReputationReveal is an Algorithm 3 case-3 reveal after an
+	// accepted argue.
+	TypeReputationReveal = "reputation.reveal"
+	// TypeReputationSilence is a silence decay of linked collectors
+	// that skipped a checked transaction (WithSilenceDecay).
+	TypeReputationSilence = "reputation.silence"
+	// TypeNodeCrash and TypeNodeRestart are failure-detector
+	// transitions for one node.
+	TypeNodeCrash   = "node.crash"
+	TypeNodeRestart = "node.restart"
+	// TypeQuorumChange is a change in the live governor quorum
+	// (crash, restart, partition, reconnect).
+	TypeQuorumChange = "quorum.change"
+)
+
+// Attr is one key/value annotation on an event. A slice (not a map)
+// keeps JSONL output order deterministic.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Event is one recorded happening. Seq is a log-assigned monotone
+// sequence number; Wall is unix nanoseconds and stays 0 in
+// deterministic mode (only the TCP runtime enables the wall clock).
+type Event struct {
+	Type  string `json:"type"`
+	Node  string `json:"node,omitempty"`
+	Round uint64 `json:"round"`
+	Seq   uint64 `json:"seq"`
+	Wall  int64  `json:"wall_ns,omitempty"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attribute ("" when absent).
+func (e Event) Attr(key string) string {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Log is a fixed-capacity ring of events fronted by a log/slog
+// pipeline: every Emit flows through an slog.Record into the ring
+// handler, and an optional mirror handler (SetMirror) receives the
+// same records for process-level logging. A nil *Log is a valid
+// disabled log: every method is nil-safe, so instrumented code needs
+// no guards.
+type Log struct {
+	mu      sync.Mutex
+	buf     []Event // guarded by mu
+	start   int     // guarded by mu; index of oldest event
+	n       int     // guarded by mu; live events
+	seq     uint64  // guarded by mu
+	dropped uint64  // guarded by mu
+	wall    bool
+	mirror  slog.Handler
+
+	logger *slog.Logger
+}
+
+// NewLog returns a log holding at most capacity events; older events
+// are evicted as new ones arrive. capacity <= 0 yields a nil
+// (disabled) log.
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		return nil
+	}
+	l := &Log{buf: make([]Event, capacity)}
+	l.logger = slog.New(ringHandler{log: l})
+	return l
+}
+
+// EnableWallClock makes subsequent events carry wall-clock timestamps.
+// Only the TCP runtime turns this on; deterministic simulations leave
+// it off so event streams replay byte-identically.
+func (l *Log) EnableWallClock() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.wall = true
+	l.mu.Unlock()
+}
+
+// SetMirror forwards every emitted event to h (e.g. the process's
+// slog text/JSON handler) in addition to the ring. Nil disables
+// mirroring.
+func (l *Log) SetMirror(h slog.Handler) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.mirror = h
+	l.mu.Unlock()
+}
+
+// ringHandler is the slog.Handler backing a Log: it converts each
+// record into an Event and appends it to the ring. The message is the
+// event type; "node" and "round" attrs map onto the Event fields.
+type ringHandler struct{ log *Log }
+
+func (h ringHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h ringHandler) WithAttrs([]slog.Attr) slog.Handler       { return h }
+func (h ringHandler) WithGroup(string) slog.Handler            { return h }
+
+func (h ringHandler) Handle(_ context.Context, rec slog.Record) error {
+	ev := Event{Type: rec.Message}
+	rec.Attrs(func(a slog.Attr) bool {
+		switch a.Key {
+		case "node":
+			ev.Node = a.Value.String()
+		case "round":
+			ev.Round = a.Value.Uint64()
+		default:
+			ev.Attrs = append(ev.Attrs, Attr{Key: a.Key, Value: a.Value.String()})
+		}
+		return true
+	})
+	h.log.append(ev)
+	return nil
+}
+
+func (l *Log) append(ev Event) {
+	l.mu.Lock()
+	l.seq++
+	ev.Seq = l.seq
+	if l.wall {
+		ev.Wall = time.Now().UnixNano()
+	}
+	if l.n < len(l.buf) {
+		l.buf[(l.start+l.n)%len(l.buf)] = ev
+		l.n++
+	} else {
+		l.buf[l.start] = ev
+		l.start = (l.start + 1) % len(l.buf)
+		l.dropped++
+	}
+	mirror := l.mirror
+	l.mu.Unlock()
+	if mirror != nil {
+		rec := slog.NewRecord(time.Time{}, slog.LevelInfo, ev.Type, 0)
+		rec.AddAttrs(slog.String("node", ev.Node), slog.Uint64("round", ev.Round), slog.Uint64("seq", ev.Seq))
+		for _, a := range ev.Attrs {
+			rec.AddAttrs(slog.String(a.Key, a.Value))
+		}
+		_ = mirror.Handle(context.Background(), rec)
+	}
+}
+
+// Emit records one event. The variadic attrs use slog's vocabulary so
+// call sites read like structured log lines. Safe on a nil log.
+//
+// Without a mirror the event is built directly (the ring is the hot
+// path of every screening decision); with one, the record flows
+// through the full slog pipeline so the mirror sees standard handler
+// semantics.
+func (l *Log) Emit(typ string, round uint64, node string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	mirrored := l.mirror != nil
+	l.mu.Unlock()
+	if mirrored {
+		all := make([]slog.Attr, 0, len(attrs)+2)
+		all = append(all, slog.String("node", node), slog.Uint64("round", round))
+		all = append(all, attrs...)
+		l.logger.LogAttrs(context.Background(), slog.LevelInfo, typ, all...)
+		return
+	}
+	ev := Event{Type: typ, Node: node, Round: round}
+	if len(attrs) > 0 {
+		ev.Attrs = make([]Attr, len(attrs))
+		for i, a := range attrs {
+			ev.Attrs[i] = Attr{Key: a.Key, Value: attrValue(a.Value)}
+		}
+	}
+	l.append(ev)
+}
+
+// attrValue renders an slog value as the event's string form. The
+// common scalar kinds are handled directly: strconv's small-integer
+// fast path and the bool literals avoid the per-attr allocation
+// slog.Value.String pays, which matters at hundreds of events per
+// round.
+func attrValue(v slog.Value) string {
+	switch v.Kind() {
+	case slog.KindString:
+		return v.String()
+	case slog.KindInt64:
+		return strconv.FormatInt(v.Int64(), 10)
+	case slog.KindUint64:
+		return strconv.FormatUint(v.Uint64(), 10)
+	case slog.KindBool:
+		if v.Bool() {
+			return "true"
+		}
+		return "false"
+	default:
+		return v.String()
+	}
+}
+
+// Len returns the number of buffered events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Cap returns the ring capacity (0 for a nil log).
+func (l *Log) Cap() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Dropped returns how many events were evicted by ring wraparound.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(l.start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// Filter selects events for WriteJSONL and the /events endpoint. The
+// zero value matches everything.
+type Filter struct {
+	// Node, when non-empty, matches only that node's events.
+	Node string
+	// Round, when non-zero, matches only that round.
+	Round uint64
+	// AfterSeq matches only events with Seq > AfterSeq — the tailing
+	// cursor for `repchain-inspect events --follow`.
+	AfterSeq uint64
+}
+
+func (f Filter) match(e Event) bool {
+	if f.Node != "" && e.Node != f.Node {
+		return false
+	}
+	if f.Round != 0 && e.Round != f.Round {
+		return false
+	}
+	return e.Seq > f.AfterSeq
+}
+
+// WriteJSONL writes matching events as JSON Lines, oldest first.
+func (l *Log) WriteJSONL(w io.Writer, f Filter) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Events() {
+		if !f.match(e) {
+			continue
+		}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replay parses a JSONL event stream back into events, in stream
+// order. Blank lines are skipped; a malformed line fails the replay
+// (an audit trail with holes is worse than an error).
+func Replay(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("events: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("events: %w", err)
+	}
+	return out, nil
+}
+
+// FormatReports renders a report set as the canonical "c:l,c:l" attr
+// value reputation events carry (collector index, signed label).
+func FormatReports(reports []reputation.Report) string {
+	var b strings.Builder
+	for i, r := range reports {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(r.Collector))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(int(r.Label)))
+	}
+	return b.String()
+}
+
+// ParseReports inverts FormatReports.
+func ParseReports(s string) ([]reputation.Report, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]reputation.Report, 0, len(parts))
+	for _, p := range parts {
+		c, l, ok := strings.Cut(p, ":")
+		if !ok {
+			return nil, fmt.Errorf("events: malformed report %q", p)
+		}
+		ci, err := strconv.Atoi(c)
+		if err != nil {
+			return nil, fmt.Errorf("events: report collector %q: %w", c, err)
+		}
+		li, err := strconv.Atoi(l)
+		if err != nil {
+			return nil, fmt.Errorf("events: report label %q: %w", l, err)
+		}
+		out = append(out, reputation.Report{Collector: ci, Label: tx.Label(li)})
+	}
+	return out, nil
+}
+
+// ReplayReputation re-applies one node's reputation.* events, in
+// stream order, to table — which must be a fresh table built with the
+// same topology and parameters the node ran with. After replay the
+// table's serialized snapshot equals the snapshot the live node ended
+// with: the event log alone reconstructs every reputation delta the
+// ledger's screening history produced, which is the offline audit
+// story the paper's provable mechanism needs.
+func ReplayReputation(evs []Event, node string, table *reputation.Table) error {
+	for _, e := range evs {
+		if e.Node != node {
+			continue
+		}
+		switch e.Type {
+		case TypeReputationForge:
+			c, err := strconv.Atoi(e.Attr("collector"))
+			if err != nil {
+				return fmt.Errorf("events: seq %d forge collector: %w", e.Seq, err)
+			}
+			if err := table.RecordForgery(c); err != nil {
+				return fmt.Errorf("events: seq %d: %w", e.Seq, err)
+			}
+		case TypeReputationChecked, TypeReputationReveal, TypeReputationSilence:
+			provider, err := strconv.Atoi(e.Attr("provider"))
+			if err != nil {
+				return fmt.Errorf("events: seq %d provider: %w", e.Seq, err)
+			}
+			reports, err := ParseReports(e.Attr("reports"))
+			if err != nil {
+				return fmt.Errorf("events: seq %d: %w", e.Seq, err)
+			}
+			switch e.Type {
+			case TypeReputationSilence:
+				if err := table.RecordSilence(provider, reports); err != nil {
+					return fmt.Errorf("events: seq %d: %w", e.Seq, err)
+				}
+				continue
+			}
+			status, err := strconv.Atoi(e.Attr("status"))
+			if err != nil {
+				return fmt.Errorf("events: seq %d status: %w", e.Seq, err)
+			}
+			if e.Type == TypeReputationChecked {
+				if err := table.RecordChecked(provider, reports, tx.Status(status)); err != nil {
+					return fmt.Errorf("events: seq %d: %w", e.Seq, err)
+				}
+			} else {
+				if _, err := table.RecordRevealed(provider, reports, tx.Status(status)); err != nil {
+					return fmt.Errorf("events: seq %d: %w", e.Seq, err)
+				}
+			}
+		}
+	}
+	return nil
+}

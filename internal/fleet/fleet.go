@@ -1,0 +1,506 @@
+// Package fleet aggregates telemetry scraped from several nodes' admin
+// endpoints into one cluster-wide view: merged cross-node traces with
+// per-hop transport latency, a cluster health report (height skew,
+// per-peer lag, slow-round detection against a rolling p95), and a
+// merged metrics snapshot. It is the library behind
+// `repchain-inspect cluster` and the first place where commit latency
+// is measured across real processes instead of inside one.
+//
+// Everything here is read-only and stdlib-only. A node that fails to
+// scrape degrades the view (recorded in its NodeState.Err) instead of
+// failing the aggregation: a fleet tool that dies with its least
+// healthy node cannot diagnose anything.
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repchain/internal/events"
+	"repchain/internal/metrics"
+	"repchain/internal/trace"
+)
+
+// Node names one admin endpoint to scrape. Name is the operator's
+// label for the node (defaults to the URL when empty).
+type Node struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// NodeState is everything scraped from one node. Err is non-empty when
+// any of the node's endpoints failed; the fields that did scrape are
+// still populated.
+type NodeState struct {
+	Node    Node              `json:"node"`
+	Err     string            `json:"err,omitempty"`
+	Metrics metrics.Snapshot  `json:"metrics"`
+	Spans   []trace.Span      `json:"-"`
+	Events  []events.Event    `json:"-"`
+	Healthz map[string]string `json:"-"`
+}
+
+// Cluster is the scraped fleet.
+type Cluster struct {
+	Nodes []NodeState
+}
+
+// Scraper fetches admin endpoints. The zero value uses a 5-second
+// default client.
+type Scraper struct {
+	Client *http.Client
+}
+
+func (s Scraper) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Scrape pulls /metrics.json, /traces, and /events from every node,
+// sequentially and in order (deterministic output for a handful of
+// endpoints matters more than scrape parallelism).
+func (s Scraper) Scrape(nodes []Node) *Cluster {
+	c := &Cluster{Nodes: make([]NodeState, len(nodes))}
+	for i, n := range nodes {
+		if n.Name == "" {
+			n.Name = n.URL
+		}
+		st := NodeState{Node: n}
+		var errs []string
+		if err := s.getJSON(n.URL+"/metrics.json", &st.Metrics); err != nil {
+			errs = append(errs, err.Error())
+		}
+		spans, err := s.getSpans(n.URL + "/traces")
+		if err != nil {
+			errs = append(errs, err.Error())
+		}
+		st.Spans = spans
+		evs, err := s.getEvents(n.URL + "/events")
+		if err != nil {
+			errs = append(errs, err.Error())
+		}
+		st.Events = evs
+		st.Err = strings.Join(errs, "; ")
+		c.Nodes[i] = st
+	}
+	return c
+}
+
+func (s Scraper) getJSON(url string, out any) error {
+	body, err := s.get(url)
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	if err := json.NewDecoder(body).Decode(out); err != nil {
+		return fmt.Errorf("%s: %w", url, err)
+	}
+	return nil
+}
+
+func (s Scraper) getSpans(url string) ([]trace.Span, error) {
+	var out []trace.Span
+	err := s.eachLine(url, func(line []byte) error {
+		var sp trace.Span
+		if err := json.Unmarshal(line, &sp); err != nil {
+			return err
+		}
+		out = append(out, sp)
+		return nil
+	})
+	return out, err
+}
+
+func (s Scraper) getEvents(url string) ([]events.Event, error) {
+	var out []events.Event
+	err := s.eachLine(url, func(line []byte) error {
+		var e events.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return err
+		}
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+func (s Scraper) eachLine(url string, fn func([]byte) error) error {
+	body, err := s.get(url)
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := fn([]byte(line)); err != nil {
+			return fmt.Errorf("%s: %w", url, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%s: %w", url, err)
+	}
+	return nil
+}
+
+func (s Scraper) get(url string) (io.ReadCloser, error) {
+	resp, err := s.client().Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return resp.Body, nil
+}
+
+// MergedMetrics folds every node's snapshot into one cluster snapshot:
+// counters and histogram buckets sum, gauges keep the last scraped
+// value per name (per-node gauges like chain.height are surfaced
+// separately in the health report, where skew is the signal).
+func (c *Cluster) MergedMetrics() metrics.Snapshot {
+	var snap metrics.Snapshot
+	snap.Merge(metrics.Snapshot{})
+	for _, n := range c.Nodes {
+		snap.Merge(n.Metrics)
+	}
+	return snap
+}
+
+// Hop is one transport edge in a merged trace: the receiver's recv
+// span names the sender, the message kind, and the wire latency it
+// measured (receive wall clock minus the sender's embedded send
+// timestamp; see DESIGN.md §4h for the clock model).
+type Hop struct {
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Kind      string `json:"kind"`
+	LatencyNS int64  `json:"latency_ns"`
+}
+
+// MergedTrace is one transaction's cluster-wide span tree.
+type MergedTrace struct {
+	Trace string       `json:"trace"`
+	Spans []trace.Span `json:"spans"`
+	Hops  []Hop        `json:"hops"`
+}
+
+// MergedTrace stitches every node's spans for one trace ID (full or
+// ≥8-char prefix) into a single ordered list. Spans sort by wall clock
+// when present (cross-process runs), falling back to (node, seq) so
+// deterministic in-process traces stay stably ordered too.
+func (c *Cluster) MergedTrace(id string) MergedTrace {
+	var spans []trace.Span
+	full := id
+	for _, n := range c.Nodes {
+		for _, sp := range n.Spans {
+			if sp.Trace == "" {
+				continue
+			}
+			if sp.Trace == id || (len(id) >= 8 && len(id) < len(sp.Trace) && sp.Trace[:len(id)] == id) {
+				if len(sp.Trace) > len(full) {
+					full = sp.Trace
+				}
+				spans = append(spans, sp)
+			}
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Wall != b.Wall {
+			return a.Wall < b.Wall
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+	mt := MergedTrace{Trace: full, Spans: spans}
+	for _, sp := range spans {
+		if sp.Stage != trace.StageRecv {
+			continue
+		}
+		hop := Hop{To: sp.Node}
+		for _, a := range sp.Attrs {
+			switch a.Key {
+			case "from":
+				hop.From = a.Value
+			case "kind":
+				hop.Kind = a.Value
+			case "latency_ns":
+				hop.LatencyNS, _ = strconv.ParseInt(a.Value, 10, 64)
+			}
+		}
+		mt.Hops = append(mt.Hops, hop)
+	}
+	return mt
+}
+
+// TraceIDs returns every distinct trace ID seen across the fleet,
+// sorted, so callers can enumerate what is stitchable.
+func (c *Cluster) TraceIDs() []string {
+	seen := make(map[string]bool)
+	for _, n := range c.Nodes {
+		for _, sp := range n.Spans {
+			if sp.Trace != "" {
+				seen[sp.Trace] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PeerLag summarizes the wire latency observed on one directed peer
+// edge, computed from the receiver's recv spans.
+type PeerLag struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Count int    `json:"count"`
+	// MeanNS and MaxNS are the mean and maximum observed latency.
+	// Negative samples (clock skew beyond the one-way latency) are
+	// kept: they are the evidence the clock model asks operators to
+	// look at, not noise to hide.
+	MeanNS int64 `json:"mean_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// SlowRound is one commit gap that exceeded the rolling p95 threshold.
+type SlowRound struct {
+	Node  string `json:"node"`
+	Round uint64 `json:"round"`
+	GapNS int64  `json:"gap_ns"`
+	P95NS int64  `json:"p95_ns"`
+}
+
+// HealthReport is the cluster health assessment. Score is 0–100;
+// the components that subtracted from it are listed in Findings so the
+// number is auditable.
+type HealthReport struct {
+	Score      int               `json:"score"`
+	Findings   []string          `json:"findings"`
+	Heights    map[string]uint64 `json:"heights"`
+	HeightSkew uint64            `json:"height_skew"`
+	PeerLags   []PeerLag         `json:"peer_lags"`
+	SlowRounds []SlowRound       `json:"slow_rounds"`
+	Unreached  []string          `json:"unreached,omitempty"`
+}
+
+// slowRoundWindow and slowRoundFactor tune slow-round detection: a
+// commit-to-commit gap is slow when it exceeds slowRoundFactor times
+// the p95 of the previous slowRoundWindow gaps on the same node.
+const (
+	slowRoundWindow = 20
+	slowRoundFactor = 1.5
+	slowRoundMinObs = 5
+)
+
+// Health assesses the scraped fleet. The score starts at 100 and loses
+// points for unreachable nodes (25 each), committed-height skew
+// (10 per block, capped at 30), slow rounds (5 each, capped at 20),
+// and transport send failures anywhere in the fleet (capped at 10).
+func (c *Cluster) Health() HealthReport {
+	rep := HealthReport{Score: 100, Heights: make(map[string]uint64)}
+
+	for _, n := range c.Nodes {
+		if n.Err != "" {
+			rep.Unreached = append(rep.Unreached, n.Node.Name)
+			continue
+		}
+		if h, ok := n.Metrics.Gauges["chain.height"]; ok {
+			rep.Heights[n.Node.Name] = uint64(h)
+		}
+	}
+	penalty := 0
+	if len(rep.Unreached) > 0 {
+		penalty += 25 * len(rep.Unreached)
+		rep.Findings = append(rep.Findings,
+			fmt.Sprintf("%d node(s) unreachable: %s", len(rep.Unreached), strings.Join(rep.Unreached, ", ")))
+	}
+
+	var minH, maxH uint64
+	first := true
+	for _, h := range rep.Heights {
+		if first || h < minH {
+			minH = h
+		}
+		if h > maxH {
+			maxH = h
+		}
+		first = false
+	}
+	if !first {
+		rep.HeightSkew = maxH - minH
+	}
+	if rep.HeightSkew > 0 {
+		p := int(rep.HeightSkew) * 10
+		if p > 30 {
+			p = 30
+		}
+		penalty += p
+		rep.Findings = append(rep.Findings,
+			fmt.Sprintf("chain height skew of %d block(s) across governors", rep.HeightSkew))
+	}
+
+	rep.PeerLags = c.peerLags()
+	rep.SlowRounds = c.slowRounds()
+	if len(rep.SlowRounds) > 0 {
+		p := 5 * len(rep.SlowRounds)
+		if p > 20 {
+			p = 20
+		}
+		penalty += p
+		rep.Findings = append(rep.Findings,
+			fmt.Sprintf("%d slow round(s) beyond %gx the rolling p95 commit gap", len(rep.SlowRounds), slowRoundFactor))
+	}
+
+	var sendFailures int64
+	for _, n := range c.Nodes {
+		sendFailures += n.Metrics.Counters["transport.send_failures"]
+	}
+	if sendFailures > 0 {
+		p := int(sendFailures)
+		if p > 10 {
+			p = 10
+		}
+		penalty += p
+		rep.Findings = append(rep.Findings,
+			fmt.Sprintf("%d exhausted transport deliveries fleet-wide", sendFailures))
+	}
+
+	rep.Score -= penalty
+	if rep.Score < 0 {
+		rep.Score = 0
+	}
+	return rep
+}
+
+// peerLags folds every recv span across the fleet into per-directed-
+// edge latency summaries, sorted by (from, to).
+func (c *Cluster) peerLags() []PeerLag {
+	type acc struct {
+		count int
+		sum   int64
+		max   int64
+	}
+	edges := make(map[[2]string]*acc)
+	for _, n := range c.Nodes {
+		for _, sp := range n.Spans {
+			if sp.Stage != trace.StageRecv {
+				continue
+			}
+			var from string
+			var lat int64
+			var hasLat bool
+			for _, a := range sp.Attrs {
+				switch a.Key {
+				case "from":
+					from = a.Value
+				case "latency_ns":
+					v, err := strconv.ParseInt(a.Value, 10, 64)
+					if err == nil {
+						lat, hasLat = v, true
+					}
+				}
+			}
+			if from == "" || !hasLat {
+				continue
+			}
+			key := [2]string{from, sp.Node}
+			a := edges[key]
+			if a == nil {
+				a = &acc{max: lat}
+				edges[key] = a
+			}
+			a.count++
+			a.sum += lat
+			if lat > a.max {
+				a.max = lat
+			}
+		}
+	}
+	out := make([]PeerLag, 0, len(edges))
+	for key, a := range edges {
+		out = append(out, PeerLag{
+			From:   key[0],
+			To:     key[1],
+			Count:  a.count,
+			MeanNS: a.sum / int64(a.count),
+			MaxNS:  a.max,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// slowRounds walks each node's block.committed events in order and
+// flags commit-to-commit wall gaps exceeding slowRoundFactor times the
+// p95 of the preceding slowRoundWindow gaps. Runs without wall clocks
+// (deterministic simulations) have no gaps and flag nothing.
+func (c *Cluster) slowRounds() []SlowRound {
+	var out []SlowRound
+	for _, n := range c.Nodes {
+		var lastWall int64
+		var gaps []int64
+		for _, e := range n.Events {
+			if e.Type != events.TypeBlockCommitted || e.Wall == 0 {
+				continue
+			}
+			if lastWall != 0 {
+				gap := e.Wall - lastWall
+				if len(gaps) >= slowRoundMinObs {
+					p95 := quantileNS(gaps, 0.95)
+					if p95 > 0 && float64(gap) > slowRoundFactor*float64(p95) {
+						out = append(out, SlowRound{
+							Node:  e.Node,
+							Round: e.Round,
+							GapNS: gap,
+							P95NS: p95,
+						})
+					}
+				}
+				gaps = append(gaps, gap)
+				if len(gaps) > slowRoundWindow {
+					gaps = gaps[1:]
+				}
+			}
+			lastWall = e.Wall
+		}
+	}
+	return out
+}
+
+// quantileNS returns the q-quantile of the samples (nearest-rank on a
+// sorted copy).
+func quantileNS(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

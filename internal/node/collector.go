@@ -195,9 +195,11 @@ func (c *Collector) uploadVerified(signed tx.SignedTx, sender Sender) (bool, err
 	if err != nil {
 		return false, fmt.Errorf("collector %s label: %w", c.member.ID, err)
 	}
+	var txID string
 	if c.tracer != nil {
+		txID = signed.ID().String()
 		c.tracer.Emit(trace.Span{
-			Trace: signed.ID().String(),
+			Trace: txID,
 			Stage: trace.StageLabel,
 			Node:  string(c.member.ID),
 			Round: c.round,
@@ -212,7 +214,7 @@ func (c *Collector) uploadVerified(signed tx.SignedTx, sender Sender) (bool, err
 	}
 	if c.tracer != nil {
 		c.tracer.Emit(trace.Span{
-			Trace: signed.ID().String(),
+			Trace: txID,
 			Stage: trace.StageUpload,
 			Node:  string(c.member.ID),
 			Round: c.round,

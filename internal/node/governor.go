@@ -2,11 +2,13 @@ package node
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"strconv"
 
 	"repchain/internal/codec"
 	"repchain/internal/crypto"
+	"repchain/internal/events"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
 	"repchain/internal/mempool"
@@ -78,6 +80,12 @@ type GovernorConfig struct {
 	// commit, argue, reputation). A nil tracer is free: every emission
 	// site guards on it before building a span.
 	Tracer *trace.Recorder
+	// Events, when non-nil, receives the structured consensus event
+	// stream (upload screened, block packed/committed, reputation
+	// deltas with their arguments). Reputation events carry enough to
+	// re-apply the delta offline (events.ReplayReputation), so the
+	// stream is an audit trail, not just a log. Nil is free.
+	Events *events.Log
 }
 
 // GovernorStats counts a governor's screening activity.
@@ -171,9 +179,11 @@ type Governor struct {
 
 	stats GovernorStats
 
-	// tracer and round feed lifecycle spans; the engine advances round
-	// via SetRound at each round start.
+	// tracer, events, and round feed lifecycle spans and the structured
+	// event stream; the engine advances round via SetRound at each
+	// round start.
 	tracer *trace.Recorder
+	events *events.Log
 	round  uint64
 
 	// Pre-resolved per-collector screening counters (indexed by global
@@ -224,6 +234,7 @@ func NewGovernor(cfg GovernorConfig) (*Governor, error) {
 		committedValid:  make(map[crypto.Hash]bool),
 		processedArgues: make(map[crypto.Hash]bool),
 		tracer:          cfg.Tracer,
+		events:          cfg.Events,
 		merkle:          crypto.NewMerkleBuilder(64),
 	}
 	if cfg.Metrics != nil {
@@ -472,6 +483,8 @@ func (g *Governor) penalizeUpload(collectorIdx int) error {
 	if err := g.table.RecordForgery(collectorIdx); err != nil {
 		return fmt.Errorf("governor %s forge penalty: %w", g.cfg.Member.ID, err)
 	}
+	g.events.Emit(events.TypeReputationForge, g.round, string(g.cfg.Member.ID),
+		slog.Int("collector", collectorIdx))
 	return nil
 }
 
@@ -580,6 +593,13 @@ func (g *Governor) ProcessArgues() error {
 				if err != nil {
 					return fmt.Errorf("governor %s argue reveal: %w", g.cfg.Member.ID, err)
 				}
+				g.events.Emit(events.TypeReputationReveal, g.round, string(g.cfg.Member.ID),
+					slog.Int("provider", entry.provider),
+					slog.String("reports", events.FormatReports(entry.reports)),
+					slog.Int("status", int(status)),
+					slog.String("tx", id.String()),
+					slog.String("gamma", strconv.FormatFloat(res.Gamma, 'g', 6, 64)),
+					slog.String("loss", strconv.FormatFloat(res.Loss, 'g', 6, 64)))
 				if g.tracer != nil {
 					g.tracer.Emit(trace.Span{
 						Trace: id.String(),
@@ -647,9 +667,12 @@ func (g *Governor) ScreenRound() ([]ledger.Record, error) {
 				g.scrUnchecked[dec.Collector].Inc()
 			}
 		}
+		// One hex encode per transaction: the ID string feeds the span
+		// and up to two events below.
+		txID := grp.signed.ID().String()
 		if g.tracer != nil {
 			g.tracer.Emit(trace.Span{
-				Trace: grp.signed.ID().String(),
+				Trace: txID,
 				Stage: trace.StageScreen,
 				Node:  string(g.cfg.Member.ID),
 				Round: g.round,
@@ -661,6 +684,11 @@ func (g *Governor) ScreenRound() ([]ledger.Record, error) {
 				},
 			})
 		}
+		g.events.Emit(events.TypeUploadScreened, g.round, string(g.cfg.Member.ID),
+			slog.String("tx", txID),
+			slog.Int("collector", dec.Collector),
+			slog.Bool("checked", dec.Check),
+			slog.Int("label", int(dec.Label)))
 		if dec.Check {
 			g.stats.Checked++
 			valid := g.cfg.Validator.Validate(grp.signed.Tx)
@@ -668,9 +696,14 @@ func (g *Governor) ScreenRound() ([]ledger.Record, error) {
 			if err := g.table.RecordChecked(grp.provider, grp.reports, status); err != nil {
 				return nil, fmt.Errorf("governor %s checked update: %w", g.cfg.Member.ID, err)
 			}
+			g.events.Emit(events.TypeReputationChecked, g.round, string(g.cfg.Member.ID),
+				slog.Int("provider", grp.provider),
+				slog.String("reports", events.FormatReports(grp.reports)),
+				slog.Int("status", int(status)),
+				slog.String("tx", txID))
 			if g.tracer != nil {
 				g.tracer.Emit(trace.Span{
-					Trace: grp.signed.ID().String(),
+					Trace: txID,
 					Stage: trace.StageReputation,
 					Node:  string(g.cfg.Member.ID),
 					Round: g.round,
@@ -685,6 +718,9 @@ func (g *Governor) ScreenRound() ([]ledger.Record, error) {
 				if err := g.table.RecordSilence(grp.provider, grp.reports); err != nil {
 					return nil, fmt.Errorf("governor %s silence update: %w", g.cfg.Member.ID, err)
 				}
+				g.events.Emit(events.TypeReputationSilence, g.round, string(g.cfg.Member.ID),
+					slog.Int("provider", grp.provider),
+					slog.String("reports", events.FormatReports(grp.reports)))
 			}
 			if valid {
 				records = append(records, ledger.Record{
@@ -743,6 +779,12 @@ func (g *Governor) expireOld(k int) error {
 			if _, err := g.table.RecordRevealed(entry.provider, entry.reports, tx.StatusInvalid); err != nil {
 				return fmt.Errorf("governor %s expiry reveal: %w", g.cfg.Member.ID, err)
 			}
+			g.events.Emit(events.TypeReputationReveal, g.round, string(g.cfg.Member.ID),
+				slog.Int("provider", entry.provider),
+				slog.String("reports", events.FormatReports(entry.reports)),
+				slog.Int("status", int(tx.StatusInvalid)),
+				slog.String("tx", entry.signed.ID().String()),
+				slog.String("cause", "window_expiry"))
 		}
 		entry.revealed = true
 		delete(g.uncheckedByID, entry.signed.ID())
@@ -798,7 +840,12 @@ func (g *Governor) BuildBlock(records []ledger.Record) (ledger.Block, error) {
 		return ledger.Block{}, fmt.Errorf("governor %s build block: %w", g.cfg.Member.ID, err)
 	}
 	b.SignAs(g.cfg.Member.ID, g.cfg.Member.PrivateKey)
+	g.events.Emit(events.TypeBlockPacked, g.round, string(g.cfg.Member.ID),
+		slog.Uint64("serial", b.Serial),
+		slog.Int("records", len(b.Records)),
+		slog.String("hash", b.Hash().Short()))
 	if g.tracer != nil {
+		serial := strconv.FormatUint(b.Serial, 10)
 		for _, rec := range b.Records {
 			g.tracer.Emit(trace.Span{
 				Trace: rec.Signed.ID().String(),
@@ -806,7 +853,7 @@ func (g *Governor) BuildBlock(records []ledger.Record) (ledger.Block, error) {
 				Node:  string(g.cfg.Member.ID),
 				Round: g.round,
 				Attrs: []trace.Attr{
-					{Key: "serial", Value: strconv.FormatUint(b.Serial, 10)},
+					{Key: "serial", Value: serial},
 					{Key: "status", Value: strconv.Itoa(int(rec.Status))},
 					{Key: "unchecked", Value: strconv.FormatBool(rec.Unchecked)},
 				},
@@ -857,6 +904,15 @@ func (g *Governor) AcceptBlock(b ledger.Block, leader identity.NodeID, leaderPub
 	if err := g.store.Append(b); err != nil {
 		return fmt.Errorf("governor %s: %w", g.cfg.Member.ID, err)
 	}
+	g.events.Emit(events.TypeBlockCommitted, g.round, string(g.cfg.Member.ID),
+		slog.Uint64("serial", b.Serial),
+		slog.Int("records", len(b.Records)),
+		slog.String("proposer", string(b.Proposer)),
+		slog.String("hash", b.Hash().Short()))
+	var serial string
+	if g.tracer != nil {
+		serial = strconv.FormatUint(b.Serial, 10)
+	}
 	for _, rec := range b.Records {
 		if rec.Status == tx.StatusValid {
 			g.committedValid[rec.Signed.ID()] = true
@@ -868,7 +924,7 @@ func (g *Governor) AcceptBlock(b ledger.Block, leader identity.NodeID, leaderPub
 				Node:  string(g.cfg.Member.ID),
 				Round: g.round,
 				Attrs: []trace.Attr{
-					{Key: "serial", Value: strconv.FormatUint(b.Serial, 10)},
+					{Key: "serial", Value: serial},
 					{Key: "status", Value: strconv.Itoa(int(rec.Status))},
 				},
 			})

@@ -32,6 +32,12 @@ const (
 	StageCommit     = "commit"
 	StageArgue      = "argue"
 	StageReputation = "reputation"
+	// StageSend and StageRecv bracket one transport hop: the TCP
+	// endpoint emits them when trace propagation is enabled, so a
+	// cross-process trace carries per-hop wire latency. The in-process
+	// bus never emits them.
+	StageSend = "send"
+	StageRecv = "recv"
 )
 
 // Attr is one key/value annotation on a span. A slice (not a map)
@@ -90,11 +96,13 @@ func (r *Recorder) EnableWallClock() {
 	r.mu.Unlock()
 }
 
-// Emit records one span, assigning its sequence number. Safe to call
-// on a nil recorder (no-op).
-func (r *Recorder) Emit(s Span) {
+// Emit records one span and returns its assigned sequence number (0 on
+// a nil recorder). The sequence number doubles as the parent-span
+// reference carried across transport hops. Safe to call on a nil
+// recorder (no-op).
+func (r *Recorder) Emit(s Span) uint64 {
 	if r == nil {
-		return
+		return 0
 	}
 	r.mu.Lock()
 	r.seq++
@@ -110,7 +118,9 @@ func (r *Recorder) Emit(s Span) {
 		r.start = (r.start + 1) % len(r.buf)
 		r.dropped++
 	}
+	seq := r.seq
 	r.mu.Unlock()
+	return seq
 }
 
 // Len returns the number of buffered spans.
@@ -121,6 +131,18 @@ func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.n
+}
+
+// Cap returns the ring capacity (0 for a nil recorder). Together with
+// Len and Dropped it backs the trace.* occupancy gauges the admin
+// endpoint publishes, so silent eviction is detectable from /metrics.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
 }
 
 // Dropped returns how many spans were evicted by ring wraparound.

@@ -1,11 +1,14 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,6 +16,7 @@ import (
 	"repchain/internal/crypto"
 	"repchain/internal/identity"
 	"repchain/internal/metrics"
+	"repchain/internal/trace"
 )
 
 // Frame is one signed application message on the wire.
@@ -28,15 +32,55 @@ type Frame struct {
 	Counter uint64
 	// Sig is the sender's Ed25519 signature over the frame.
 	Sig []byte
+	// Trace is the optional v2 trace-propagation context. Nil frames
+	// encode and sign exactly as the v1 wire format did, so a
+	// deployment with tracing disabled is byte-identical to a legacy
+	// one (DESIGN.md §4h).
+	Trace *TraceCtx
 }
 
-func frameSigningBytes(from identity.NodeID, kind string, payload []byte, counter uint64) []byte {
+// TraceCtx is the trace context a v2 frame carries across a transport
+// hop: the transaction's trace ID, the sender's parent span sequence
+// number, and the sender's wall clock at send time (per-hop latency =
+// receiver wall − SentNS, under the deployment's loose clock-sync
+// assumption; see DESIGN.md §4h for the clock model). The context is
+// covered by the frame signature — a middlebox cannot strip or forge
+// it without invalidating the frame.
+type TraceCtx struct {
+	// Trace is the hex transaction hash (the trace ID).
+	Trace string
+	// Parent is the sender's span sequence number for this hop's send
+	// span, scoped to the sender's recorder.
+	Parent uint64
+	// SentNS is the sender's wall clock at send, unix nanoseconds.
+	SentNS int64
+}
+
+// Frame signing domains: v1 covers (from, kind, payload, counter); v2
+// additionally covers the trace context. The domain string is chosen
+// by presence, so a v1-signed frame can never be replayed as a v2
+// frame with attacker-chosen context or vice versa.
+const (
+	frameDomainV1 = "repchain/frame/v1"
+	frameDomainV2 = "repchain/frame/v2"
+)
+
+func frameSigningBytes(from identity.NodeID, kind string, payload []byte, counter uint64, tc *TraceCtx) []byte {
 	e := codec.NewEncoder(64 + len(payload))
-	e.PutString("repchain/frame/v1")
+	if tc == nil {
+		e.PutString(frameDomainV1)
+	} else {
+		e.PutString(frameDomainV2)
+	}
 	e.PutString(string(from))
 	e.PutString(kind)
 	e.PutBytes(payload)
 	e.PutUint64(counter)
+	if tc != nil {
+		e.PutString(tc.Trace)
+		e.PutUint64(tc.Parent)
+		e.PutVarint(tc.SentNS)
+	}
 	out := make([]byte, e.Len())
 	copy(out, e.Bytes())
 	return out
@@ -49,6 +93,15 @@ func encodeFrame(f Frame) []byte {
 	e.PutBytes(f.Payload)
 	e.PutUint64(f.Counter)
 	e.PutBytes(f.Sig)
+	// The trace context is a trailing optional section: absent, the
+	// encoding is byte-identical to the v1 format; present, a legacy
+	// decoder's full-consumption check rejects the frame rather than
+	// silently misreading it.
+	if f.Trace != nil {
+		e.PutString(f.Trace.Trace)
+		e.PutUint64(f.Trace.Parent)
+		e.PutVarint(f.Trace.SentNS)
+	}
 	out := make([]byte, e.Len())
 	copy(out, e.Bytes())
 	return out
@@ -74,6 +127,19 @@ func decodeFrame(b []byte) (Frame, error) {
 	if f.Sig, err = d.Bytes(); err != nil {
 		return f, fmt.Errorf("frame sig: %w", ErrBadFrame)
 	}
+	if d.Remaining() > 0 {
+		var tc TraceCtx
+		if tc.Trace, err = d.String(); err != nil {
+			return f, fmt.Errorf("frame trace id: %w", ErrBadFrame)
+		}
+		if tc.Parent, err = d.Uint64(); err != nil {
+			return f, fmt.Errorf("frame trace parent: %w", ErrBadFrame)
+		}
+		if tc.SentNS, err = d.Varint(); err != nil {
+			return f, fmt.Errorf("frame trace sent: %w", ErrBadFrame)
+		}
+		f.Trace = &tc
+	}
 	if err := d.Expect(); err != nil {
 		return f, fmt.Errorf("frame: %w", ErrBadFrame)
 	}
@@ -91,6 +157,18 @@ type Endpoint struct {
 	self identity.NodeID
 	key  crypto.PrivateKey
 	reg  *metrics.Registry
+
+	// Trace propagation (set once before traffic via
+	// EnableTracePropagation): tracer receives send/recv hop spans and
+	// traceID derives the trace ID from (kind, payload). Both nil by
+	// default — the wire format then stays v1 byte-identical.
+	tracer  *trace.Recorder
+	traceID func(kind string, payload []byte) string
+
+	// logger, when non-nil, receives structured diagnostics (auth
+	// failures, exhausted deliveries). Never wired into protocol
+	// decisions.
+	logger *slog.Logger
 
 	mu       sync.Mutex
 	peers    map[identity.NodeID]NodeSpec
@@ -198,6 +276,28 @@ func (ep *Endpoint) deliver(f Frame) bool {
 	return true
 }
 
+// EnableTracePropagation turns on cross-process trace stitching: every
+// outgoing frame whose payload maps to a trace ID (per idOf) carries a
+// signed v2 trace context, and both sides of the hop emit send/recv
+// spans into rec with the per-hop wire latency. Call before any
+// traffic flows. With propagation off (the default) the wire format is
+// byte-identical to v1, so legacy peers interoperate unchanged.
+func (ep *Endpoint) EnableTracePropagation(rec *trace.Recorder, idOf func(kind string, payload []byte) string) {
+	ep.mu.Lock()
+	ep.tracer = rec
+	ep.traceID = idOf
+	ep.mu.Unlock()
+}
+
+// SetLogger attaches a structured logger for transport diagnostics
+// (auth failures, exhausted deliveries). Nil (the default) keeps the
+// endpoint silent.
+func (ep *Endpoint) SetLogger(l *slog.Logger) {
+	ep.mu.Lock()
+	ep.logger = l
+	ep.mu.Unlock()
+}
+
 // SetRetryPolicy replaces the delivery policy (zero fields fall back
 // to the default). Call before the first Send.
 func (ep *Endpoint) SetRetryPolicy(p RetryPolicy) {
@@ -248,17 +348,63 @@ func (ep *Endpoint) readLoop(conn net.Conn) {
 		frame, err := decodeFrame(buf)
 		if err != nil {
 			ep.reg.Counter("transport.auth_failures").Inc()
+			ep.logWarn("frame rejected", slog.String("error", err.Error()))
 			continue
 		}
 		if err := ep.authenticate(frame); err != nil {
 			ep.reg.Counter("transport.auth_failures").Inc()
+			ep.logWarn("frame rejected",
+				slog.String("from", string(frame.From)),
+				slog.String("kind", frame.Kind),
+				slog.String("error", err.Error()))
 			continue
 		}
 		ep.reg.Counter("transport.frames_received").Inc()
+		ep.emitRecvSpan(frame)
 		if !ep.deliver(frame) {
 			ep.reg.Counter("transport.inflight_dropped").Inc()
 		}
 	}
+}
+
+// logWarn emits a structured warning when a logger is attached.
+func (ep *Endpoint) logWarn(msg string, attrs ...slog.Attr) {
+	ep.mu.Lock()
+	l := ep.logger
+	ep.mu.Unlock()
+	if l != nil {
+		l.LogAttrs(context.Background(), slog.LevelWarn, msg, append([]slog.Attr{slog.String("node", string(ep.self))}, attrs...)...)
+	}
+}
+
+// emitRecvSpan records the receive half of a traced transport hop:
+// the span carries the remote parent seq and the measured hop latency
+// (receiver wall − sender SentNS; meaningful to the deployment's
+// clock-sync bound, negative values are reported as-is so skew is
+// visible rather than hidden).
+func (ep *Endpoint) emitRecvSpan(f Frame) {
+	if f.Trace == nil {
+		return
+	}
+	ep.mu.Lock()
+	rec := ep.tracer
+	ep.mu.Unlock()
+	if rec == nil {
+		return
+	}
+	latency := time.Now().UnixNano() - f.Trace.SentNS
+	rec.Emit(trace.Span{
+		Trace: f.Trace.Trace,
+		Stage: trace.StageRecv,
+		Node:  string(ep.self),
+		Attrs: []trace.Attr{
+			{Key: "from", Value: string(f.From)},
+			{Key: "kind", Value: f.Kind},
+			{Key: "parent", Value: strconv.FormatUint(f.Trace.Parent, 10)},
+			{Key: "sent_ns", Value: strconv.FormatInt(f.Trace.SentNS, 10)},
+			{Key: "latency_ns", Value: strconv.FormatInt(latency, 10)},
+		},
+	})
 }
 
 // authenticate verifies the frame signature and replay counter.
@@ -267,7 +413,7 @@ func (ep *Endpoint) authenticate(f Frame) error {
 	if !ok {
 		return fmt.Errorf("frame from %q: %w", f.From, ErrUnknownPeer)
 	}
-	msg := frameSigningBytes(f.From, f.Kind, f.Payload, f.Counter)
+	msg := frameSigningBytes(f.From, f.Kind, f.Payload, f.Counter, f.Trace)
 	if err := pub.Verify(msg, f.Sig); err != nil {
 		return fmt.Errorf("frame from %q: %w", f.From, ErrBadFrame)
 	}
@@ -303,9 +449,27 @@ func (ep *Endpoint) Send(to identity.NodeID, kind string, payload []byte) error 
 	}
 	ep.counter++
 	frame := Frame{From: ep.self, Kind: kind, Payload: payload, Counter: ep.counter}
-	frame.Sig = ep.key.Sign(frameSigningBytes(frame.From, frame.Kind, frame.Payload, frame.Counter))
+	rec, idOf := ep.tracer, ep.traceID
 	pol := ep.policy
 	ep.mu.Unlock()
+
+	// With propagation enabled and a per-transaction payload, stamp the
+	// signed v2 trace context and record the send half of the hop.
+	if rec != nil && idOf != nil {
+		if id := idOf(kind, payload); id != "" {
+			parent := rec.Emit(trace.Span{
+				Trace: id,
+				Stage: trace.StageSend,
+				Node:  string(ep.self),
+				Attrs: []trace.Attr{
+					{Key: "to", Value: string(to)},
+					{Key: "kind", Value: kind},
+				},
+			})
+			frame.Trace = &TraceCtx{Trace: id, Parent: parent, SentNS: time.Now().UnixNano()}
+		}
+	}
+	frame.Sig = ep.key.Sign(frameSigningBytes(frame.From, frame.Kind, frame.Payload, frame.Counter, frame.Trace))
 
 	enc := encodeFrame(frame)
 	msg := make([]byte, 4+len(enc))
@@ -329,6 +493,11 @@ func (ep *Endpoint) Send(to identity.NodeID, kind string, payload []byte) error 
 		return nil
 	}
 	ep.reg.Counter("transport.send_failures").Inc()
+	ep.logWarn("delivery exhausted",
+		slog.String("to", string(to)),
+		slog.String("kind", kind),
+		slog.Int("attempts", pol.MaxAttempts),
+		slog.String("error", fmt.Sprint(lastErr)))
 	return fmt.Errorf("send to %q after %d attempts: %w", to, pol.MaxAttempts, lastErr)
 }
 

@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"repchain/internal/codec"
 	"repchain/internal/consensus"
 	"repchain/internal/crypto"
+	"repchain/internal/events"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
 	"repchain/internal/metrics"
@@ -89,6 +91,21 @@ func (s frameSender) Multicast(_ identity.NodeID, to []identity.NodeID, kind str
 	return err
 }
 
+// instrumentEndpoint applies the runtime's observability configuration
+// to a freshly dialed endpoint: metrics, retries, inflight bounds,
+// structured warnings, and — when PropagateTrace is set — per-frame
+// trace-context stamping with node.TraceIDOf as the local trace-ID
+// derivation.
+func instrumentEndpoint(ep *Endpoint, cfg RuntimeConfig) {
+	ep.UseMetrics(cfg.Metrics)
+	ep.SetRetryPolicy(cfg.Retry)
+	ep.SetInflightLimit(cfg.InflightLimit)
+	ep.SetLogger(cfg.Logger)
+	if cfg.PropagateTrace {
+		ep.EnableTracePropagation(cfg.Tracer, node.TraceIDOf)
+	}
+}
+
 func toNetworkMessages(frames []Frame) []network.Message {
 	out := make([]network.Message, len(frames))
 	for i, f := range frames {
@@ -131,6 +148,19 @@ type RuntimeConfig struct {
 	Metrics *metrics.Registry
 	// Tracer, when non-nil, receives lifecycle spans from this node.
 	Tracer *trace.Recorder
+	// PropagateTrace stamps per-transaction trace context (trace ID,
+	// parent span, send timestamp) onto outgoing frames and emits
+	// send/recv spans, so traces stitch across processes. Off keeps the
+	// v1 wire format byte-identical.
+	PropagateTrace bool
+	// Events, when non-nil, receives the structured consensus event
+	// stream from this node (governors emit screening, block, and
+	// reputation events; the runtime adds leader elections).
+	Events *events.Log
+	// Logger, when non-nil, receives structured warnings from the
+	// endpoint (decode/auth failures, exhausted deliveries) instead of
+	// silence.
+	Logger *slog.Logger
 	// Health, when non-nil, receives governor chain heights after each
 	// round for the /readyz probe.
 	Health *Health
@@ -266,9 +296,7 @@ func runProvider(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 	governorIDs := idsOf(cfg.Deployment.NodesByRole("governor"))
 	prov := node.NewProvider(mem, nil, linked, governorIDs)
 	prov.SetTracer(cfg.Tracer)
-	ep.UseMetrics(cfg.Metrics)
-	ep.SetRetryPolicy(cfg.Retry)
-	ep.SetInflightLimit(cfg.InflightLimit)
+	instrumentEndpoint(ep, cfg)
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(spec.Index)))
 
 	report := Report{Role: "provider"}
@@ -287,19 +315,30 @@ func runProvider(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			}
 			report.Submitted++
 		}
-		// Adopt the round's block and argue.
+		// Adopt the round's block and argue. Poll until a block shows up
+		// or the round ends; a single drain misses blocks that arrive a
+		// few milliseconds after the phase boundary and silently skews
+		// the settled/pending accounting.
 		sleepUntil(cfg.Clock.at(round, phaseAdopt))
-		for _, f := range ep.Receive() {
-			if f.Kind != network.KindBlock {
-				continue
+		adoptDeadline := cfg.Clock.at(round+1, 0)
+		for observed := false; ; {
+			for _, f := range ep.Receive() {
+				if f.Kind != network.KindBlock {
+					continue
+				}
+				b, err := ledger.DecodeBlockBytes(f.Payload)
+				if err != nil {
+					continue
+				}
+				if _, err := prov.ObserveBlock(b, sender); err != nil {
+					return report, err
+				}
+				observed = true
 			}
-			b, err := ledger.DecodeBlockBytes(f.Payload)
-			if err != nil {
-				continue
+			if observed || !time.Now().Before(adoptDeadline) {
+				break
 			}
-			if _, err := prov.ObserveBlock(b, sender); err != nil {
-				return report, err
-			}
+			time.Sleep(2 * time.Millisecond)
 		}
 		report.Rounds++
 	}
@@ -326,9 +365,7 @@ func runCollector(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 	governorIDs := idsOf(cfg.Deployment.NodesByRole("governor"))
 	coll := node.NewCollector(mem, nil, im, cfg.Validator, node.HonestBehavior{}, governorIDs, cfg.Seed+int64(100+spec.Index))
 	coll.SetTracer(cfg.Tracer)
-	ep.UseMetrics(cfg.Metrics)
-	ep.SetRetryPolicy(cfg.Retry)
-	ep.SetInflightLimit(cfg.InflightLimit)
+	instrumentEndpoint(ep, cfg)
 
 	report := Report{Role: "collector"}
 	sender := frameSender{ep: ep, failures: &report.SendFailures}
@@ -396,6 +433,7 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 		AdmissionFloor:  cfg.AdmissionFloor,
 		Metrics:         cfg.Metrics,
 		Tracer:          cfg.Tracer,
+		Events:          cfg.Events,
 	})
 	if err != nil {
 		return Report{}, err
@@ -447,9 +485,7 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			stakes[i] = 1
 		}
 	}
-	ep.UseMetrics(cfg.Metrics)
-	ep.SetRetryPolicy(cfg.Retry)
-	ep.SetInflightLimit(cfg.InflightLimit)
+	instrumentEndpoint(ep, cfg)
 
 	// Resume round numbering from a persisted chain (all governors in
 	// a deployment must restart together so their heights agree).
@@ -478,6 +514,15 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 		}
 		return now
 	}
+	// Block frames can land in any drain: a fast leader multicasts its
+	// block while slower governors are still in their elect drain, and
+	// a slow network delivers it after the adopt drain already ran.
+	// Discarding those frames forks the governor off the alliance for
+	// good, so every drain stashes them here and adoptPending commits
+	// the ones signed by the round's (or, at the top of a round, the
+	// previous round's) leader.
+	var pendingBlocks [][]byte
+	prevLeader := -1
 	for r := uint64(1); r <= uint64(cfg.Rounds); r++ {
 		round := baseRound + r
 		gov.SetRound(round)
@@ -492,7 +537,8 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 				return err
 			}
 			for _, m := range rest {
-				if m.Kind == network.KindVRF {
+				switch m.Kind {
+				case network.KindVRF:
 					senderIdx, err := governorIndexOf(m.From)
 					if err != nil {
 						continue
@@ -502,12 +548,33 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 						continue // stale or malformed ticket batch
 					}
 					ticketsFrom[senderIdx] = ts
+				case network.KindBlock:
+					pendingBlocks = append(pendingBlocks, m.Payload)
 				}
 			}
 			return nil
 		}
+		adoptPending := func(leaderIdx int) error {
+			for _, p := range pendingBlocks {
+				b, err := ledger.DecodeBlockBytes(p)
+				if err != nil || leaderIdx < 0 || b.Proposer != governorIDs[leaderIdx] {
+					continue // malformed, or a stale duplicate from an older round
+				}
+				if err := gov.AcceptBlock(b, governorIDs[leaderIdx], govPubs[leaderIdx]); err != nil {
+					return err
+				}
+			}
+			pendingBlocks = pendingBlocks[:0]
+			return nil
+		}
 		stageStart := time.Now()
 		if err := drain(); err != nil {
+			return report, err
+		}
+		// Commit a previous-round block that arrived after its adopt
+		// window closed, before this round's tickets are made over the
+		// chain head.
+		if err := adoptPending(prevLeader); err != nil {
 			return report, err
 		}
 		if err := gov.ProcessArgues(); err != nil {
@@ -529,11 +596,23 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			return report, err
 		}
 
-		// Collect tickets and elect.
+		// Collect tickets and elect. A single drain at the phase
+		// boundary loses the round whenever a peer's ticket frame lands
+		// a few milliseconds late (separate processes on a loaded
+		// machine), so poll until every governor's batch is in or the
+		// collection window closes — the leader still needs the rest of
+		// the window to pack and multicast before the adopt phase.
 		sleepUntil(cfg.Clock.at(r, phaseElect))
 		stageStart = time.Now()
-		if err := drain(); err != nil {
-			return report, err
+		ticketDeadline := cfg.Clock.at(r, (phaseElect+phaseAdopt)/2)
+		for {
+			if err := drain(); err != nil {
+				return report, err
+			}
+			if len(ticketsFrom) >= len(governorSpecs) || !time.Now().Before(ticketDeadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
 		el, err := consensus.NewElection(round, prevHash, govPubs, stakes)
 		if err != nil {
@@ -558,6 +637,8 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 				Attrs: []trace.Attr{{Key: "leader", Value: string(governorIDs[leader])}},
 			})
 		}
+		cfg.Events.Emit(events.TypeLeaderElected, round, string(mem.ID),
+			slog.String("leader", string(governorIDs[leader])))
 
 		// The leader proposes; everyone adopts.
 		if leader == spec.Index {
@@ -571,25 +652,27 @@ func runGovernor(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			}
 			observe(packH, stageStart)
 		}
+		// Adopt. Poll until this round's block is committed or the round
+		// ends: losing the leader's block frame to a late arrival would
+		// fork this governor off the alliance for good (every later
+		// ticket and block verifies against the wrong head).
 		sleepUntil(cfg.Clock.at(r, phaseAdopt))
 		stageStart = time.Now()
-		adoptRest, err := gov.HandleBatch(toNetworkMessages(ep.Receive()))
-		if err != nil {
-			return report, err
-		}
-		for _, m := range adoptRest {
-			if m.Kind != network.KindBlock {
-				continue
-			}
-			b, err := ledger.DecodeBlockBytes(m.Payload)
-			if err != nil {
-				continue
-			}
-			if err := gov.AcceptBlock(b, governorIDs[leader], govPubs[leader]); err != nil {
+		adoptDeadline := cfg.Clock.at(r+1, 0)
+		for {
+			if err := drain(); err != nil {
 				return report, err
 			}
+			if err := adoptPending(leader); err != nil {
+				return report, err
+			}
+			if gov.Store().Height() >= round || !time.Now().Before(adoptDeadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
 		observe(commitH, stageStart)
+		prevLeader = leader
 		height := gov.Store().Height()
 		cfg.Health.SetHeight(string(cfg.ID), height)
 		if heightG != nil {

@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"repchain/internal/codec"
+	"repchain/internal/crypto"
+	"repchain/internal/trace"
+)
+
+// TestFrameV1BytesUnchanged pins the wire-compat promise: a frame
+// without a trace context encodes to exactly the pre-v2 byte layout,
+// so a deployment with propagation off is indistinguishable from a
+// legacy one.
+func TestFrameV1BytesUnchanged(t *testing.T) {
+	f := Frame{From: "governor/0", Kind: "k", Payload: []byte("data"), Counter: 7, Sig: []byte("sig")}
+	e := codec.NewEncoder(64)
+	e.PutString(string(f.From))
+	e.PutString(f.Kind)
+	e.PutBytes(f.Payload)
+	e.PutUint64(f.Counter)
+	e.PutBytes(f.Sig)
+	if !bytes.Equal(encodeFrame(f), e.Bytes()) {
+		t.Fatal("nil-trace frame encoding diverged from the v1 layout")
+	}
+	got, err := decodeFrame(encodeFrame(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != nil {
+		t.Fatal("v1 frame decoded with a trace context")
+	}
+}
+
+func TestFrameV2RoundTrip(t *testing.T) {
+	seed := make([]byte, crypto.SeedSize)
+	pub, priv, err := crypto.KeyFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &TraceCtx{Trace: "deadbeefdeadbeef", Parent: 42, SentNS: 123456789}
+	f := Frame{From: "governor/0", Kind: "k", Payload: []byte("data"), Counter: 7, Trace: tc}
+	f.Sig = priv.Sign(frameSigningBytes(f.From, f.Kind, f.Payload, f.Counter, f.Trace))
+	got, err := decodeFrame(encodeFrame(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil || *got.Trace != *tc {
+		t.Fatalf("trace context = %+v, want %+v", got.Trace, tc)
+	}
+	msg := frameSigningBytes(got.From, got.Kind, got.Payload, got.Counter, got.Trace)
+	if err := pub.Verify(msg, got.Sig); err != nil {
+		t.Fatalf("v2 signature broken by round trip: %v", err)
+	}
+}
+
+// TestSigningDomainSeparation checks the anti-stripping argument: a
+// middlebox that removes (or injects) a trace context cannot keep the
+// signature valid, because the domain string is chosen by presence.
+func TestSigningDomainSeparation(t *testing.T) {
+	seed := make([]byte, crypto.SeedSize)
+	pub, priv, err := crypto.KeyFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &TraceCtx{Trace: "deadbeefdeadbeef", Parent: 1, SentNS: 99}
+	f := Frame{From: "governor/0", Kind: "k", Payload: []byte("data"), Counter: 7, Trace: tc}
+	f.Sig = priv.Sign(frameSigningBytes(f.From, f.Kind, f.Payload, f.Counter, f.Trace))
+
+	// Stripping the context invalidates the v2 signature.
+	stripped := frameSigningBytes(f.From, f.Kind, f.Payload, f.Counter, nil)
+	if err := pub.Verify(stripped, f.Sig); err == nil {
+		t.Fatal("signature survived trace-context stripping")
+	}
+
+	// A v1 signature cannot be upgraded to v2 with attacker-chosen context.
+	v1sig := priv.Sign(frameSigningBytes(f.From, f.Kind, f.Payload, f.Counter, nil))
+	v2msg := frameSigningBytes(f.From, f.Kind, f.Payload, f.Counter, tc)
+	if err := pub.Verify(v2msg, v1sig); err == nil {
+		t.Fatal("v1 signature verified under the v2 domain")
+	}
+}
+
+// TestEndpointTracePropagation sends a traced frame across a real TCP
+// hop and checks both halves: the sender's v2 context arrives intact,
+// the receiver records a recv span carrying the sender's parent seq
+// and a measured hop latency, and a payload with no trace ID stays on
+// the v1 wire format.
+func TestEndpointTracePropagation(t *testing.T) {
+	d := testDeployment(t, 2, 2, 1, 2)
+	a, err := NewEndpoint(d, "governor/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := NewEndpoint(d, "governor/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+
+	const traceID = "deadbeefdeadbeef"
+	idOf := func(kind string, payload []byte) string {
+		if kind == "traced" {
+			return traceID
+		}
+		return ""
+	}
+	recA := trace.NewRecorder(16)
+	recB := trace.NewRecorder(16)
+	a.EnableTracePropagation(recA, idOf)
+	b.EnableTracePropagation(recB, idOf)
+
+	if err := a.Send("governor/1", "traced", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("governor/1", "plain", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	frames := waitFrames(t, b, 2)
+	byKind := map[string]Frame{}
+	for _, f := range frames {
+		byKind[f.Kind] = f
+	}
+	traced, ok := byKind["traced"]
+	if !ok || traced.Trace == nil {
+		t.Fatalf("traced frame missing its context: %+v", traced)
+	}
+	if traced.Trace.Trace != traceID || traced.Trace.SentNS == 0 {
+		t.Fatalf("trace context = %+v", traced.Trace)
+	}
+	if plain, ok := byKind["plain"]; !ok || plain.Trace != nil {
+		t.Fatalf("untraced frame carried a context: %+v", plain.Trace)
+	}
+
+	sends := recA.ByTrace(traceID)
+	if len(sends) != 1 || sends[0].Stage != trace.StageSend {
+		t.Fatalf("sender spans = %+v", sends)
+	}
+	if traced.Trace.Parent != sends[0].Seq {
+		t.Fatalf("wire parent %d != send span seq %d", traced.Trace.Parent, sends[0].Seq)
+	}
+	recvs := recB.ByTrace(traceID)
+	if len(recvs) != 1 || recvs[0].Stage != trace.StageRecv {
+		t.Fatalf("receiver spans = %+v", recvs)
+	}
+	attrs := map[string]string{}
+	for _, at := range recvs[0].Attrs {
+		attrs[at.Key] = at.Value
+	}
+	if attrs["from"] != "governor/0" || attrs["kind"] != "traced" {
+		t.Fatalf("recv span attrs = %v", attrs)
+	}
+	for _, k := range []string{"parent", "sent_ns", "latency_ns"} {
+		if attrs[k] == "" {
+			t.Fatalf("recv span missing %q attr: %v", k, attrs)
+		}
+	}
+}
+
+// TestEndpointPropagationOffStaysV1 sends with propagation disabled on
+// both sides: frames arrive without a context and no spans are
+// recorded, matching a legacy deployment exactly.
+func TestEndpointPropagationOffStaysV1(t *testing.T) {
+	d := testDeployment(t, 2, 2, 1, 2)
+	a, err := NewEndpoint(d, "governor/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := NewEndpoint(d, "governor/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	recB := trace.NewRecorder(16)
+	b.EnableTracePropagation(recB, func(string, []byte) string { return "" })
+
+	if err := a.Send("governor/1", "traced", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	frames := waitFrames(t, b, 1)
+	if frames[0].Trace != nil {
+		t.Fatal("propagation-off sender produced a v2 frame")
+	}
+	if got := recB.Len(); got != 0 {
+		t.Fatalf("receiver recorded %d spans for a v1 frame", got)
+	}
+}

@@ -176,18 +176,18 @@ func TestFrameRoundTripAndAuth(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := Frame{From: "governor/0", Kind: "k", Payload: []byte("data"), Counter: 7}
-	f.Sig = priv.Sign(frameSigningBytes(f.From, f.Kind, f.Payload, f.Counter))
+	f.Sig = priv.Sign(frameSigningBytes(f.From, f.Kind, f.Payload, f.Counter, nil))
 	got, err := decodeFrame(encodeFrame(f))
 	if err != nil {
 		t.Fatalf("decodeFrame() error = %v", err)
 	}
-	msg := frameSigningBytes(got.From, got.Kind, got.Payload, got.Counter)
+	msg := frameSigningBytes(got.From, got.Kind, got.Payload, got.Counter, nil)
 	if err := pub.Verify(msg, got.Sig); err != nil {
 		t.Fatalf("signature broken by round trip: %v", err)
 	}
 	// Tampered payload fails verification.
 	got.Payload[0] ^= 0xff
-	msg = frameSigningBytes(got.From, got.Kind, got.Payload, got.Counter)
+	msg = frameSigningBytes(got.From, got.Kind, got.Payload, got.Counter, nil)
 	if err := pub.Verify(msg, got.Sig); err == nil {
 		t.Fatal("tampered frame verified")
 	}
@@ -261,7 +261,7 @@ func TestEndpointRejectsForgedSender(t *testing.T) {
 		t.Fatal(err)
 	}
 	forged := Frame{From: "governor/1", Kind: "evil", Payload: []byte("x"), Counter: 99}
-	forged.Sig = keyA.Sign(frameSigningBytes(forged.From, forged.Kind, forged.Payload, forged.Counter))
+	forged.Sig = keyA.Sign(frameSigningBytes(forged.From, forged.Kind, forged.Payload, forged.Counter, nil))
 	enc := encodeFrame(forged)
 	conn, err := net.Dial("tcp", spec.Addr)
 	if err != nil {
@@ -312,7 +312,7 @@ func TestEndpointRejectsReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	replay := Frame{From: "governor/0", Kind: "one", Payload: []byte("1"), Counter: 1}
-	replay.Sig = keyA.Sign(frameSigningBytes(replay.From, replay.Kind, replay.Payload, replay.Counter))
+	replay.Sig = keyA.Sign(frameSigningBytes(replay.From, replay.Kind, replay.Payload, replay.Counter, nil))
 	enc := encodeFrame(replay)
 	spec, err := d.Node("governor/1")
 	if err != nil {

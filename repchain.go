@@ -43,6 +43,7 @@ import (
 
 	"repchain/internal/core"
 	"repchain/internal/crypto"
+	"repchain/internal/events"
 	"repchain/internal/identity"
 	"repchain/internal/ledger"
 	"repchain/internal/metrics"
@@ -322,6 +323,22 @@ func WithTracing(capacity int) Option {
 			return fmt.Errorf("trace capacity %d: %w", capacity, ErrBadOption)
 		}
 		o.cfg.TraceCapacity = capacity
+		return nil
+	}
+}
+
+// WithEventLog records consensus-significant events — uploads
+// screened, leaders elected, blocks packed and committed, reputation
+// deltas with the arguments needed to re-apply them offline, quorum
+// changes — into an in-memory ring of the given capacity. Like
+// tracing, the log is purely observational: rounds stay byte-identical
+// with it on or off. Zero capacity disables it.
+func WithEventLog(capacity int) Option {
+	return func(o *options) error {
+		if capacity < 0 {
+			return fmt.Errorf("event capacity %d: %w", capacity, ErrBadOption)
+		}
+		o.cfg.EventCapacity = capacity
 		return nil
 	}
 }
@@ -608,6 +625,17 @@ func (c *Chain) Trace(id TxID) []Span {
 // Spans returns every span currently in the trace ring buffer, oldest
 // first. Empty without WithTracing.
 func (c *Chain) Spans() []Span { return c.engine.Tracer().Spans() }
+
+// Event re-exports one recorded consensus event (see WithEventLog).
+type Event = events.Event
+
+// Events returns every event currently in the consensus event ring,
+// oldest first. Empty without WithEventLog.
+func (c *Chain) Events() []Event { return c.engine.Events().Events() }
+
+// EventLog exposes the chain's structured event log for replay and
+// filtered export (see the events package). Nil without WithEventLog.
+func (c *Chain) EventLog() *events.Log { return c.engine.Events() }
 
 // MempoolDepth reports how many staged submissions await the next
 // round's drain (always zero right after a round without backpressure).
