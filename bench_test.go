@@ -305,4 +305,67 @@ func BenchmarkFullProtocolRound(b *testing.B) {
 			b.Logf("metrics-snapshot mempool=4x256 %s", data)
 		}
 	})
+
+	// The same per-round workload sharded across K committees
+	// (DESIGN.md §4i): 8 providers with exclusive collectors split into
+	// K parallel protocol instances, each round carrying one cross-shard
+	// transfer through the two-phase receipt relay. Engines run with
+	// workers=1 so committee-level concurrency is the only parallelism —
+	// the committees=4 / committees=1 benchcheck ratio gate records the
+	// scaling trajectory and enforces ≥2x where the runner has the cores
+	// to show it (informational on single-core runners).
+	for _, committees := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("committees=%d", committees), func(b *testing.B) {
+			validator := repchain.ValidatorFunc(func(t repchain.Transaction) bool {
+				return len(t.Payload) > 0 && t.Payload[0] == 1
+			})
+			cluster, err := repchain.NewCluster(
+				repchain.WithTopology(8, 16, 2), // collector degree 1: divisible at K=1,2,4
+				repchain.WithGovernors(3),
+				repchain.WithCommittees(committees),
+				repchain.WithValidator(validator),
+				repchain.WithSeed(1),
+				repchain.WithWorkers(1),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			const txPerRound = 32
+			crypto.DefaultVerifyCache.Purge()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < txPerRound; j++ {
+					valid := j%4 != 3
+					payload := []byte{0, byte(j), byte(i), byte(i >> 8)}
+					if valid {
+						payload[0] = 1
+					}
+					if _, err := cluster.Submit(j%8, "bench", payload, valid); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if committees > 1 {
+					// One cross-shard transfer per round keeps the
+					// two-phase relay on the measured path.
+					if _, err := cluster.SubmitCross(0, 1, "bench/x", []byte{1, byte(i)}, true); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := cluster.RunRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(txPerRound, "tx/round")
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*txPerRound)/secs, "tx/s")
+			}
+			snap := cluster.MetricsSnapshot()
+			b.ReportMetric(float64(snap.Counters["shard.cross_tx_total"]), "cross-tx")
+			if data, err := json.Marshal(snap); err == nil {
+				b.Logf("metrics-snapshot committees=%d %s", committees, data)
+			}
+		})
+	}
 }

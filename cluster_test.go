@@ -1,0 +1,191 @@
+package repchain
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func goldenOptions() []Option {
+	return []Option{
+		WithTopology(8, 4, 2),
+		WithGovernors(3),
+		WithBlockLimit(16),
+		WithSeed(42),
+		WithValidator(ValidatorFunc(func(t Transaction) bool {
+			return len(t.Payload) > 0 && t.Payload[0] == 1
+		})),
+	}
+}
+
+func goldenPayload(valid bool, a, b byte) []byte {
+	p := []byte{0, a, b}
+	if valid {
+		p[0] = 1
+	}
+	return p
+}
+
+// goldenHashes are the block hashes of the reference K=1 run, captured
+// on the pre-cluster engine. They pin the byte-identity guarantee: a
+// one-committee cluster must still produce this exact chain.
+var goldenHashes = []string{
+	"00f2202a4d16f68122926edd6dcfa9237c71ed3cb91e748347d54d5f1f011cb1",
+	"83fba54558ce3800ff441bd066927e28cad7b57f9cb471b6a671d1d025bfa288",
+	"d6578f2d01d52c055521bc4d47d0daff1a9a47d1cb853e61a4f39550677fd808",
+	"a990a0c9954123163899badc34b496e4e1ca1f4c2c48cacac62b664a0cab1bc6",
+	"34483077efda13de224bc1f5de37295efe027d19381f3fb20c22301b1d65c271",
+}
+
+func runGolden(t *testing.T, submit func(k int, payload []byte, valid bool) error, round func() error) {
+	t.Helper()
+	for r := 0; r < len(goldenHashes); r++ {
+		for j := 0; j < 12; j++ {
+			valid := j%3 != 2
+			if err := submit(j%8, goldenPayload(valid, byte(j), byte(r)), valid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := round(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestChainMatchesGoldenHashes(t *testing.T) {
+	chain, err := New(goldenOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chain.Close()
+	runGolden(t,
+		func(k int, p []byte, valid bool) error { _, err := chain.Submit(k, "golden", p, valid); return err },
+		func() error { _, err := chain.RunRound(); return err },
+	)
+	st := chain.engine.Governor(0).Store()
+	for s, want := range goldenHashes {
+		b, err := st.Get(uint64(s + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Hash().String(); got != want {
+			t.Fatalf("block %d hash %s, want golden %s", s+1, got, want)
+		}
+	}
+}
+
+func TestClusterK1MatchesGoldenHashes(t *testing.T) {
+	cluster, err := NewCluster(append(goldenOptions(), WithCommittees(1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	runGolden(t,
+		func(k int, p []byte, valid bool) error { _, err := cluster.Submit(k, "golden", p, valid); return err },
+		func() error { _, err := cluster.RunRound(); return err },
+	)
+	st := cluster.cl.Engine(0).Governor(0).Store()
+	for s, want := range goldenHashes {
+		b, err := st.Get(uint64(s + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Hash().String(); got != want {
+			t.Fatalf("K=1 cluster block %d hash %s, want golden %s", s+1, got, want)
+		}
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	cluster, err := NewCluster(
+		WithTopology(8, 16, 2), // collector degree 1: every committee split is legal
+		WithGovernors(3),
+		WithCommittees(2),
+		WithSeed(7),
+		WithBlockLimit(32),
+		WithTracing(1024),
+		WithValidator(ValidatorFunc(func(t Transaction) bool {
+			return len(t.Payload) > 0 && t.Payload[0] == 1
+		})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	if got := cluster.Committees(); got != 2 {
+		t.Fatalf("Committees() = %d, want 2", got)
+	}
+	if home, err := cluster.Home(3); err != nil || home != 1 {
+		t.Fatalf("Home(3) = %d, %v, want committee 1", home, err)
+	}
+	if _, err := cluster.Committee(2); !errors.Is(err, ErrUnknownCommittee) {
+		t.Fatalf("Committee(2) err = %v, want ErrUnknownCommittee", err)
+	}
+
+	// Batch submission routes by the partition; cross-shard submission
+	// locks on the source committee.
+	ids, err := cluster.SubmitBatch(context.Background(), 0, []Tx{
+		{Kind: "batch", Payload: goldenPayload(true, 1, 0), Valid: true},
+		{Kind: "batch", Payload: goldenPayload(true, 2, 0), Valid: true},
+	})
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("SubmitBatch: ids=%d err=%v", len(ids), err)
+	}
+	crossID, err := cluster.SubmitCross(0, 1, "wire", goldenPayload(true, 3, 0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for r := 0; r < 6 && (r == 0 || cluster.PendingReceipts() > 0); r++ {
+		summaries, err := cluster.RunRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(summaries) != 2 {
+			t.Fatalf("%d round summaries, want 2", len(summaries))
+		}
+	}
+	if got := cluster.PendingReceipts(); got != 0 {
+		t.Fatalf("%d receipts still pending", got)
+	}
+	if err := cluster.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+
+	cm0, err := cluster.Committee(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm0.Height() == 0 {
+		t.Fatal("committee 0 committed nothing")
+	}
+	if got := cm0.Providers(); len(got) != 4 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("committee 0 providers = %v, want the evens", got)
+	}
+	if spans := cm0.Trace(crossID); len(spans) == 0 {
+		t.Fatal("no trace spans for the cross-shard lock on its source committee")
+	}
+	snap := cluster.MetricsSnapshot()
+	if snap.Gauges[`chain.height{committee="0"}`] == 0 {
+		t.Fatalf("cluster snapshot lacks per-committee heights: %v", snap.Gauges)
+	}
+	if snap.Counters["shard.cross_tx_total"] != 1 {
+		t.Fatalf("shard.cross_tx_total = %v, want 1", snap.Counters["shard.cross_tx_total"])
+	}
+	if cm0.MetricsSnapshot().Counters["engine.rounds_total"] == 0 {
+		t.Fatal("committee snapshot lacks engine metrics")
+	}
+}
+
+func TestNewRejectsClusterOptions(t *testing.T) {
+	if _, err := New(append(goldenOptions(), WithCommittees(2))...); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("New with WithCommittees: err = %v, want ErrBadOption", err)
+	}
+	if _, err := New(append(goldenOptions(), WithPartition(func(p, k int) int { return 0 }))...); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("New with WithPartition: err = %v, want ErrBadOption", err)
+	}
+	if _, err := NewCluster(append(goldenOptions(), WithCommittees(0))...); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("WithCommittees(0): err = %v, want ErrBadOption", err)
+	}
+}

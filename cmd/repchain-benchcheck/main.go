@@ -83,6 +83,13 @@ type ratioGate struct {
 	Min float64 `json:"min,omitempty"`
 	// Max is the maximum allowed Slow/Fast ns/op ratio (0 = no cap).
 	Max float64 `json:"max,omitempty"`
+	// MinProcs makes the bounds informational when the run's GOMAXPROCS
+	// (the -N benchmark-name suffix) is below it. Parallel-scaling gates
+	// (committees=4 must beat committees=1) are meaningless on a
+	// single-core runner, but must still gate hard where the cores
+	// exist. Zero enforces unconditionally. Missing-benchmark erosion
+	// always fails regardless — the benchmarks themselves run anywhere.
+	MinProcs int `json:"minprocs,omitempty"`
 	// Note documents what the ratio protects; informational.
 	Note string `json:"note,omitempty"`
 }
@@ -91,11 +98,13 @@ type ratioGate struct {
 // map per benchmark. Benchmark names and their result fields arrive as
 // separate Output events (the test binary prints the name, runs, then
 // appends the numbers), so output is re-assembled per package before
-// line parsing.
-func parseBenchJSON(path string) (map[string]map[string]float64, error) {
+// line parsing. The second return is the largest GOMAXPROCS suffix
+// seen on any result line (1 when names carry none) — ratio gates with
+// MinProcs consult it to decide whether they enforce or inform.
+func parseBenchJSON(path string) (map[string]map[string]float64, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 
@@ -110,7 +119,7 @@ func parseBenchJSON(path string) (map[string]map[string]float64, error) {
 		}
 		var ev testEvent
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
-			return nil, fmt.Errorf("%s: not a go test -json stream: %w", path, err)
+			return nil, 0, fmt.Errorf("%s: not a go test -json stream: %w", path, err)
 		}
 		if ev.Action != "output" {
 			continue
@@ -124,7 +133,7 @@ func parseBenchJSON(path string) (map[string]map[string]float64, error) {
 		b.WriteString(ev.Output)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
 	}
 
 	// A benchmark appearing several times in the stream (-count > 1, or
@@ -134,11 +143,15 @@ func parseBenchJSON(path string) (map[string]map[string]float64, error) {
 	// any single run.
 	sums := make(map[string]map[string]float64)
 	counts := make(map[string]map[string]float64)
+	procs := 1
 	for _, pkg := range pkgs {
 		for _, line := range strings.Split(perPkg[pkg].String(), "\n") {
-			name, metrics, ok := parseBenchLine(line)
+			name, p, metrics, ok := parseBenchLine(line)
 			if !ok {
 				continue
+			}
+			if p > procs {
+				procs = p
 			}
 			if sums[name] == nil {
 				sums[name] = make(map[string]float64)
@@ -151,7 +164,7 @@ func parseBenchJSON(path string) (map[string]map[string]float64, error) {
 		}
 	}
 	if len(sums) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+		return nil, 0, fmt.Errorf("%s: no benchmark result lines found", path)
 	}
 	out := make(map[string]map[string]float64, len(sums))
 	for name, m := range sums {
@@ -161,7 +174,7 @@ func parseBenchJSON(path string) (map[string]map[string]float64, error) {
 		}
 		out[name] = avg
 	}
-	return out, nil
+	return out, procs, nil
 }
 
 // parseBenchLine parses one textual benchmark result line:
@@ -170,28 +183,35 @@ func parseBenchJSON(path string) (map[string]map[string]float64, error) {
 //
 // i.e. name, iteration count, then (value, unit) pairs. The trailing
 // -N GOMAXPROCS suffix is stripped from the name so baselines survive
-// runner-core-count changes.
-func parseBenchLine(line string) (string, map[string]float64, bool) {
+// runner-core-count changes; its value is returned separately (1 when
+// absent) for the MinProcs ratio-gate policy.
+func parseBenchLine(line string) (string, int, map[string]float64, bool) {
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", nil, false
+		return "", 0, nil, false
 	}
 	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
-		return "", nil, false // "Benchmark... results" summary or log noise
+		return "", 0, nil, false // "Benchmark... results" summary or log noise
 	}
 	name := stripProcsSuffix(fields[0])
+	procs := 1
+	if name != fields[0] {
+		if p, err := strconv.Atoi(fields[0][len(name)+1:]); err == nil && p > 0 {
+			procs = p
+		}
+	}
 	metrics := make(map[string]float64)
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return "", nil, false
+			return "", 0, nil, false
 		}
 		metrics[fields[i+1]] = v
 	}
 	if len(metrics) == 0 {
-		return "", nil, false
+		return "", 0, nil, false
 	}
-	return name, metrics, true
+	return name, procs, metrics, true
 }
 
 // stripProcsSuffix removes a trailing "-N" (GOMAXPROCS) from a
@@ -221,7 +241,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cur, err := parseBenchJSON(*currentPath)
+	cur, procs, err := parseBenchJSON(*currentPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -258,7 +278,7 @@ func main() {
 	}
 
 	failures := check(base.Benchmarks, cur, *txsTol, *allocsTol, *allocsSlack)
-	failures = append(failures, checkRatios(base.Ratios, cur)...)
+	failures = append(failures, checkRatios(base.Ratios, cur, procs)...)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "FAIL:", f)
@@ -272,12 +292,16 @@ func main() {
 
 // checkRatios enforces the baseline's ns/op ratio gates against the
 // current run. Both sides must be present — a ratio whose benchmark
-// vanished is gate erosion, not a pass.
-func checkRatios(ratios []ratioGate, cur map[string]map[string]float64) []string {
+// vanished is gate erosion, not a pass, and that holds even below
+// MinProcs (the benchmarks run on any core count; only the ratio's
+// value needs the parallelism). A bound violated while procs <
+// MinProcs is reported as info, not a failure.
+func checkRatios(ratios []ratioGate, cur map[string]map[string]float64, procs int) []string {
 	var failures []string
 	for _, r := range ratios {
 		slow, okS := cur[r.Slow]["ns/op"]
 		fast, okF := cur[r.Fast]["ns/op"]
+		enforce := procs >= r.MinProcs
 		switch {
 		case !okS:
 			failures = append(failures, fmt.Sprintf(
@@ -289,10 +313,20 @@ func checkRatios(ratios []ratioGate, cur map[string]map[string]float64) []string
 			failures = append(failures, fmt.Sprintf(
 				"ratio %s / %s: non-positive fast ns/op %g", r.Slow, r.Fast, fast))
 		case r.Min > 0 && slow/fast < r.Min:
+			if !enforce {
+				fmt.Printf("info: ratio %s / %s = %.2fx below %.1fx, not enforced at GOMAXPROCS %d < %d (%s)\n",
+					r.Slow, r.Fast, slow/fast, r.Min, procs, r.MinProcs, r.Note)
+				break
+			}
 			failures = append(failures, fmt.Sprintf(
 				"ratio %s / %s = %.1fx below required %.1fx (%s)",
 				r.Slow, r.Fast, slow/fast, r.Min, r.Note))
 		case r.Max > 0 && slow/fast > r.Max:
+			if !enforce {
+				fmt.Printf("info: ratio %s / %s = %.2fx above %.2fx, not enforced at GOMAXPROCS %d < %d (%s)\n",
+					r.Slow, r.Fast, slow/fast, r.Max, procs, r.MinProcs, r.Note)
+				break
+			}
 			failures = append(failures, fmt.Sprintf(
 				"ratio %s / %s = %.2fx above allowed %.2fx (%s)",
 				r.Slow, r.Fast, slow/fast, r.Max, r.Note))

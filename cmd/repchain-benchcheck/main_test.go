@@ -9,7 +9,7 @@ import (
 )
 
 func TestParseBenchLine(t *testing.T) {
-	name, m, ok := parseBenchLine(
+	name, procs, m, ok := parseBenchLine(
 		"BenchmarkFullProtocolRound/workers=1-4 \t     100\t  1234567 ns/op\t 0.67 cache-hit-rate\t 912 tx/s\t 340 allocs/op")
 	if !ok {
 		t.Fatal("result line not recognized")
@@ -17,14 +17,23 @@ func TestParseBenchLine(t *testing.T) {
 	if name != "BenchmarkFullProtocolRound/workers=1" {
 		t.Fatalf("name %q: GOMAXPROCS suffix not stripped", name)
 	}
+	if procs != 4 {
+		t.Fatalf("procs = %d, want 4 from the -4 suffix", procs)
+	}
 	if m["ns/op"] != 1234567 || m["tx/s"] != 912 || m["allocs/op"] != 340 || m["cache-hit-rate"] != 0.67 {
 		t.Fatalf("metrics %v", m)
 	}
 
 	// Sub-bench names carrying their own -N must keep it.
-	name, _, ok = parseBenchLine("BenchmarkVerifyBatch/m=512-4 \t 50 \t 99 ns/op")
+	name, _, _, ok = parseBenchLine("BenchmarkVerifyBatch/m=512-4 \t 50 \t 99 ns/op")
 	if !ok || name != "BenchmarkVerifyBatch/m=512" {
 		t.Fatalf("got %q, %v", name, ok)
+	}
+
+	// No GOMAXPROCS suffix at all: procs defaults to 1.
+	_, procs, _, ok = parseBenchLine("BenchmarkPlain \t 50 \t 99 ns/op")
+	if !ok || procs != 1 {
+		t.Fatalf("suffixless line: procs=%d ok=%v, want 1 true", procs, ok)
 	}
 
 	for _, bad := range []string{
@@ -34,7 +43,7 @@ func TestParseBenchLine(t *testing.T) {
 		"BenchmarkFoo results pending", // non-numeric iteration count
 		"--- BENCH: BenchmarkFoo-4",
 	} {
-		if _, _, ok := parseBenchLine(bad); ok {
+		if _, _, _, ok := parseBenchLine(bad); ok {
 			t.Fatalf("line %q parsed as a result", bad)
 		}
 	}
@@ -55,9 +64,12 @@ func TestParseBenchJSONReassembly(t *testing.T) {
 	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := parseBenchJSON(path)
+	got, procs, err := parseBenchJSON(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if procs != 4 {
+		t.Fatalf("procs = %d, want 4 from the -4 suffixes", procs)
 	}
 	if len(got) != 2 {
 		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
@@ -83,7 +95,7 @@ func TestParseBenchJSONAveragesRepeats(t *testing.T) {
 	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := parseBenchJSON(path)
+	got, _, err := parseBenchJSON(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,23 +149,23 @@ func TestCheckRatios(t *testing.T) {
 		Fast: "BenchmarkStoreReopen/height=100000/mode=snapshot",
 		Min:  10,
 	}}
-	if f := checkRatios(pass, cur); len(f) != 0 {
+	if f := checkRatios(pass, cur, 1); len(f) != 0 {
 		t.Fatalf("30x run failed a 10x gate: %v", f)
 	}
 
 	tight := []ratioGate{{Slow: pass[0].Slow, Fast: pass[0].Fast, Min: 50, Note: "reopen"}}
-	f := checkRatios(tight, cur)
+	f := checkRatios(tight, cur, 1)
 	if len(f) != 1 || !strings.Contains(f[0], "below required 50.0x") {
 		t.Fatalf("30x run passed a 50x gate: %v", f)
 	}
 
 	// Max caps overhead: a 30x ratio passes max=35 but fails max=20.
 	overhead := []ratioGate{{Slow: pass[0].Slow, Fast: pass[0].Fast, Max: 35}}
-	if f := checkRatios(overhead, cur); len(f) != 0 {
+	if f := checkRatios(overhead, cur, 1); len(f) != 0 {
 		t.Fatalf("30x run failed a max=35 cap: %v", f)
 	}
 	capped := []ratioGate{{Slow: pass[0].Slow, Fast: pass[0].Fast, Max: 20, Note: "tracing overhead"}}
-	f = checkRatios(capped, cur)
+	f = checkRatios(capped, cur, 1)
 	if len(f) != 1 || !strings.Contains(f[0], "above allowed 20.00x") {
 		t.Fatalf("30x run passed a max=20 cap: %v", f)
 	}
@@ -166,10 +178,42 @@ func TestCheckRatios(t *testing.T) {
 				trimmed[k] = v
 			}
 		}
-		f := checkRatios(pass, trimmed)
+		f := checkRatios(pass, trimmed, 1)
 		if len(f) != 1 || !strings.Contains(f[0], "gate erosion") {
 			t.Fatalf("missing %s not flagged: %v", gone, f)
 		}
+	}
+}
+
+// TestCheckRatiosMinProcs covers parallel-scaling gates: below MinProcs
+// a violated bound is informational, at or above it the bound gates
+// hard, and missing benchmarks fail regardless of core count.
+func TestCheckRatiosMinProcs(t *testing.T) {
+	// committees=4 only 1.2x faster than committees=1: fails a 2x floor.
+	cur := map[string]map[string]float64{
+		"BenchmarkFullProtocolRound/committees=1": {"ns/op": 12e6},
+		"BenchmarkFullProtocolRound/committees=4": {"ns/op": 10e6},
+	}
+	scaling := []ratioGate{{
+		Slow:     "BenchmarkFullProtocolRound/committees=1",
+		Fast:     "BenchmarkFullProtocolRound/committees=4",
+		Min:      2,
+		MinProcs: 2,
+		Note:     "committee scaling",
+	}}
+	if f := checkRatios(scaling, cur, 1); len(f) != 0 {
+		t.Fatalf("single-core run failed a minprocs=2 gate: %v", f)
+	}
+	f := checkRatios(scaling, cur, 4)
+	if len(f) != 1 || !strings.Contains(f[0], "below required 2.0x") {
+		t.Fatalf("multi-core run passed a violated minprocs gate: %v", f)
+	}
+
+	// Gate erosion is not excused by a low core count.
+	delete(cur, "BenchmarkFullProtocolRound/committees=4")
+	f = checkRatios(scaling, cur, 1)
+	if len(f) != 1 || !strings.Contains(f[0], "gate erosion") {
+		t.Fatalf("missing benchmark not flagged below minprocs: %v", f)
 	}
 }
 

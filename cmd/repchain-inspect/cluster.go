@@ -75,8 +75,19 @@ func runCluster(args []string) error {
 	if len(health.Findings) == 0 {
 		fmt.Println("  no findings")
 	}
-	fmt.Printf("heights (skew %d):\n", health.HeightSkew)
+	sharded := false
+	for _, cm := range health.Committees {
+		if cm != 0 {
+			sharded = true
+			break
+		}
+	}
+	fmt.Printf("heights (max within-committee skew %d):\n", health.HeightSkew)
 	for _, name := range sortedNames(health.Heights) {
+		if sharded {
+			fmt.Printf("  %-28s %d (committee %d)\n", name, health.Heights[name], health.Committees[name])
+			continue
+		}
 		fmt.Printf("  %-28s %d\n", name, health.Heights[name])
 	}
 	if len(health.PeerLags) > 0 {

@@ -49,6 +49,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for workload randomness")
 		stateDir   = flag.String("state", "", "directory persisting governor chain + reputation state across restarts")
 		adminAddr  = flag.String("admin-addr", "", "serve /metrics, /healthz, /readyz, /traces, /events, and pprof on this address (e.g. 127.0.0.1:9180; empty = off)")
+		committee  = flag.Int("committee", 0, "committee index this node's chain belongs to (published as the chain.committee gauge so fleet tooling scores height skew within, not across, committees)")
 		traceCap   = flag.Int("trace-cap", 8192, "lifecycle span ring-buffer capacity behind /traces (0 = tracing off)")
 		eventsCap  = flag.Int("events-cap", 8192, "consensus event ring-buffer capacity behind /events (0 = events off)")
 		propagate  = flag.Bool("trace-propagate", false, "stamp trace context onto outgoing frames so traces stitch across processes (v2 frames; off keeps the v1 wire format)")
@@ -95,6 +96,7 @@ func main() {
 	}
 	obs := obsOptions{
 		adminAddr: *adminAddr,
+		committee: *committee,
 		traceCap:  *traceCap,
 		eventsCap: *eventsCap,
 		propagate: *propagate,
@@ -132,6 +134,7 @@ type poolOptions struct {
 // obsOptions bundles the observability flags.
 type obsOptions struct {
 	adminAddr string
+	committee int
 	traceCap  int
 	eventsCap int
 	propagate bool
@@ -213,6 +216,10 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 			governors = 1
 		}
 		reg := metrics.NewRegistry()
+		// Declare which committee's chain this node carries so
+		// `repchain-inspect cluster` scores height skew within the
+		// committee instead of across unrelated chains.
+		reg.Gauge("chain.committee").Set(float64(obs.committee))
 		var health *transport.Health
 		var ready func() (bool, string)
 		if governors > 0 {

@@ -295,13 +295,21 @@ type SlowRound struct {
 // the components that subtracted from it are listed in Findings so the
 // number is auditable.
 type HealthReport struct {
-	Score      int               `json:"score"`
-	Findings   []string          `json:"findings"`
-	Heights    map[string]uint64 `json:"heights"`
-	HeightSkew uint64            `json:"height_skew"`
-	PeerLags   []PeerLag         `json:"peer_lags"`
-	SlowRounds []SlowRound       `json:"slow_rounds"`
-	Unreached  []string          `json:"unreached,omitempty"`
+	Score    int               `json:"score"`
+	Findings []string          `json:"findings"`
+	Heights  map[string]uint64 `json:"heights"`
+	// Committees maps node name to the committee it declared via the
+	// chain.committee gauge (absent gauge = committee 0). Height skew is
+	// judged within a committee: in a sharded cluster (DESIGN.md §4i)
+	// different committees legitimately run different chains at
+	// different heights, so comparing heads across committees would
+	// manufacture skew that no governor can repair.
+	Committees map[string]int64 `json:"committees,omitempty"`
+	// HeightSkew is the largest within-committee head spread.
+	HeightSkew uint64      `json:"height_skew"`
+	PeerLags   []PeerLag   `json:"peer_lags"`
+	SlowRounds []SlowRound `json:"slow_rounds"`
+	Unreached  []string    `json:"unreached,omitempty"`
 }
 
 // slowRoundWindow and slowRoundFactor tune slow-round detection: a
@@ -314,11 +322,12 @@ const (
 )
 
 // Health assesses the scraped fleet. The score starts at 100 and loses
-// points for unreachable nodes (25 each), committed-height skew
-// (10 per block, capped at 30), slow rounds (5 each, capped at 20),
-// and transport send failures anywhere in the fleet (capped at 10).
+// points for unreachable nodes (25 each), committed-height skew within
+// a committee (10 per block, capped at 30), slow rounds (5 each,
+// capped at 20), and transport send failures anywhere in the fleet
+// (capped at 10).
 func (c *Cluster) Health() HealthReport {
-	rep := HealthReport{Score: 100, Heights: make(map[string]uint64)}
+	rep := HealthReport{Score: 100, Heights: make(map[string]uint64), Committees: make(map[string]int64)}
 
 	for _, n := range c.Nodes {
 		if n.Err != "" {
@@ -327,6 +336,7 @@ func (c *Cluster) Health() HealthReport {
 		}
 		if h, ok := n.Metrics.Gauges["chain.height"]; ok {
 			rep.Heights[n.Node.Name] = uint64(h)
+			rep.Committees[n.Node.Name] = int64(n.Metrics.Gauges["chain.committee"])
 		}
 	}
 	penalty := 0
@@ -336,19 +346,32 @@ func (c *Cluster) Health() HealthReport {
 			fmt.Sprintf("%d node(s) unreachable: %s", len(rep.Unreached), strings.Join(rep.Unreached, ", ")))
 	}
 
-	var minH, maxH uint64
-	first := true
-	for _, h := range rep.Heights {
-		if first || h < minH {
-			minH = h
-		}
-		if h > maxH {
-			maxH = h
-		}
-		first = false
+	// Heads are only comparable between governors of the same committee.
+	type bounds struct {
+		min, max uint64
+		seen     bool
 	}
-	if !first {
-		rep.HeightSkew = maxH - minH
+	perCommittee := make(map[int64]*bounds)
+	for name, h := range rep.Heights {
+		b := perCommittee[rep.Committees[name]]
+		if b == nil {
+			b = &bounds{}
+			perCommittee[rep.Committees[name]] = b
+		}
+		if !b.seen || h < b.min {
+			b.min = h
+		}
+		if h > b.max {
+			b.max = h
+		}
+		b.seen = true
+	}
+	var skewCommittee int64
+	for cm, b := range perCommittee {
+		if skew := b.max - b.min; skew > rep.HeightSkew {
+			rep.HeightSkew = skew
+			skewCommittee = cm
+		}
 	}
 	if rep.HeightSkew > 0 {
 		p := int(rep.HeightSkew) * 10
@@ -356,8 +379,12 @@ func (c *Cluster) Health() HealthReport {
 			p = 30
 		}
 		penalty += p
+		where := "across governors"
+		if len(perCommittee) > 1 {
+			where = fmt.Sprintf("across committee %d's governors", skewCommittee)
+		}
 		rep.Findings = append(rep.Findings,
-			fmt.Sprintf("chain height skew of %d block(s) across governors", rep.HeightSkew))
+			fmt.Sprintf("chain height skew of %d block(s) %s", rep.HeightSkew, where))
 	}
 
 	rep.PeerLags = c.peerLags()

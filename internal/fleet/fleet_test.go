@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repchain/internal/events"
@@ -167,6 +168,48 @@ func TestHealthPenalties(t *testing.T) {
 	}
 	if len(rep.Findings) != 3 {
 		t.Fatalf("findings = %v", rep.Findings)
+	}
+}
+
+// TestHealthSkewPerCommittee: in a sharded cluster, heads are only
+// comparable between governors of the same committee — two committees
+// at heights 10 and 4 are healthy, while a 1-block spread inside one
+// committee still scores as skew.
+func TestHealthSkewPerCommittee(t *testing.T) {
+	nodes := []Node{}
+	for _, n := range []struct {
+		name      string
+		height    float64
+		committee float64
+	}{
+		{"c0/g0", 10, 0},
+		{"c0/g1", 10, 0},
+		{"c1/g0", 4, 1},
+		{"c1/g1", 3, 1},
+	} {
+		srv := fakeAdmin(t, metrics.Snapshot{
+			Gauges: map[string]float64{"chain.height": n.height, "chain.committee": n.committee},
+		}, nil, nil)
+		nodes = append(nodes, Node{Name: n.name, URL: srv.URL})
+	}
+	rep := Scraper{}.Scrape(nodes).Health()
+	if rep.HeightSkew != 1 {
+		t.Fatalf("within-committee skew = %d, want 1 (cross-committee spread must not count)", rep.HeightSkew)
+	}
+	if rep.Score != 90 {
+		t.Fatalf("score = %d (findings: %v), want 90", rep.Score, rep.Findings)
+	}
+	if rep.Committees["c1/g1"] != 1 || rep.Committees["c0/g0"] != 0 {
+		t.Fatalf("committees = %v", rep.Committees)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if strings.Contains(f, "committee 1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("findings %v do not name the skewed committee", rep.Findings)
 	}
 }
 

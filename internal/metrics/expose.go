@@ -41,6 +41,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, v := range r.counterVecs {
 		counterVecs[n] = v
 	}
+	gaugeVecs := make(map[string]*GaugeVec, len(r.gaugeVecs))
+	for n, v := range r.gaugeVecs {
+		gaugeVecs[n] = v
+	}
 	histogramVecs := make(map[string]*HistogramVec, len(r.histogramVecs))
 	for n, v := range r.histogramVecs {
 		histogramVecs[n] = v
@@ -68,6 +72,11 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, v := range counterVecs {
 		for _, child := range v.children() {
 			snap.Counters[n+"{"+child.labels+"}"] = child.counter.Value()
+		}
+	}
+	for n, v := range gaugeVecs {
+		for _, child := range v.children() {
+			snap.Gauges[n+"{"+child.labels+"}"] = child.gauge.Value()
 		}
 	}
 	for n, v := range histogramVecs {

@@ -194,6 +194,7 @@ type Registry struct {
 	series        map[string]*Series
 	histograms    map[string]*Histogram
 	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
 	histogramVecs map[string]*HistogramVec
 }
 
@@ -205,6 +206,7 @@ func NewRegistry() *Registry {
 		series:        make(map[string]*Series),
 		histograms:    make(map[string]*Histogram),
 		counterVecs:   make(map[string]*CounterVec),
+		gaugeVecs:     make(map[string]*GaugeVec),
 		histogramVecs: make(map[string]*HistogramVec),
 	}
 }
@@ -274,6 +276,20 @@ func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
 	return v
 }
 
+// GaugeVec returns the named labeled gauge family, creating it with
+// the given label names on first use. Later calls return the existing
+// family regardless of label names — first registration wins.
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = newGaugeVec(name, labels)
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
 // HistogramVec returns the named labeled histogram family, creating it
 // with the given bounds and label names on first use.
 func (r *Registry) HistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
@@ -313,9 +329,13 @@ func (r *Registry) Dump() string {
 	for n, v := range r.counterVecs {
 		counterVecs[n] = v
 	}
+	gaugeVecs := make(map[string]*GaugeVec, len(r.gaugeVecs))
+	for n, v := range r.gaugeVecs {
+		gaugeVecs[n] = v
+	}
 	r.mu.Unlock()
 
-	names := make([]string, 0, len(counters)+len(gauges)+len(series)+len(histograms)+len(counterVecs))
+	names := make([]string, 0, len(counters)+len(gauges)+len(series)+len(histograms)+len(counterVecs)+len(gaugeVecs))
 	for n := range counters {
 		names = append(names, "c:"+n)
 	}
@@ -330,6 +350,9 @@ func (r *Registry) Dump() string {
 	}
 	for n := range counterVecs {
 		names = append(names, "v:"+n)
+	}
+	for n := range gaugeVecs {
+		names = append(names, "w:"+n)
 	}
 	sort.Strings(names)
 	var b strings.Builder
@@ -349,6 +372,10 @@ func (r *Registry) Dump() string {
 		case "v":
 			for _, child := range counterVecs[name].children() {
 				fmt.Fprintf(&b, "%-40s %d\n", name+"{"+child.labels+"}", child.counter.Value())
+			}
+		case "w":
+			for _, child := range gaugeVecs[name].children() {
+				fmt.Fprintf(&b, "%-40s %g\n", name+"{"+child.labels+"}", child.gauge.Value())
 			}
 		}
 	}

@@ -76,6 +76,67 @@ func (v *CounterVec) children() []vecChild {
 	return out
 }
 
+// GaugeVec is a family of gauges partitioned by an ordered set of
+// label names — used for per-committee levels such as
+// `chain.height{committee="i"}` where one process hosts several chain
+// heads. Children are created on first use and cached; callers on hot
+// paths should resolve their child once (With) and hold the *Gauge.
+type GaugeVec struct {
+	name   string
+	labels []string
+	mu     sync.Mutex
+	kids   map[string]*Gauge
+}
+
+func newGaugeVec(name string, labels []string) *GaugeVec {
+	return &GaugeVec{name: name, labels: labels, kids: make(map[string]*Gauge)}
+}
+
+// Labels returns the family's ordered label names.
+func (v *GaugeVec) Labels() []string { return v.labels }
+
+// With returns the child gauge for the given label values (in label
+// order), creating it on first use. Panics on arity mismatch.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.kids[key]
+	if !ok {
+		g = &Gauge{}
+		v.kids[key] = g
+	}
+	return g
+}
+
+type vecGaugeChild struct {
+	labels string
+	gauge  *Gauge
+}
+
+// children returns the family's children sorted by label values.
+func (v *GaugeVec) children() []vecGaugeChild {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	kids := make(map[string]*Gauge, len(v.kids))
+	for k, g := range v.kids {
+		kids[k] = g
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	out := make([]vecGaugeChild, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, vecGaugeChild{labels: renderLabels(v.labels, strings.Split(k, labelSep)), gauge: kids[k]})
+	}
+	return out
+}
+
 // HistogramVec is a family of histograms partitioned by label values,
 // all sharing one bucket layout — used for per-stage round latency.
 type HistogramVec struct {

@@ -147,3 +147,42 @@ func TestRegistryConcurrentMixed(t *testing.T) {
 		t.Fatalf("histograms lost observations")
 	}
 }
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("chain.height", "committee")
+	v.With("0").Set(7)
+	v.With("1").Set(9)
+	if got := v.With("0").Value(); got != 7 {
+		t.Fatalf("committee 0 height = %g, want 7", got)
+	}
+	if same := r.GaugeVec("chain.height", "committee"); same != v {
+		t.Fatal("second GaugeVec registration returned a different family")
+	}
+	snap := r.Snapshot()
+	if got := snap.Gauges[`chain.height{committee="0"}`]; got != 7 {
+		t.Fatalf("snapshot committee 0 = %g, want 7", got)
+	}
+	if got := snap.Gauges[`chain.height{committee="1"}`]; got != 9 {
+		t.Fatalf("snapshot committee 1 = %g, want 9", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `chain_height{committee="0"} 7`) {
+		t.Fatalf("prometheus exposition missing labeled gauge:\n%s", sb.String())
+	}
+	if !strings.Contains(r.Dump(), `chain.height{committee="1"}`) {
+		t.Fatal("Dump missing labeled gauge child")
+	}
+}
+
+func TestGaugeVecArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on label arity mismatch")
+		}
+	}()
+	NewRegistry().GaugeVec("g", "a", "b").With("only-one")
+}

@@ -1,0 +1,180 @@
+package reputation
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repchain/internal/identity"
+	"repchain/internal/tx"
+)
+
+// trainTable runs a deterministic mix of Algorithm 3 updates so the
+// table's weights and scores leave their initial values.
+func trainTable(t *testing.T, tbl *Table, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for round := 0; round < 40; round++ {
+		for k := 0; k < tbl.Providers(); k++ {
+			linked := tbl.topo.CollectorsOf(k)
+			reports := make([]Report, 0, len(linked))
+			for _, c := range linked {
+				label := tx.LabelValid
+				if rng.Intn(3) == 0 {
+					label = tx.LabelInvalid
+				}
+				reports = append(reports, Report{Collector: c, Label: label})
+			}
+			status := tx.StatusValid
+			if rng.Intn(4) == 0 {
+				status = tx.StatusInvalid
+			}
+			switch rng.Intn(3) {
+			case 0:
+				if err := tbl.RecordChecked(k, reports, status); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if _, err := tbl.RecordRevealed(k, reports, status); err != nil {
+					t.Fatal(err)
+				}
+			case 2:
+				if err := tbl.RecordForgery(reports[0].Collector); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestMigrateIntoCarriesFullColumns(t *testing.T) {
+	// Source committee: 2 providers × 4 collectors, degree 2 (s=1).
+	srcTopo, err := identity.NewRegularTopology(identity.TopologySpec{Providers: 2, Collectors: 4, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewTable(srcTopo, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainTable(t, src, 7)
+
+	// Destination committee: 3 providers × 6 collectors; source
+	// provider 1 (collectors 2, 3) becomes destination provider 2
+	// (collectors 4, 5).
+	dstTopo, err := identity.NewRegularTopology(identity.TopologySpec{Providers: 3, Collectors: 6, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewTable(dstTopo, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	providerMap := map[int]int{1: 2}
+	collectorMap := map[int]int{2: 4, 3: 5}
+	if err := MigrateInto(dst, src, providerMap, collectorMap); err != nil {
+		t.Fatal(err)
+	}
+
+	srcIn, _ := src.Instance(1)
+	dstIn, _ := dst.Instance(2)
+	for pos := 0; pos < srcIn.Experts(); pos++ {
+		if srcIn.Weight(pos) != dstIn.Weight(pos) {
+			t.Fatalf("weight[%d]: src %v, dst %v", pos, srcIn.Weight(pos), dstIn.Weight(pos))
+		}
+		if srcIn.ExpertLoss(pos) != dstIn.ExpertLoss(pos) {
+			t.Fatalf("loss[%d]: src %v, dst %v", pos, srcIn.ExpertLoss(pos), dstIn.ExpertLoss(pos))
+		}
+	}
+	if srcIn.GovernorLoss() != dstIn.GovernorLoss() {
+		t.Fatalf("governor loss: src %v, dst %v", srcIn.GovernorLoss(), dstIn.GovernorLoss())
+	}
+	if srcIn.Rounds() != dstIn.Rounds() {
+		t.Fatalf("rounds: src %d, dst %d", srcIn.Rounds(), dstIn.Rounds())
+	}
+	for c, dc := range collectorMap {
+		if src.Misreport(c) != dst.Misreport(dc) {
+			t.Fatalf("misreport %d→%d: src %v, dst %v", c, dc, src.Misreport(c), dst.Misreport(dc))
+		}
+		if src.Forge(c) != dst.Forge(dc) {
+			t.Fatalf("forge %d→%d: src %v, dst %v", c, dc, src.Forge(c), dst.Forge(dc))
+		}
+	}
+
+	// The screening draw over the migrated provider must be bitwise
+	// identical: same weights, same RNG stream, same decision.
+	reports := []Report{
+		{Collector: 2, Label: tx.LabelInvalid},
+		{Collector: 3, Label: tx.LabelValid},
+	}
+	mapped := []Report{
+		{Collector: 4, Label: tx.LabelInvalid},
+		{Collector: 5, Label: tx.LabelValid},
+	}
+	for trial := int64(0); trial < 20; trial++ {
+		srcDec, err := src.Screen(rand.New(rand.NewSource(trial)), 1, reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dstDec, err := dst.Screen(rand.New(rand.NewSource(trial)), 2, mapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srcDec.Prob != dstDec.Prob || srcDec.Check != dstDec.Check || srcDec.Label != dstDec.Label {
+			t.Fatalf("trial %d: src decision %+v, dst decision %+v", trial, srcDec, dstDec)
+		}
+	}
+
+	// Untouched destination providers keep their fresh-table weights.
+	freshIn, _ := dst.Instance(0)
+	for pos := 0; pos < freshIn.Experts(); pos++ {
+		if freshIn.Weight(pos) != 1 {
+			t.Fatalf("unmapped provider 0 weight[%d] = %v, want 1", pos, freshIn.Weight(pos))
+		}
+	}
+}
+
+func TestMigrateIntoRejectsBadMappings(t *testing.T) {
+	topo, err := identity.NewRegularTopology(identity.TopologySpec{Providers: 2, Collectors: 4, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(params Params) *Table {
+		tbl, err := NewTable(topo, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	src := mk(DefaultParams())
+
+	t.Run("param mismatch", func(t *testing.T) {
+		p := DefaultParams()
+		p.Beta = 0.8
+		dst := mk(p)
+		if err := MigrateInto(dst, src, nil, nil); !errors.Is(err, ErrBadParams) {
+			t.Fatalf("err = %v, want ErrBadParams", err)
+		}
+	})
+	t.Run("unmapped linked collector", func(t *testing.T) {
+		dst := mk(DefaultParams())
+		err := MigrateInto(dst, src, map[int]int{0: 0}, map[int]int{0: 0})
+		if !errors.Is(err, ErrNotLinked) {
+			t.Fatalf("err = %v, want ErrNotLinked", err)
+		}
+	})
+	t.Run("unknown provider", func(t *testing.T) {
+		dst := mk(DefaultParams())
+		err := MigrateInto(dst, src, map[int]int{9: 0}, nil)
+		if !errors.Is(err, ErrUnknownProvider) {
+			t.Fatalf("err = %v, want ErrUnknownProvider", err)
+		}
+	})
+	t.Run("unknown collector", func(t *testing.T) {
+		dst := mk(DefaultParams())
+		err := MigrateInto(dst, src, nil, map[int]int{0: 99})
+		if !errors.Is(err, ErrUnknownCollector) {
+			t.Fatalf("err = %v, want ErrUnknownCollector", err)
+		}
+	})
+}

@@ -114,6 +114,10 @@ type Option func(*options) error
 type options struct {
 	cfg       core.Config
 	behaviors []CollectorBehavior
+
+	// Cluster-only options (see cluster.go); New rejects them.
+	committees int
+	partition  identity.PartitionFunc
 }
 
 // WithTopology sets l providers, n collectors, and r collectors per
@@ -374,39 +378,29 @@ func WithCollectorBehaviors(behaviors ...CollectorBehavior) Option {
 	}
 }
 
-// Chain is a running alliance chain.
+// Chain is a running alliance chain: the single-committee facade.
+//
+// Chain remains fully supported and is exactly a one-committee Cluster:
+// NewCluster with the same options (and WithCommittees(1) or no
+// committee option at all) produces a byte-identical chain, reachable
+// through Cluster.Committee(0). New applications that may ever need
+// more than one committee should start from NewCluster; existing Chain
+// code keeps working unchanged and can migrate mechanically (see the
+// README's migration notes).
 type Chain struct {
 	engine *core.Engine
 }
 
 // New assembles a chain. Required options: WithTopology,
-// WithGovernors, WithValidator.
+// WithGovernors, WithValidator. The cluster-only options
+// WithCommittees and WithPartition are rejected here — use NewCluster.
 func New(opts ...Option) (*Chain, error) {
-	o := options{
-		cfg: core.Config{
-			Params:      reputation.DefaultParams(),
-			ArgueWindow: 64,
-			MaxDelay:    1,
-		},
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
 	}
-	for _, opt := range opts {
-		if err := opt(&o); err != nil {
-			return nil, err
-		}
-	}
-	if o.behaviors != nil {
-		o.cfg.Behaviors = make([]node.Behavior, len(o.behaviors))
-		for i, b := range o.behaviors {
-			if b == (CollectorBehavior{}) {
-				o.cfg.Behaviors[i] = node.HonestBehavior{}
-				continue
-			}
-			o.cfg.Behaviors[i] = node.ProbBehavior{
-				Misreport: b.Misreport,
-				Conceal:   b.Conceal,
-				Forge:     b.Forge,
-			}
-		}
+	if o.committees != 0 || o.partition != nil {
+		return nil, fmt.Errorf("WithCommittees/WithPartition require NewCluster: %w", ErrBadOption)
 	}
 	engine, err := core.New(o.cfg)
 	if err != nil {

@@ -17,6 +17,7 @@ var packages = []string{
 	"rwm",
 	"mempool",
 	"ledger",
+	"shard",
 }
 
 // Deterministic reports whether the import path belongs to the
