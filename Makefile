@@ -21,12 +21,22 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# Determinism-and-concurrency lint gate (DESIGN.md §4e): the custom
-# go/analysis-style passes in tools/ — detrange, wallclock, lockguard,
-# metricname, errwrapcheck — must report zero unsuppressed findings.
-# The linter lives in its own module (tools/go.mod), hence the cd.
+# Determinism-and-concurrency lint gate (DESIGN.md §4e, §4j): the
+# custom go/analysis-style passes in tools/ — detrange, wallclock,
+# lockguard, metricname, errwrapcheck, plus the interprocedural
+# dettaint, goroleak, and atomicmix — must report zero unsuppressed
+# findings. -timing prints per-analyzer wall time and -deadline fails
+# the run if the suite exceeds the budget, keeping the gate honest
+# about its own cost. The linter lives in its own module
+# (tools/go.mod), hence the cd.
 lint:
-	cd tools && $(GO) run ./cmd/repchain-lint -C .. ./...
+	cd tools && $(GO) run ./cmd/repchain-lint -C .. -timing -deadline 120s ./...
+
+# Machine-readable lint report (suppressed findings included) for CI
+# artifact upload and offline triage.
+lint-json:
+	cd tools && $(GO) run ./cmd/repchain-lint -C .. -json ./... > ../lint-report.json || true
+	@echo "wrote lint-report.json"
 
 # The analyzers' own analysistest suites (failing + suppressed fixture
 # per rule).

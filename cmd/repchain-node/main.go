@@ -158,6 +158,7 @@ func run(rosterPath, id string, demo bool, rounds int, roundDur time.Duration, e
 		deployment = d
 	}
 
+	//repchain:dettaint-ok the epoch is shared deployment config all nodes must agree on; this default only serves single-process demos, and -epoch pins it for real deployments
 	epoch := time.Now().Add(time.Second)
 	if epochStr != "" {
 		t, err := time.Parse(time.RFC3339, epochStr)

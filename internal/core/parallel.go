@@ -65,6 +65,7 @@ func runIndexed(workers, n int, fn func(i int) error) error {
 // size: non-positive means one worker per logical CPU.
 func resolveWorkers(w int) int {
 	if w <= 0 {
+		//repchain:dettaint-ok the pool size only sets concurrency; sendBuffer flushes in node-index order, keeping the pipeline byte-identical for any worker count
 		return runtime.GOMAXPROCS(0)
 	}
 	return w

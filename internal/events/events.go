@@ -180,6 +180,7 @@ func (l *Log) append(ev Event) {
 	l.seq++
 	ev.Seq = l.seq
 	if l.wall {
+		//repchain:dettaint-ok wall timestamps are ring-buffer observability metadata behind the explicit wall opt-in; events are read back only by inspectors and never decoded into consensus state
 		ev.Wall = time.Now().UnixNano()
 	}
 	if l.n < len(l.buf) {

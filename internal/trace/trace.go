@@ -108,6 +108,7 @@ func (r *Recorder) Emit(s Span) uint64 {
 	r.seq++
 	s.Seq = r.seq
 	if r.wall {
+		//repchain:dettaint-ok wall timestamps are ring-buffer observability metadata behind the explicit wall opt-in; spans are read back only by inspectors and never decoded into consensus state
 		s.Wall = time.Now().UnixNano()
 	}
 	if r.n < len(r.buf) {

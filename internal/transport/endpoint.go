@@ -466,6 +466,7 @@ func (ep *Endpoint) Send(to identity.NodeID, kind string, payload []byte) error 
 					{Key: "kind", Value: kind},
 				},
 			})
+			//repchain:dettaint-ok SentNS is the signed v2 trace context (DESIGN §4h): hop-local send metadata the sender alone signs; the verifier checks the received bytes, so replicas never need to agree on the value
 			frame.Trace = &TraceCtx{Trace: id, Parent: parent, SentNS: time.Now().UnixNano()}
 		}
 	}

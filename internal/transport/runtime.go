@@ -310,6 +310,7 @@ func runProvider(cfg RuntimeConfig, spec NodeSpec) (Report, error) {
 			if valid {
 				payload[0] = 1
 			}
+			//repchain:dettaint-ok the submission timestamp is client input the provider signs into its own transaction; replicas treat it as opaque payload, not replica-derived state
 			if _, err := prov.Submit("tcp/demo", payload, valid, time.Now().UnixNano(), sender); err != nil {
 				return report, err
 			}

@@ -20,14 +20,24 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
+	// Prepare, when non-nil, runs once before any per-package Run,
+	// with every package the driver is about to analyze. Analyzers
+	// that need a whole-module view (the interprocedural passes)
+	// build their shared program state here; per-package analyzers
+	// leave it nil.
+	Prepare func(l *Loader, pkgs []*Package) error
 	// Run applies the check to a single type-checked package.
 	Run func(*Pass) error
 }
 
-// Diagnostic is one finding at a source position.
+// Diagnostic is one finding at a source position. Suppressed findings
+// are carried through to the driver (they appear in the -json triage
+// report) but do not fail the lint gate and are invisible to the
+// analysistest `// want` harness.
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos        token.Pos
+	Message    string
+	Suppressed bool
 }
 
 // Pass carries one package's syntax and type information through an

@@ -29,16 +29,37 @@ type expectation struct {
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	loader := analysis.NewLoader(analysis.LoadConfig{SrcRoot: filepath.Join(testdata, "src")})
+	// Load every fixture package up front so Prepare (the
+	// interprocedural analyzers' whole-program hook) sees the same
+	// universe the driver would: all analyzed packages plus their
+	// fixture imports.
+	pkgs := make([]*analysis.Package, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := loader.LoadTestPackage(path)
 		if err != nil {
 			t.Fatalf("load %s: %v", path, err)
 		}
+		pkgs = append(pkgs, pkg)
+	}
+	if a.Prepare != nil {
+		if err := a.Prepare(loader, loader.Loaded()); err != nil {
+			t.Fatalf("prepare %s: %v", a.Name, err)
+		}
+	}
+	for _, pkg := range pkgs {
 		diags, err := analysis.RunAnalyzer(a, loader, pkg)
 		if err != nil {
-			t.Fatalf("%s on %s: %v", a.Name, path, err)
+			t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
 		}
-		checkPackage(t, loader.Fset, a, pkg, diags)
+		// Suppressed diagnostics are driver-report-only; the fixture
+		// expectations describe what fails the gate.
+		kept := diags[:0]
+		for _, d := range diags {
+			if !d.Suppressed {
+				kept = append(kept, d)
+			}
+		}
+		checkPackage(t, loader.Fset, a, pkg, kept)
 	}
 }
 

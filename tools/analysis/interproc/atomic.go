@@ -1,0 +1,106 @@
+package interproc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Atomic/plain mixing detection. The census collects, module-wide,
+// every struct field whose address is passed to a sync/atomic
+// function; any plain (non-atomic) selection of such a field anywhere
+// in the module is a finding — a mutex around the plain access does
+// not restore the ordering guarantees the atomic side assumes, so the
+// mutex case is flagged identically.
+
+// censusAtomics records the atomic fields of the whole universe and
+// the selector nodes that legitimately appear inside sync/atomic call
+// arguments.
+func (p *Program) censusAtomics() {
+	for _, pkg := range p.pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					selection, ok := pkg.Info.Selections[sel]
+					if !ok || selection.Kind() != types.FieldVal {
+						continue
+					}
+					key := fieldKey(selection)
+					if _, seen := p.atomicFields[key]; !seen {
+						p.atomicFields[key] = call.Pos()
+					}
+					p.atomicUses[sel] = true
+				}
+				return true
+			})
+		}
+	}
+}
+
+// AtomicFinding is one plain access to a field that is elsewhere
+// accessed through sync/atomic.
+type AtomicFinding struct {
+	Pos       token.Pos // the plain selection
+	Field     string    // short Type.field name for the message
+	AtomicPos token.Pos // one sync/atomic call site on the same field
+}
+
+// AtomicFindings reports the plain accesses of one package to fields
+// in the module-wide atomic census.
+func (p *Program) AtomicFindings(pkgPath string) []AtomicFinding {
+	var out []AtomicFinding
+	for _, pkg := range p.pkgs {
+		if pkg.Path != pkgPath {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || p.atomicUses[sel] {
+					return true
+				}
+				selection, ok := pkg.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				key := fieldKey(selection)
+				if apos, isAtomic := p.atomicFields[key]; isAtomic {
+					out = append(out, AtomicFinding{Pos: sel.Sel.Pos(), Field: shortFieldName(key), AtomicPos: apos})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// shortFieldName trims the package path off a field key, leaving
+// Type.field.
+func shortFieldName(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		key = key[i+1:]
+	}
+	if i := strings.Index(key, "."); i >= 0 {
+		key = key[i+1:]
+	}
+	return key
+}

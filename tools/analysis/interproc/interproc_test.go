@@ -1,0 +1,96 @@
+package interproc
+
+import (
+	"strings"
+	"testing"
+
+	"repchain/tools/analysis"
+)
+
+func loadFixture(t *testing.T, paths ...string) (*analysis.Loader, *Program) {
+	t.Helper()
+	l := analysis.NewLoader(analysis.LoadConfig{SrcRoot: "testdata/src"})
+	for _, path := range paths {
+		if _, err := l.LoadTestPackage(path); err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+	}
+	return l, Get(l)
+}
+
+// TestSummaryConvergenceOnMutualRecursion checks that the SCC fixpoint
+// stabilizes on a mutually recursive pair and that the value parameter
+// flows through the cycle into both results.
+func TestSummaryConvergenceOnMutualRecursion(t *testing.T) {
+	_, p := loadFixture(t, "ipa")
+	for _, key := range []string{"ipa.Ping", "ipa.Pong"} {
+		sum := p.summary(key)
+		if sum == nil {
+			t.Fatalf("no summary for %s", key)
+		}
+		if len(sum.Results) != 1 {
+			t.Fatalf("%s: want 1 result, got %d", key, len(sum.Results))
+		}
+		if !sum.Results[0].params["1"] {
+			t.Errorf("%s: result does not carry param 1 (v) through the recursion", key)
+		}
+		if len(sum.Results[0].origins) != 0 {
+			t.Errorf("%s: recursion invented origins: %v", key, sum.Results[0].originsSorted())
+		}
+		// The fixpoint must be genuinely stable: recomputing against the
+		// memoized summaries reproduces the same fingerprint.
+		again := p.analyzeFunc(p.fns[key], nil)
+		if got, want := again.fingerprint(), sum.fingerprint(); got != want {
+			t.Errorf("%s: summary not converged:\n got %s\nwant %s", key, got, want)
+		}
+	}
+}
+
+// TestTaintThroughInterfaceMethod checks class-hierarchy resolution:
+// a call through ipa.Source merges every compatible implementation, so
+// Clock's wall-clock origin reaches Use's result.
+func TestTaintThroughInterfaceMethod(t *testing.T) {
+	_, p := loadFixture(t, "ipa")
+	sum := p.summary("ipa.Use")
+	if sum == nil || len(sum.Results) != 1 {
+		t.Fatalf("bad summary for ipa.Use: %+v", sum)
+	}
+	found := false
+	for _, o := range sum.Results[0].originsSorted() {
+		if strings.Contains(o.Desc, "time.Now") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ipa.Use result lacks the time.Now origin from the Clock implementation; got %v",
+			sum.Results[0].originsSorted())
+	}
+}
+
+// TestSummaryMemoizationAcrossPackages checks that summaries computed
+// once serve every later consumer: the reporting pass and a second
+// package's analysis perform zero new summary computations, and the
+// cross-package summary substitution still works.
+func TestSummaryMemoizationAcrossPackages(t *testing.T) {
+	l, p := loadFixture(t, "ipa", "ipb")
+	n := p.Computations()
+	if n == 0 {
+		t.Fatal("no summary computations recorded")
+	}
+	relay := p.summary("ipb.Relay")
+	if relay == nil || len(relay.Results) != 1 || !relay.Results[0].params["0"] {
+		t.Errorf("ipb.Relay does not substitute ipa.Ping's memoized summary: %+v", relay)
+	}
+	for i := 0; i < 2; i++ {
+		p.TaintFindings("ipa")
+		p.TaintFindings("ipb")
+		p.LeakFindings("ipa")
+		p.AtomicFindings("ipb")
+	}
+	if got := p.Computations(); got != n {
+		t.Errorf("reporting passes recomputed summaries: %d → %d", n, got)
+	}
+	if Get(l) != p {
+		t.Error("Get did not memoize the Program per loader")
+	}
+}

@@ -1,0 +1,238 @@
+package interproc
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"repchain/tools/analysis"
+)
+
+// Goroutine-leak detection. A function is Leaky when calling it can
+// never return: its body contains an unconditional loop with no
+// reachable exit (no return, no break that binds to it, no goto, no
+// panic/os.Exit), or it synchronously calls a Leaky function. The
+// goroleak analyzer reports `go` statements whose target is Leaky —
+// goroutines with no join or cancellation path out.
+
+// noExitLoopPos returns the position of the first `for`-without-
+// condition loop in body that has no exit, or token.NoPos. Nested
+// function literals are skipped: their loops run in other frames.
+func noExitLoopPos(body ast.Node) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if fs, ok := n.(*ast.ForStmt); ok && fs.Cond == nil {
+			if !loopExits(fs) {
+				pos = fs.For
+				return false
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+func hasNoExitLoop(body ast.Node) bool { return noExitLoopPos(body) != token.NoPos }
+
+// loopExits reports whether an unconditional loop has any way out:
+// a return, an unlabeled break at the loop's own nesting depth, any
+// labeled break, a goto, or a call that unwinds the goroutine (panic,
+// os.Exit, runtime.Goexit, log.Fatal*).
+func loopExits(loop *ast.ForStmt) bool {
+	for _, st := range loop.Body.List {
+		if stmtExits(st, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtExits scans one statement for an exit from the enclosing
+// unconditional loop. depth counts break-capturing constructs between
+// the loop body and the statement: an unlabeled break with depth > 0
+// binds to an inner construct, not the loop.
+func stmtExits(s ast.Stmt, depth int) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if st.Label != nil {
+				// A labeled break leaves every construct up to the
+				// labeled one, so it exits this loop whether the label
+				// names it or an enclosing statement.
+				return true
+			}
+			return depth == 0
+		case token.GOTO:
+			return true // may jump past the loop; treat as exit-capable
+		}
+		return false
+	case *ast.ExprStmt:
+		return callUnwinds(st.X)
+	case *ast.BlockStmt:
+		return anyStmtExits(st.List, depth)
+	case *ast.IfStmt:
+		if st.Init != nil && stmtExits(st.Init, depth) {
+			return true
+		}
+		if anyStmtExits(st.Body.List, depth) {
+			return true
+		}
+		return st.Else != nil && stmtExits(st.Else, depth)
+	case *ast.LabeledStmt:
+		return stmtExits(st.Stmt, depth)
+	case *ast.ForStmt:
+		return anyStmtExits(st.Body.List, depth+1)
+	case *ast.RangeStmt:
+		return anyStmtExits(st.Body.List, depth+1)
+	case *ast.SwitchStmt:
+		return clausesExit(st.Body.List, depth+1)
+	case *ast.TypeSwitchStmt:
+		return clausesExit(st.Body.List, depth+1)
+	case *ast.SelectStmt:
+		return clausesExit(st.Body.List, depth+1)
+	}
+	return false
+}
+
+func anyStmtExits(list []ast.Stmt, depth int) bool {
+	for _, s := range list {
+		if stmtExits(s, depth) {
+			return true
+		}
+	}
+	return false
+}
+
+func clausesExit(list []ast.Stmt, depth int) bool {
+	for _, clause := range list {
+		switch cc := clause.(type) {
+		case *ast.CaseClause:
+			if anyStmtExits(cc.Body, depth) {
+				return true
+			}
+		case *ast.CommClause:
+			if anyStmtExits(cc.Body, depth) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callUnwinds reports whether an expression statement is a call that
+// unwinds the goroutine rather than continuing the loop.
+func callUnwinds(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			switch id.Name + "." + fun.Sel.Name {
+			case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callsLeaky reports whether body synchronously calls a function whose
+// summary says it never returns. `go` statements and nested function
+// literals are skipped: work they start runs in other frames. An
+// interface call counts only when every shape-compatible
+// implementation is leaky.
+func (p *Program) callsLeaky(pkg *analysis.Package, body ast.Node) bool {
+	leaky := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if leaky {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if p.calleesLeaky(pkg, call) {
+			leaky = true
+		}
+		return true
+	})
+	return leaky
+}
+
+// calleesLeaky reports whether every universe target of a call is
+// leaky (and there is at least one).
+func (p *Program) calleesLeaky(pkg *analysis.Package, call *ast.CallExpr) bool {
+	callees := p.calleeInfos(pkg, call)
+	if len(callees) == 0 {
+		return false
+	}
+	for _, c := range callees {
+		s := p.summary(c.Key)
+		if s == nil || !s.Leaky {
+			return false
+		}
+	}
+	return true
+}
+
+// LeakFinding is one `go` statement whose goroutine has no join or
+// cancellation path: its target can never return.
+type LeakFinding struct {
+	Pos     token.Pos // the go statement
+	What    string    // target description for the message
+	LoopPos token.Pos // the offending loop, when local to the target
+}
+
+// LeakFindings reports the leaky `go` statements of one package,
+// using the memoized summaries for named targets.
+func (p *Program) LeakFindings(pkgPath string) []LeakFinding {
+	var out []LeakFinding
+	for _, key := range p.fnOrder {
+		fi := p.fns[key]
+		if fi.Pkg.Path != pkgPath {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if pos := noExitLoopPos(lit.Body); pos != token.NoPos {
+					out = append(out, LeakFinding{Pos: g.Go, What: "goroutine literal", LoopPos: pos})
+				} else if p.callsLeaky(fi.Pkg, lit.Body) {
+					out = append(out, LeakFinding{Pos: g.Go, What: "goroutine literal (via a callee that never returns)"})
+				}
+				return true
+			}
+			if p.calleesLeaky(fi.Pkg, g.Call) {
+				callees := p.calleeInfos(fi.Pkg, g.Call)
+				lf := LeakFinding{Pos: g.Go, What: callees[0].Name}
+				if lp := noExitLoopPos(callees[0].Decl.Body); lp != token.NoPos {
+					lf.LoopPos = lp
+				}
+				out = append(out, lf)
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}

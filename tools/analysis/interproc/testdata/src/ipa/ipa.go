@@ -1,0 +1,37 @@
+// Package ipa is an engine fixture: mutually recursive value flow and
+// an interface whose implementations differ in determinism.
+package ipa
+
+import "time"
+
+// Ping and Pong are mutually recursive; the value parameter must
+// survive the SCC fixpoint into both summaries.
+func Ping(n int, v int64) int64 {
+	if n == 0 {
+		return v
+	}
+	return Pong(n-1, v)
+}
+
+func Pong(n int, v int64) int64 {
+	if n == 0 {
+		return v + 1
+	}
+	return Ping(n-1, v)
+}
+
+type Source interface {
+	Value() int64
+}
+
+type Clock struct{}
+
+func (Clock) Value() int64 { return time.Now().UnixNano() }
+
+type Fixed struct{}
+
+func (Fixed) Value() int64 { return 42 }
+
+// Use dispatches through the interface: the engine must merge every
+// compatible implementation, so the Clock origin surfaces here.
+func Use(s Source) int64 { return s.Value() }

@@ -1,0 +1,8 @@
+// Package ipb rides on ipa's memoized summaries from another package.
+package ipb
+
+import "ipa"
+
+func Relay(v int64) int64 { return ipa.Ping(3, v) }
+
+func Sample(s ipa.Source) int64 { return ipa.Use(s) }

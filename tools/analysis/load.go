@@ -142,6 +142,21 @@ func (l *Loader) Targets(patterns ...string) ([]*Package, error) {
 	return targets, nil
 }
 
+// Loaded returns every package this loader has parsed and type-checked
+// from source (analysis targets and fixture imports alike), sorted by
+// import path. This is the source-available universe the
+// interprocedural engine builds its callgraph over; dependencies
+// resolved from export data have no syntax and are modeled, not
+// analyzed.
+func (l *Loader) Loaded() []*Package {
+	pkgs := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs
+}
+
 // LoadTestPackage loads an analysistest fixture package (and,
 // recursively, any fixture packages it imports) from cfg.SrcRoot.
 // Standard-library imports reached from fixtures are resolved through

@@ -1,5 +1,5 @@
 // Command repchain-lint is the multichecker for RepChain's written
-// determinism and concurrency invariants. It runs five custom
+// determinism and concurrency invariants. It runs eight custom
 // analyzers over the main module:
 //
 //	detrange     no range over maps in deterministic packages
@@ -7,28 +7,40 @@
 //	lockguard    `// guarded by mu` fields only touched under mu
 //	metricname   metric names are constants from the DESIGN.md §4c catalogue
 //	errwrapcheck sentinel errors compared with errors.Is, wrapped with %w
+//	dettaint     no nondeterminism source flows into a consensus sink,
+//	             through any call chain (interprocedural, DESIGN.md §4j)
+//	goroleak     no goroutine without a join or cancellation path
+//	atomicmix    no field accessed both via sync/atomic and plainly
 //
 // Usage (from the tools module):
 //
 //	go run ./cmd/repchain-lint -C .. ./...
 //
-// Exit status is 1 when any unsuppressed finding remains; `make lint`
-// and the CI lint job gate merges on that. Suppressions are
+// Exit status is 1 when any unsuppressed finding remains (or the
+// -deadline budget is exceeded); `make lint` and the CI lint job gate
+// merges on that. -json emits every finding — suppressed ones
+// included, with their annotation state — as a machine-readable triage
+// report. -timing prints per-analyzer wall time. Suppressions are
 // //repchain:<directive> <reason> comments — see DESIGN.md §4e.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repchain/internal/designdoc"
 	"repchain/tools/analysis"
+	"repchain/tools/lint/atomicmix"
 	"repchain/tools/lint/detrange"
+	"repchain/tools/lint/dettaint"
 	"repchain/tools/lint/errwrapcheck"
+	"repchain/tools/lint/goroleak"
 	"repchain/tools/lint/lockguard"
 	"repchain/tools/lint/metricname"
 	"repchain/tools/lint/wallclock"
@@ -36,8 +48,11 @@ import (
 
 func main() {
 	chdir := flag.String("C", ".", "root of the repchain module (where DESIGN.md lives)")
+	jsonOut := flag.Bool("json", false, "emit findings (suppressed included) as JSON on stdout")
+	timing := flag.Bool("timing", false, "print per-analyzer wall time to stderr")
+	deadline := flag.Duration("deadline", 120*time.Second, "fail if the whole lint run exceeds this wall time")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: repchain-lint [-C repo-root] [package patterns]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repchain-lint [-C repo-root] [-json] [-timing] [-deadline d] [package patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,13 +60,24 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	if err := run(*chdir, patterns); err != nil {
+	if err := run(*chdir, patterns, *jsonOut, *timing, *deadline); err != nil {
 		fmt.Fprintf(os.Stderr, "repchain-lint: %v\n", err)
 		os.Exit(2)
 	}
 }
 
-func run(root string, patterns []string) error {
+// record is one finding in the -json triage report.
+type record struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func run(root string, patterns []string, jsonOut, timing bool, deadline time.Duration) error {
+	start := time.Now()
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return err
@@ -66,19 +92,38 @@ func run(root string, patterns []string) error {
 		lockguard.Analyzer,
 		metricname.New(catalogue, "DESIGN.md §4c"),
 		errwrapcheck.Analyzer,
+		dettaint.Analyzer,
+		goroleak.Analyzer,
+		atomicmix.Analyzer,
 	}
 	loader := analysis.NewLoader(analysis.LoadConfig{Dir: root})
 	pkgs, err := loader.Targets(patterns...)
 	if err != nil {
 		return err
 	}
-	var findings []string
+	linted := pkgs[:0]
 	for _, pkg := range pkgs {
-		if strings.HasPrefix(pkg.Path, "repchain/tools") {
-			continue // the lint suite does not lint itself
+		if !strings.HasPrefix(pkg.Path, "repchain/tools") { // the lint suite does not lint itself
+			linted = append(linted, pkg)
 		}
-		for _, a := range analyzers {
+	}
+	elapsed := make([]time.Duration, len(analyzers))
+	for i, a := range analyzers {
+		if a.Prepare == nil {
+			continue
+		}
+		t0 := time.Now()
+		if err := a.Prepare(loader, loader.Loaded()); err != nil {
+			return fmt.Errorf("prepare %s: %v", a.Name, err)
+		}
+		elapsed[i] += time.Since(t0)
+	}
+	var records []record
+	for _, pkg := range linted {
+		for i, a := range analyzers {
+			t0 := time.Now()
 			diags, err := analysis.RunAnalyzer(a, loader, pkg)
+			elapsed[i] += time.Since(t0)
 			if err != nil {
 				return fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
 			}
@@ -88,29 +133,79 @@ func run(root string, patterns []string) error {
 				if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
 					file = rel
 				}
-				findings = append(findings,
-					fmt.Sprintf("%s:%d:%d: [%s] %s", file, posn.Line, posn.Column, a.Name, d.Message))
+				records = append(records, record{
+					File: file, Line: posn.Line, Col: posn.Column,
+					Analyzer: a.Name, Message: d.Message, Suppressed: d.Suppressed,
+				})
 			}
 		}
 	}
-	sort.Strings(findings)
-	findings = dedupe(findings)
-	for _, f := range findings {
-		fmt.Println(f)
+	sort.Slice(records, func(i, j int) bool {
+		a, b := records[i], records[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	records = dedupe(records)
+
+	if timing {
+		for i, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "repchain-lint: timing %-12s %8.1fms\n", a.Name, float64(elapsed[i].Microseconds())/1000)
+		}
+		fmt.Fprintf(os.Stderr, "repchain-lint: timing %-12s %8.1fms\n", "total", float64(time.Since(start).Microseconds())/1000)
 	}
-	if n := len(findings); n > 0 {
-		fmt.Fprintf(os.Stderr, "repchain-lint: %d finding(s)\n", n)
+
+	failing := 0
+	for _, r := range records {
+		if !r.Suppressed {
+			failing++
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if records == nil {
+			records = []record{}
+		}
+		if err := enc.Encode(records); err != nil {
+			return err
+		}
+	} else {
+		for _, r := range records {
+			if r.Suppressed {
+				continue
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", r.File, r.Line, r.Col, r.Analyzer, r.Message)
+		}
+	}
+	if total := time.Since(start); total > deadline {
+		fmt.Fprintf(os.Stderr, "repchain-lint: run took %s, over the %s deadline; profile with -timing\n",
+			total.Round(time.Millisecond), deadline)
+		os.Exit(1)
+	}
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "repchain-lint: %d finding(s)\n", failing)
 		os.Exit(1)
 	}
 	return nil
 }
 
 // dedupe removes adjacent duplicates from a sorted slice.
-func dedupe(in []string) []string {
+func dedupe(in []record) []record {
 	out := in[:0]
-	for i, s := range in {
-		if i == 0 || s != in[i-1] {
-			out = append(out, s)
+	for i, r := range in {
+		if i == 0 || r != in[i-1] {
+			out = append(out, r)
 		}
 	}
 	return out

@@ -1,0 +1,54 @@
+// Package atomicmix flags struct fields that are accessed through
+// sync/atomic somewhere in the module and plainly somewhere else. A
+// plain read of an atomically written field is a data race, and a
+// mutex around the plain access does not help: the atomic side does
+// not take the mutex, so the two sides still race. The census of
+// atomic fields is module-wide (built by the interprocedural engine),
+// so a package that plainly reads a field another package updates
+// atomically is caught too. Accesses that are provably
+// single-threaded at that point (constructors before publication)
+// are annotated //repchain:atomicmix-ok <reason>.
+package atomicmix
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repchain/tools/analysis"
+	"repchain/tools/analysis/interproc"
+	"repchain/tools/lint/internal/suppress"
+)
+
+// Directive is the suppression annotation this analyzer honours.
+const Directive = "atomicmix-ok"
+
+// Analyzer reports plain accesses to fields in the atomic census.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "forbid mixing sync/atomic and plain (even mutex-guarded) accesses " +
+		"to the same struct field anywhere in the module; annotate provably " +
+		"unshared accesses //repchain:atomicmix-ok <reason>",
+	Prepare: prepare,
+	Run:     run,
+}
+
+func prepare(l *analysis.Loader, _ []*analysis.Package) error {
+	interproc.Get(l)
+	return nil
+}
+
+func run(pass *analysis.Pass) error {
+	prog := interproc.ByFset(pass.Fset)
+	if prog == nil {
+		return fmt.Errorf("atomicmix: no interprocedural program; the driver must call Prepare first")
+	}
+	sup := suppress.Collect(pass.Fset, pass.Files, Directive)
+	sup.ReportMissingReasons(pass)
+	for _, f := range prog.AtomicFindings(pass.Pkg.Path()) {
+		apos := pass.Fset.Position(f.AtomicPos)
+		sup.Reportf(pass, f.Pos,
+			"plain access to field %s, which is accessed via sync/atomic at %s:%d; use the atomic accessor here too or annotate //repchain:atomicmix-ok <reason>",
+			f.Field, filepath.Base(apos.Filename), apos.Line)
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repchain/tools/analysis/analysistest"
+	"repchain/tools/lint/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer,
+		"repchain/internal/gauge",
+		"repchain/internal/gaugeuser",
+	)
+}

@@ -1,0 +1,57 @@
+// Package gauge exercises atomicmix: fields touched by sync/atomic in
+// one place and plainly (bare or mutex-guarded) in another.
+package gauge
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter's N is exported so another fixture package can access it
+// plainly (the census is module-wide).
+type Counter struct {
+	N int64
+}
+
+func (c *Counter) Add() { atomic.AddInt64(&c.N, 1) }
+
+type Gauge struct {
+	hits  int64
+	mu    sync.Mutex
+	level int64
+	clean int64
+}
+
+func (g *Gauge) Inc() { atomic.AddInt64(&g.hits, 1) }
+
+func (g *Gauge) Hits() int64 { return atomic.LoadInt64(&g.hits) }
+
+// Peek reads an atomic field without the accessor.
+func (g *Gauge) Peek() int64 {
+	return g.hits // want `sync/atomic`
+}
+
+// SetLevel writes under the mutex, but the atomic readers below never
+// take it: still a race, still flagged.
+func (g *Gauge) SetLevel(v int64) {
+	g.mu.Lock()
+	g.level = v // want `sync/atomic`
+	g.mu.Unlock()
+}
+
+func (g *Gauge) LevelSnapshot() int64 { return atomic.LoadInt64(&g.level) }
+
+// CleanInc touches a field nothing accesses atomically: silent.
+func (g *Gauge) CleanInc() { g.clean++ }
+
+// NewGauge initializes before publication: a reasoned suppression.
+func NewGauge() *Gauge {
+	g := &Gauge{}
+	g.hits = 7 //repchain:atomicmix-ok fixture: not yet shared, single goroutine owns g
+	return g
+}
+
+// Reset has a reasonless suppression: reported, not suppressed.
+func Reset(g *Gauge) {
+	g.hits = 0 //repchain:atomicmix-ok // want `missing its mandatory reason` `sync/atomic`
+}

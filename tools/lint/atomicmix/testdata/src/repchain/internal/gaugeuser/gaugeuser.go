@@ -1,0 +1,9 @@
+// Package gaugeuser accesses another package's atomic field plainly:
+// the census crosses package boundaries.
+package gaugeuser
+
+import "repchain/internal/gauge"
+
+func Read(c *gauge.Counter) int64 {
+	return c.N // want `sync/atomic`
+}

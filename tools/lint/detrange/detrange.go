@@ -47,10 +47,7 @@ func run(pass *analysis.Pass) error {
 			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if sup.Suppressed(rs.For) {
-				return true
-			}
-			pass.Reportf(rs.For, "range over map %s in deterministic package %s: iteration order is randomized per run; sort the keys first or annotate //repchain:ordered-irrelevant <reason>",
+			sup.Reportf(pass, rs.For, "range over map %s in deterministic package %s: iteration order is randomized per run; sort the keys first or annotate //repchain:ordered-irrelevant <reason>",
 				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), pass.Pkg.Path())
 			return true
 		})

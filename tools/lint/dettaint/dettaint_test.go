@@ -1,0 +1,14 @@
+package dettaint_test
+
+import (
+	"testing"
+
+	"repchain/tools/analysis/analysistest"
+	"repchain/tools/lint/dettaint"
+)
+
+func TestDettaint(t *testing.T) {
+	analysistest.Run(t, "testdata", dettaint.Analyzer,
+		"repchain/internal/scratch",
+	)
+}

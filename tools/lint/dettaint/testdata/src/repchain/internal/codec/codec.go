@@ -1,0 +1,22 @@
+// Package codec is a fixture stub of the append-only encoder: taint
+// stored into the receiver's buffer by one method must resurface from
+// Bytes in a different package (the cross-package struct-field flow).
+package codec
+
+type Encoder struct {
+	buf []byte
+}
+
+func (e *Encoder) PutUint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		e.buf = append(e.buf, byte(v>>(8*i)))
+	}
+}
+
+func (e *Encoder) PutBytes(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
+func (e *Encoder) Bytes() []byte {
+	return e.buf
+}

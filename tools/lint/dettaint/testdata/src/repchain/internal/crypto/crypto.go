@@ -1,0 +1,43 @@
+// Package crypto is a fixture stub that mirrors the real module's
+// consensus-critical API shapes, so the dettaint sink catalogue
+// (which matches by import path, receiver, and name) applies to the
+// fixture flows exactly as it does to the real code.
+package crypto
+
+type PrivateKey []byte
+
+type PublicKey []byte
+
+func (priv PrivateKey) Sign(msg []byte) []byte {
+	out := make([]byte, len(msg))
+	copy(out, msg)
+	return out
+}
+
+func (pub PublicKey) Verify(msg, sig []byte) bool {
+	return len(msg) > 0 && len(sig) > 0
+}
+
+type MerkleBuilder struct {
+	leaves [][]byte
+}
+
+func (b *MerkleBuilder) Add(leaf []byte) {
+	b.leaves = append(b.leaves, leaf)
+}
+
+func Sum(data []byte) [4]byte {
+	var out [4]byte
+	copy(out[:], data)
+	return out
+}
+
+func MerkleRoot(leaves [][]byte) [4]byte {
+	var out [4]byte
+	for _, l := range leaves {
+		if len(l) > 0 {
+			out[0] ^= l[0]
+		}
+	}
+	return out
+}

@@ -52,8 +52,8 @@ func run(pass *analysis.Pass) error {
 				if name == "" {
 					name = sentinelName(pass, n.Y)
 				}
-				if name != "" && !sup.Suppressed(n.Pos()) {
-					pass.Reportf(n.Pos(), "%s compared with %s: a wrapped sentinel no longer compares equal; use errors.Is(err, %s)",
+				if name != "" {
+					sup.Reportf(pass, n.Pos(), "%s compared with %s: a wrapped sentinel no longer compares equal; use errors.Is(err, %s)",
 						name, n.Op, name)
 				}
 			case *ast.SwitchStmt:
@@ -66,8 +66,8 @@ func run(pass *analysis.Pass) error {
 						continue
 					}
 					for _, expr := range cc.List {
-						if name := sentinelName(pass, expr); name != "" && !sup.Suppressed(expr.Pos()) {
-							pass.Reportf(expr.Pos(), "switch-case equality against %s: a wrapped sentinel never matches; use a switch with errors.Is(err, %s) conditions",
+						if name := sentinelName(pass, expr); name != "" {
+							sup.Reportf(pass, expr.Pos(), "switch-case equality against %s: a wrapped sentinel never matches; use a switch with errors.Is(err, %s) conditions",
 								name, name)
 						}
 					}
@@ -101,8 +101,8 @@ func checkErrorf(pass *analysis.Pass, sup *suppress.Set, call *ast.CallExpr) {
 		return
 	}
 	for _, arg := range call.Args[1:] {
-		if name := sentinelName(pass, arg); name != "" && !sup.Suppressed(call.Pos()) {
-			pass.Reportf(call.Pos(), "fmt.Errorf formats %s without %%w: callers can no longer match it with errors.Is; wrap it as %%w",
+		if name := sentinelName(pass, arg); name != "" {
+			sup.Reportf(pass, call.Pos(), "fmt.Errorf formats %s without %%w: callers can no longer match it with errors.Is; wrap it as %%w",
 				name)
 		}
 	}

@@ -1,0 +1,59 @@
+// Package goroleak flags goroutines spawned with no join or
+// cancellation path: the `go` statement's target (a function literal
+// or a named function, resolved through the interprocedural engine's
+// summaries) contains an unconditional loop with no reachable exit —
+// no return, no break binding to the loop, no goto, no panic — and so
+// can never be joined by a WaitGroup, cancelled through a context, or
+// unblocked by a Close. Such goroutines outlive every test and node
+// shutdown, pinning memory and (worse) still mutating state after the
+// component that spawned them was torn down. Deliberately
+// process-lifetime goroutines are annotated
+// //repchain:goroleak-ok <reason>.
+package goroleak
+
+import (
+	"fmt"
+
+	"repchain/tools/analysis"
+	"repchain/tools/analysis/interproc"
+	"repchain/tools/lint/internal/suppress"
+)
+
+// Directive is the suppression annotation this analyzer honours.
+const Directive = "goroleak-ok"
+
+// Analyzer reports `go` statements whose goroutine can never exit.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "forbid spawning goroutines that can never exit (unconditional " +
+		"loop with no return, break, or cancellation path, directly or " +
+		"through callees); annotate deliberate process-lifetime goroutines " +
+		"//repchain:goroleak-ok <reason>",
+	Prepare: prepare,
+	Run:     run,
+}
+
+func prepare(l *analysis.Loader, _ []*analysis.Package) error {
+	interproc.Get(l)
+	return nil
+}
+
+func run(pass *analysis.Pass) error {
+	prog := interproc.ByFset(pass.Fset)
+	if prog == nil {
+		return fmt.Errorf("goroleak: no interprocedural program; the driver must call Prepare first")
+	}
+	sup := suppress.Collect(pass.Fset, pass.Files, Directive)
+	sup.ReportMissingReasons(pass)
+	for _, f := range prog.LeakFindings(pass.Pkg.Path()) {
+		loc := ""
+		if f.LoopPos.IsValid() {
+			posn := pass.Fset.Position(f.LoopPos)
+			loc = fmt.Sprintf(" (loop at line %d)", posn.Line)
+		}
+		sup.Reportf(pass, f.Pos,
+			"goroutine never exits: %s runs an unconditional loop with no return, break, or cancellation path%s; add one or annotate //repchain:goroleak-ok <reason>",
+			f.What, loc)
+	}
+	return nil
+}

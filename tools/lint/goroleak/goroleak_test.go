@@ -1,0 +1,15 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"repchain/tools/analysis/analysistest"
+	"repchain/tools/lint/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer,
+		"repchain/internal/pump",
+		"repchain/internal/pumpuser",
+	)
+}

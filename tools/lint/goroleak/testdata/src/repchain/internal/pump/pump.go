@@ -1,0 +1,80 @@
+// Package pump exercises goroleak: goroutines with and without an
+// exit path, directly and through callees.
+package pump
+
+// Drain never returns: unconditional loop, no exit.
+func Drain(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// relay never returns: the select has no terminating case.
+func relay(in, out chan int) {
+	for {
+		select {
+		case v := <-in:
+			out <- v
+		}
+	}
+}
+
+// worker has a cancellation path: the done case returns.
+func worker(in chan int, done chan struct{}) {
+	for {
+		select {
+		case <-in:
+		case <-done:
+			return
+		}
+	}
+}
+
+// spin is leaky one hop removed: it synchronously calls Drain.
+func spin() { Drain(nil) }
+
+// bounded exits when the channel closes: close-driven ranges end.
+func bounded(ch chan int) {
+	for range ch {
+	}
+}
+
+// escape has an unconditional loop, but a labeled break leaves it.
+func escape(ch chan int) {
+outer:
+	for {
+		for {
+			if <-ch == 0 {
+				break outer
+			}
+		}
+	}
+}
+
+func Spawn() {
+	go Drain(nil)      // want `never exits`
+	go relay(nil, nil) // want `never exits`
+	go spin()          // want `never exits`
+	go func() {        // want `never exits`
+		for {
+		}
+	}()
+	go func() { // want `never exits`
+		Drain(nil)
+	}()
+	go worker(nil, nil)
+	go bounded(nil)
+	go escape(nil)
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+	go Drain(nil) //repchain:goroleak-ok fixture: deliberate process-lifetime pump
+}
+
+// SpawnUnreasoned's suppression has no reason: the annotation is a
+// finding and suppresses nothing.
+func SpawnUnreasoned() {
+	go Drain(nil) //repchain:goroleak-ok // want `missing its mandatory reason` `never exits`
+}

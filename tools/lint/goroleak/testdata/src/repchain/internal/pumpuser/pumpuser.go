@@ -1,0 +1,9 @@
+// Package pumpuser spawns another package's leaky function: the leak
+// predicate is a cross-package summary.
+package pumpuser
+
+import "repchain/internal/pump"
+
+func Start() {
+	go pump.Drain(nil) // want `never exits`
+}

@@ -14,6 +14,7 @@
 package suppress
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -86,6 +87,18 @@ func (s *Set) Suppressed(pos token.Pos) bool {
 		return true
 	}
 	return false
+}
+
+// Reportf reports a formatted diagnostic at pos, marking it suppressed
+// when a reasoned annotation covers the line. Suppressed diagnostics
+// reach the driver (the -json triage report lists them) but do not
+// fail the lint gate.
+func (s *Set) Reportf(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	pass.Report(analysis.Diagnostic{
+		Pos:        pos,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: s.Suppressed(pos),
+	})
 }
 
 // ReportMissingReasons emits one diagnostic per reasonless annotation,

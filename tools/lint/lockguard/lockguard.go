@@ -9,6 +9,7 @@
 package lockguard
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"regexp"
@@ -46,15 +47,17 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			var (
-				locked   map[string]bool
-				funcOK   bool
-				body     ast.Node = decl
-				funcName string
+				locked       map[string]bool
+				funcOK       bool
+				funcSuppress bool
+				body         ast.Node = decl
+				funcName     string
 			)
 			if isFunc {
 				locked = lockedMutexes(fd.Body)
 				funcName = fd.Name.Name
-				funcOK = strings.HasSuffix(funcName, "Locked") || sup.Suppressed(fd.Pos())
+				funcOK = strings.HasSuffix(funcName, "Locked")
+				funcSuppress = sup.Suppressed(fd.Pos())
 				body = fd.Body
 			}
 			ast.Inspect(body, func(n ast.Node) bool {
@@ -70,15 +73,19 @@ func run(pass *analysis.Pass) error {
 				if !ok {
 					return true
 				}
-				if funcOK || locked[mu] || sup.Suppressed(sel.Pos()) {
+				if funcOK || locked[mu] {
 					return true
 				}
 				where := "at package scope"
 				if isFunc {
 					where = "in " + funcName
 				}
-				pass.Reportf(sel.Pos(), "field %s is guarded by %s but accessed %s without a visible %s.Lock/RLock; lock it, rename the helper *Locked, or annotate //repchain:lockguard-ok <reason>",
-					selection.Obj().Name(), mu, where, mu)
+				pass.Report(analysis.Diagnostic{
+					Pos: sel.Pos(),
+					Message: fmt.Sprintf("field %s is guarded by %s but accessed %s without a visible %s.Lock/RLock; lock it, rename the helper *Locked, or annotate //repchain:lockguard-ok <reason>",
+						selection.Obj().Name(), mu, where, mu),
+					Suppressed: funcSuppress || sup.Suppressed(sel.Pos()),
+				})
 				return true
 			})
 		}

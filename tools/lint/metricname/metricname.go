@@ -8,6 +8,7 @@
 package metricname
 
 import (
+	"fmt"
 	"go/ast"
 	"go/constant"
 	"go/types"
@@ -67,18 +68,23 @@ func run(pass *analysis.Pass, catalogue map[string]bool, source string) error {
 			if !ok || sig.Recv() == nil { // only Registry methods register names
 				return true
 			}
-			if sup.Suppressed(call.Pos()) {
-				return true
+			suppressed := sup.Suppressed(call.Pos())
+			report := func(format string, args ...any) {
+				pass.Report(analysis.Diagnostic{
+					Pos:        call.Args[0].Pos(),
+					Message:    fmt.Sprintf(format, args...),
+					Suppressed: suppressed,
+				})
 			}
 			tv, ok := pass.TypesInfo.Types[call.Args[0]]
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
-				pass.Reportf(call.Args[0].Pos(), "metric name passed to metrics.%s must be a constant string so the %s catalogue can be checked at compile time",
+				report("metric name passed to metrics.%s must be a constant string so the %s catalogue can be checked at compile time",
 					fn.Name(), source)
 				return true
 			}
 			name := constant.StringVal(tv.Value)
 			if !catalogue[name] {
-				pass.Reportf(call.Args[0].Pos(), "metric %q is not listed in the %s catalogue%s; document it there or annotate //repchain:metricname-ok <reason>",
+				report("metric %q is not listed in the %s catalogue%s; document it there or annotate //repchain:metricname-ok <reason>",
 					name, source, nearMiss(name, catalogue))
 			}
 			return true

@@ -77,10 +77,7 @@ func run(pass *analysis.Pass) error {
 			if verdict == "" {
 				return true
 			}
-			if sup.Suppressed(sel.Pos()) {
-				return true
-			}
-			pass.Reportf(sel.Pos(), "%s.%s %s in deterministic package %s: replicas would diverge; use the injected seeded state or annotate //repchain:wallclock-ok <reason>",
+			sup.Reportf(pass, sel.Pos(), "%s.%s %s in deterministic package %s: replicas would diverge; use the injected seeded state or annotate //repchain:wallclock-ok <reason>",
 				fn.Pkg().Name(), fn.Name(), verdict, pass.Pkg.Path())
 			return true
 		})
